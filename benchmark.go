@@ -1,0 +1,196 @@
+package crest
+
+import (
+	"fmt"
+	"time"
+
+	"crest/internal/bench"
+	"crest/internal/sim"
+	"crest/internal/workload"
+	"crest/internal/workload/smallbank"
+	"crest/internal/workload/tpcc"
+	"crest/internal/workload/ycsb"
+)
+
+// Workload names accepted by BenchmarkConfig.
+const (
+	WorkloadTPCC      = "tpcc"
+	WorkloadSmallBank = "smallbank"
+	WorkloadYCSB      = "ycsb"
+)
+
+// BenchmarkConfig describes one measured run, mirroring the paper's
+// §8.2 methodology. Zero values take the evaluation defaults.
+type BenchmarkConfig struct {
+	System   System
+	Workload string // tpcc, smallbank or ycsb
+
+	// TPC-C contention knob (the paper sweeps 100 → 20 warehouses).
+	Warehouses int
+	// Zipfian constant for SmallBank and YCSB (0 = uniform).
+	Theta float64
+	// YCSB write ratio and records-per-transaction.
+	WriteRatio   float64
+	RecordsPerTx int
+
+	MemoryNodes         int
+	ComputeNodes        int
+	CoordinatorsPerNode int
+	Replicas            int
+	Seed                int64
+
+	// Duration is the measured virtual-time window; Warmup precedes
+	// it and is excluded.
+	Duration time.Duration
+	Warmup   time.Duration
+
+	// Scale shrinks table cardinalities for fast runs: records,
+	// accounts and TPC-C rings use the quick profile when true.
+	Quick bool
+}
+
+// BenchmarkResult aggregates a run, in the paper's units.
+type BenchmarkResult struct {
+	System       System
+	Workload     string
+	Coordinators int
+
+	ThroughputKOPS float64
+	Committed      uint64
+	Aborted        uint64
+	AbortRate      float64
+	FalseAbortRate float64
+
+	AvgLatencyUs  float64
+	P50LatencyUs  float64
+	P99LatencyUs  float64
+	P999LatencyUs float64
+
+	// Per-phase average latency of committed transactions (µs).
+	ExecUs     float64
+	ValidateUs float64
+	CommitUs   float64
+}
+
+// String summarizes the result in one line.
+func (r BenchmarkResult) String() string {
+	return fmt.Sprintf("%s/%s @%d coordinators: %.1f KOPS, abort %.1f%%, avg %.1fµs p99 %.1fµs",
+		r.System, r.Workload, r.Coordinators, r.ThroughputKOPS, 100*r.AbortRate,
+		r.AvgLatencyUs, r.P99LatencyUs)
+}
+
+// RunBenchmark executes one measured run and returns its metrics.
+func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
+	profile := bench.Full()
+	if cfg.Quick {
+		profile = bench.Quick()
+	}
+	gen, name, err := benchWorkload(cfg, profile)
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	bc := bench.Config{
+		System:      bench.SystemKind(withDefault(string(cfg.System), string(SystemCREST))),
+		Workload:    gen,
+		MemNodes:    cfg.MemoryNodes,
+		CompNodes:   cfg.ComputeNodes,
+		CoordsPerCN: cfg.CoordinatorsPerNode,
+		Replicas:    cfg.Replicas,
+		Seed:        cfg.Seed,
+		Duration:    sim.Duration(cfg.Duration),
+		Warmup:      sim.Duration(cfg.Warmup),
+	}
+	res, err := bench.Run(bc)
+	if err != nil {
+		return BenchmarkResult{}, err
+	}
+	return BenchmarkResult{
+		System:         System(res.System),
+		Workload:       name,
+		Coordinators:   res.Coordinators,
+		ThroughputKOPS: res.ThroughputKOPS(),
+		Committed:      res.Committed,
+		Aborted:        res.Aborted,
+		AbortRate:      res.AbortRate(),
+		FalseAbortRate: res.FalseAbortRate(),
+		AvgLatencyUs:   res.Lat.Avg(),
+		P50LatencyUs:   res.Lat.P50(),
+		P99LatencyUs:   res.Lat.P99(),
+		P999LatencyUs:  res.Lat.P999(),
+		ExecUs:         res.Phases.AvgExec(),
+		ValidateUs:     res.Phases.AvgValidate(),
+		CommitUs:       res.Phases.AvgCommit(),
+	}, nil
+}
+
+func withDefault(v, d string) string {
+	if v == "" {
+		return d
+	}
+	return v
+}
+
+func benchWorkload(cfg BenchmarkConfig, p bench.Profile) (func() workload.Generator, string, error) {
+	theta := cfg.Theta
+	switch withDefault(cfg.Workload, WorkloadTPCC) {
+	case WorkloadTPCC:
+		wh := cfg.Warehouses
+		if wh == 0 {
+			wh = 40
+		}
+		return p.TPCC(wh), WorkloadTPCC, nil
+	case WorkloadSmallBank:
+		if theta == 0 {
+			theta = smallbank.DefaultConfig().Theta
+		}
+		return p.SmallBank(theta), WorkloadSmallBank, nil
+	case WorkloadYCSB:
+		if theta == 0 {
+			theta = ycsb.DefaultConfig().Theta
+		}
+		ratio := cfg.WriteRatio
+		if ratio == 0 {
+			ratio = 0.5
+		}
+		n := cfg.RecordsPerTx
+		if n == 0 {
+			n = 4
+		}
+		return p.YCSB(theta, ratio, n), WorkloadYCSB, nil
+	}
+	return nil, "", fmt.Errorf("crest: unknown workload %q", cfg.Workload)
+}
+
+// ExperimentTable is one regenerated artifact of the paper (a table or
+// a figure's data series).
+type ExperimentTable = bench.Table
+
+// ExperimentIDs lists the reproducible artifacts in the paper's order:
+// fig2–fig4 (motivation), table1–table2 (analysis), exp1–exp8
+// (evaluation).
+func ExperimentIDs() []string { return bench.ExperimentIDs() }
+
+// RunExperiment regenerates one paper artifact. quick selects the
+// CI-sized profile; otherwise the near-paper-scale profile runs (see
+// EXPERIMENTS.md for expected output and timings).
+func RunExperiment(id string, quick bool) ([]ExperimentTable, error) {
+	fn, ok := bench.Experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("crest: unknown experiment %q (have %v)", id, ExperimentIDs())
+	}
+	profile := bench.Full()
+	if quick {
+		profile = bench.Quick()
+	}
+	return fn(profile)
+}
+
+// Workload generator re-exports for custom harnesses.
+var (
+	// NewTPCC builds the TPC-C-style generator.
+	NewTPCC = tpcc.New
+	// NewSmallBank builds the SmallBank generator.
+	NewSmallBank = smallbank.New
+	// NewYCSB builds the transactional YCSB generator.
+	NewYCSB = ycsb.New
+)

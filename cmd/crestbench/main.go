@@ -1,0 +1,103 @@
+// Command crestbench regenerates the paper's tables and figures and
+// runs ad-hoc benchmark configurations.
+//
+// Regenerate one artifact (ids: fig2 fig3 fig4 table1 table2 exp1..exp8):
+//
+//	crestbench -exp exp1
+//	crestbench -exp all -profile quick
+//
+// Run a single configuration:
+//
+//	crestbench -run -system crest -workload ycsb -theta 0.99 -coords 240
+//
+// All results are virtual-time measurements from the deterministic
+// simulation; identical seeds reproduce identical numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"crest"
+)
+
+func main() {
+	var (
+		expID    = flag.String("exp", "", "experiment id to regenerate, or 'all'")
+		profile  = flag.String("profile", "full", "experiment profile: quick or full")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		runOne   = flag.Bool("run", false, "run a single benchmark configuration")
+		system   = flag.String("system", "crest", "system: crest, crest-cell, crest-base, ford, motor")
+		workload = flag.String("workload", "tpcc", "workload: tpcc, smallbank, ycsb")
+		coords   = flag.Int("coords", 240, "total coordinators (across 3 compute nodes)")
+		wh       = flag.Int("warehouses", 40, "TPC-C warehouses")
+		theta    = flag.Float64("theta", 0.99, "Zipfian constant (smallbank/ycsb)")
+		writes   = flag.Float64("writes", 0.5, "YCSB write ratio")
+		perTxn   = flag.Int("n", 4, "YCSB records per transaction")
+		duration = flag.Duration("duration", 20*time.Millisecond, "measured virtual time")
+		warmup   = flag.Duration("warmup", 4*time.Millisecond, "virtual warmup excluded from measurement")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		quick    = flag.Bool("quick", false, "use CI-scale table sizes")
+	)
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, id := range crest.ExperimentIDs() {
+			fmt.Println(id)
+		}
+	case *expID != "":
+		ids := []string{*expID}
+		if *expID == "all" {
+			ids = crest.ExperimentIDs()
+		}
+		quickProfile := *profile == "quick"
+		if !quickProfile && *profile != "full" {
+			fatalf("unknown profile %q (quick or full)", *profile)
+		}
+		for _, id := range ids {
+			start := time.Now()
+			tables, err := crest.RunExperiment(id, quickProfile)
+			if err != nil {
+				fatalf("%s: %v", id, err)
+			}
+			for _, tab := range tables {
+				fmt.Println(tab.Format())
+			}
+			fmt.Fprintf(os.Stderr, "[%s: %s profile, %v wall time]\n\n", id, *profile, time.Since(start).Round(time.Millisecond))
+		}
+	case *runOne:
+		res, err := crest.RunBenchmark(crest.BenchmarkConfig{
+			System:              crest.System(strings.ToLower(*system)),
+			Workload:            strings.ToLower(*workload),
+			Warehouses:          *wh,
+			Theta:               *theta,
+			WriteRatio:          *writes,
+			RecordsPerTx:        *perTxn,
+			CoordinatorsPerNode: *coords / 3,
+			Duration:            *duration,
+			Warmup:              *warmup,
+			Seed:                *seed,
+			Quick:               *quick,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(res)
+		fmt.Printf("  committed=%d aborted=%d false-abort=%.1f%%\n", res.Committed, res.Aborted, 100*res.FalseAbortRate)
+		fmt.Printf("  latency µs: avg=%.1f p50=%.1f p99=%.1f p999=%.1f\n",
+			res.AvgLatencyUs, res.P50LatencyUs, res.P99LatencyUs, res.P999LatencyUs)
+		fmt.Printf("  phases µs: exec=%.1f validate=%.1f commit=%.1f\n", res.ExecUs, res.ValidateUs, res.CommitUs)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crestbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,141 @@
+// Command crestinspect prints the on-memory-node layout of a schema
+// under each system (CREST's cell-slotted record, FORD's single
+// version, Motor's consecutive version table) and the Table-1-style
+// space accounting, for exploring how column shapes drive metadata
+// overhead.
+//
+//	crestinspect -cells 8,30,100
+//	crestinspect -workload tpcc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"crest/internal/layout"
+	"crest/internal/workload"
+	"crest/internal/workload/smallbank"
+	"crest/internal/workload/tpcc"
+	"crest/internal/workload/ycsb"
+)
+
+func main() {
+	cells := flag.String("cells", "", "comma-separated cell sizes of an ad-hoc schema, e.g. 8,30,100")
+	wl := flag.String("workload", "", "inspect every table of a workload: tpcc, smallbank or ycsb")
+	written := flag.String("written", "", "comma-separated indices of written cells: shows §4.4 access-pattern grouping (with -cells)")
+	flag.Parse()
+
+	switch {
+	case *cells != "":
+		sizes, err := parseCells(*cells)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		s := layout.Schema{ID: 1, Name: "adhoc", CellSizes: sizes}
+		inspect(s)
+		if *written != "" {
+			showGrouping(s, *written)
+		}
+	case *wl != "":
+		defs, err := workloadTables(*wl)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, def := range defs {
+			inspect(def.Schema)
+			fmt.Println()
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func parseCells(s string) ([]int, error) {
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad cell size %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
+}
+
+func workloadTables(name string) ([]workload.TableDef, error) {
+	switch name {
+	case "tpcc":
+		return tpcc.New(tpcc.DefaultConfig()).Tables(), nil
+	case "smallbank":
+		return smallbank.New(smallbank.DefaultConfig()).Tables(), nil
+	case "ycsb":
+		return ycsb.New(ycsb.DefaultConfig()).Tables(), nil
+	}
+	return nil, fmt.Errorf("unknown workload %q", name)
+}
+
+func inspect(s layout.Schema) {
+	s = s.Normalize()
+	fmt.Printf("table %q: %d cells, %d data bytes\n", s.Name, s.NumCells(), s.DataBytes())
+
+	rec := layout.NewRecord(s)
+	fmt.Printf("  CREST record: %d bytes\n", rec.Size())
+	fmt.Printf("    header      @0    (%d bytes: key, table id, lock bitmap, %d-entry EN array)\n",
+		layout.HeaderSize, layout.MaxENCells)
+	for c := 0; c < rec.NumCells(); c++ {
+		fmt.Printf("    cell %-2d     @%-4d (8-byte version + %d-byte value, slot %d)\n",
+			c, rec.CellOff(c), rec.CellSize(c), rec.CellSlotSize(c))
+	}
+
+	ford := layout.NewFORDRecord(s)
+	fmt.Printf("  FORD record: %d bytes (%d padded) — header %d, values back to back\n",
+		ford.Size(), ford.PaddedSize(), layout.BaselineHeaderSize)
+
+	motor := layout.NewMotorRecord(s)
+	fmt.Printf("  Motor record: %d bytes (%d padded) — header %d, %d version slots × (%d meta + %d data)\n",
+		motor.Size(), motor.PaddedSize(), layout.BaselineHeaderSize,
+		layout.MotorSlots, layout.MotorSlotMetaSize, s.DataBytes())
+
+	fmt.Printf("  space overhead (meta/data):")
+	for _, sys := range []layout.System{layout.SysFORD, layout.SysMotor, layout.SysCREST} {
+		raw := layout.Space(sys, s, false)
+		pad := layout.Space(sys, s, true)
+		fmt.Printf("  %s %.1f%% (%.1f%% padded)", sys, raw.OverheadPct(), pad.OverheadPct())
+	}
+	fmt.Println()
+}
+
+// showGrouping prints the §4.4 access-pattern consolidation: written
+// cells stay individual, read-only cells merge, and the space model
+// reports the saving.
+func showGrouping(s layout.Schema, writtenSpec string) {
+	var written []int
+	for _, part := range strings.Split(writtenSpec, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			fatalf("bad written cell %q", part)
+		}
+		written = append(written, n)
+	}
+	g, err := layout.GroupByAccess(s, written)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	fmt.Printf("\ngrouped by access pattern (written cells %v stay individual):\n", written)
+	for gi := 0; gi < g.Grouped().NumCells(); gi++ {
+		fmt.Printf("  grouped cell %d ← original cells %v (%d bytes)\n",
+			gi, g.Members(gi), g.Grouped().CellSizes[gi])
+	}
+	before := layout.Space(layout.SysCREST, s, true)
+	after := layout.Space(layout.SysCREST, g.Grouped(), true)
+	fmt.Printf("  CREST padded overhead: %.1f%% → %.1f%%\n", before.OverheadPct(), after.OverheadPct())
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crestinspect: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,411 @@
+// Package crest is a Go implementation of CREST, the disaggregated
+// transaction system from "CREST: High-Performance Contention
+// Resolution for Disaggregated Transactions" (ASPLOS 2026), together
+// with the FORD and Motor baselines the paper evaluates against.
+//
+// The memory pool, compute nodes and RDMA fabric run inside a
+// deterministic discrete-event simulation (the paper's testbed needs
+// ConnectX-5 InfiniBand hardware; DESIGN.md explains the
+// substitution), so a Cluster behaves like a five-machine deployment
+// while running in a single process with reproducible, virtual-time
+// results.
+//
+// Quick start:
+//
+//	cluster, _ := crest.NewCluster(crest.Config{})
+//	cluster.CreateTable(crest.TableSpec{
+//		ID: 1, Name: "accounts", CellSizes: []int{8, 8}, Capacity: 1024,
+//	})
+//	cluster.Load(1, 42, [][]byte{crest.U64(100, 8), crest.U64(0, 8)})
+//	cluster.Finalize()
+//
+//	txn := crest.NewTxn("deposit")
+//	txn.AddBlock(crest.Op{
+//		Table: 1, Key: 42, ReadCells: []int{0}, WriteCells: []int{0},
+//		Hook: func(_ any, read [][]byte) [][]byte {
+//			return [][]byte{crest.PutU64(read[0], crest.GetU64(read[0])+10)}
+//		},
+//	})
+//	res, _ := cluster.Execute(txn)
+//
+// Package-level workload and experiment runners regenerate every table
+// and figure of the paper's evaluation; see RunExperiment and
+// cmd/crestbench.
+package crest
+
+import (
+	"fmt"
+	"time"
+
+	"crest/internal/bench"
+	"crest/internal/core"
+	"crest/internal/engine"
+	"crest/internal/ford"
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/motor"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+	"crest/internal/workload"
+)
+
+// TableID identifies a table.
+type TableID = layout.TableID
+
+// Key is a record's primary key.
+type Key = layout.Key
+
+// System selects the transaction system a cluster runs.
+type System string
+
+// The five system configurations of the paper's evaluation.
+const (
+	SystemCREST     System = "crest"
+	SystemCRESTCell System = "crest-cell" // factor analysis: +cell-level CC only
+	SystemCRESTBase System = "crest-base" // factor analysis: record-level, strict
+	SystemFORD      System = "ford"
+	SystemMotor     System = "motor"
+)
+
+// Config describes a cluster. The zero value gives the paper's testbed
+// shape running full CREST: two memory nodes, three compute nodes,
+// f=1 primary-backup replication, a 2µs-RTT 100Gbps fabric.
+type Config struct {
+	System              System
+	MemoryNodes         int
+	ComputeNodes        int
+	CoordinatorsPerNode int
+	Replicas            int           // f backup copies per record (0 ≤ f < MemoryNodes)
+	Seed                int64         // deterministic virtual-time seed
+	RTT                 time.Duration // fabric round-trip (default 2µs)
+	PoolBytes           int           // per-node region size (default sized from tables)
+}
+
+func (c Config) withDefaults() Config {
+	if c.System == "" {
+		c.System = SystemCREST
+	}
+	if c.MemoryNodes == 0 {
+		c.MemoryNodes = 2
+	}
+	if c.ComputeNodes == 0 {
+		c.ComputeNodes = 3
+	}
+	if c.CoordinatorsPerNode == 0 {
+		c.CoordinatorsPerNode = 4
+	}
+	if c.Replicas == 0 && c.MemoryNodes > 1 {
+		c.Replicas = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// TableSpec declares a table: one size per cell (column), and the
+// maximum number of records.
+type TableSpec struct {
+	ID        TableID
+	Name      string
+	CellSizes []int
+	Capacity  int
+}
+
+// Cluster is a simulated disaggregated deployment: a memory pool, the
+// chosen transaction system, and compute nodes with coordinators.
+type Cluster struct {
+	cfg       Config
+	env       *sim.Env
+	fabric    *rdma.Fabric
+	pool      *memnode.Pool
+	db        *engine.DB
+	sys       bench.System
+	crestSys  *core.System // non-nil when System is a CREST variant
+	specs     []TableSpec
+	finalized bool
+	coords    []engine.Coordinator
+	next      int
+}
+
+// NewCluster builds a cluster. Tables must be created and loaded
+// before Finalize; transactions run after.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Replicas < 0 || cfg.Replicas >= cfg.MemoryNodes {
+		return nil, fmt.Errorf("crest: %d replicas needs more than %d memory nodes", cfg.Replicas, cfg.MemoryNodes)
+	}
+	c := &Cluster{cfg: cfg, env: sim.NewEnv(cfg.Seed)}
+	params := rdma.DefaultParams()
+	if cfg.RTT > 0 {
+		params.RTT = sim.Duration(cfg.RTT)
+	}
+	c.fabric = rdma.NewFabric(c.env, params)
+	return c, nil
+}
+
+// CreateTable declares a table. All tables must be created before the
+// first Load.
+func (c *Cluster) CreateTable(spec TableSpec) error {
+	if c.pool != nil {
+		return fmt.Errorf("crest: CreateTable after loading began")
+	}
+	s := layout.Schema{ID: spec.ID, Name: spec.Name, CellSizes: spec.CellSizes}
+	if err := s.Normalize().Validate(); err != nil {
+		return err
+	}
+	if spec.Capacity <= 0 {
+		return fmt.Errorf("crest: table %q needs a positive capacity", spec.Name)
+	}
+	c.specs = append(c.specs, spec)
+	return nil
+}
+
+// ensureSystem materializes the pool and system once tables are known.
+func (c *Cluster) ensureSystem() error {
+	if c.pool != nil {
+		return nil
+	}
+	if len(c.specs) == 0 {
+		return fmt.Errorf("crest: no tables created")
+	}
+	defs := make([]workload.TableDef, 0, len(c.specs))
+	for _, spec := range c.specs {
+		defs = append(defs, workload.TableDef{
+			Schema:   layout.Schema{ID: spec.ID, Name: spec.Name, CellSizes: spec.CellSizes},
+			Capacity: spec.Capacity,
+		})
+	}
+	size := c.cfg.PoolBytes
+	if size == 0 {
+		size = bench.PoolBytes(defs, c.cfg.ComputeNodes*c.cfg.CoordinatorsPerNode)
+	}
+	c.pool = memnode.NewPool(c.fabric, c.cfg.MemoryNodes, size, c.cfg.Replicas)
+	c.db = engine.NewDB(c.pool)
+	sys, err := bench.NewSystem(bench.SystemKind(c.cfg.System), c.db)
+	if err != nil {
+		return err
+	}
+	c.sys = sys
+	if cs, ok := bench.CRESTSystem(sys); ok {
+		c.crestSys = cs
+	}
+	for _, def := range defs {
+		c.sys.CreateTable(def.Schema, def.Capacity)
+	}
+	return nil
+}
+
+// Load writes a record's initial cell values (the pre-measurement bulk
+// load). Must precede Finalize.
+func (c *Cluster) Load(table TableID, key Key, cells [][]byte) error {
+	if c.finalized {
+		return fmt.Errorf("crest: Load after Finalize")
+	}
+	if err := c.ensureSystem(); err != nil {
+		return err
+	}
+	c.sys.Load(table, key, cells)
+	return nil
+}
+
+// Finalize publishes the indexes and starts the compute nodes. No
+// loads are accepted afterwards.
+func (c *Cluster) Finalize() error {
+	if c.finalized {
+		return fmt.Errorf("crest: already finalized")
+	}
+	if err := c.ensureSystem(); err != nil {
+		return err
+	}
+	if err := c.sys.FinishLoad(); err != nil {
+		return err
+	}
+	for cn := 0; cn < c.cfg.ComputeNodes; cn++ {
+		node := c.sys.NewComputeNode(cn)
+		node.WarmCache()
+		for i := 0; i < c.cfg.CoordinatorsPerNode; i++ {
+			c.coords = append(c.coords, node.NewCoordinator(cn*c.cfg.CoordinatorsPerNode+i))
+		}
+	}
+	c.finalized = true
+	return nil
+}
+
+// Result reports one transaction's outcome. Committed is false when
+// the transaction kept aborting for maxAttempts tries — for example
+// when it touches a logically deleted row.
+type Result struct {
+	Committed bool
+	Attempts  int
+	// Latency is the virtual time from first attempt to commit.
+	Latency time.Duration
+}
+
+// maxAttempts bounds the public Execute retry loop.
+const maxAttempts = 256
+
+// Execute runs one transaction to commit on the next coordinator
+// (round-robin), retrying aborted attempts with backoff. It drives the
+// simulation until the transaction completes.
+func (c *Cluster) Execute(txn *Txn) (Result, error) {
+	results, err := c.ExecuteAll(txn)
+	if err != nil {
+		return Result{}, err
+	}
+	return results[0], nil
+}
+
+// ExecuteAll runs the given transactions concurrently, one per
+// coordinator (round-robin), and waits for all of them.
+func (c *Cluster) ExecuteAll(txns ...*Txn) ([]Result, error) {
+	if !c.finalized {
+		return nil, fmt.Errorf("crest: Finalize before executing transactions")
+	}
+	results := make([]Result, len(txns))
+	retry := engine.DefaultRetryPolicy()
+	for i, txn := range txns {
+		i, txn := i, txn
+		coord := c.coords[c.next]
+		c.next = (c.next + 1) % len(c.coords)
+		c.env.Spawn(fmt.Sprintf("txn-%s-%d", txn.label, i), func(p *sim.Proc) {
+			start := p.Now()
+			for attempt := 1; attempt <= maxAttempts; attempt++ {
+				a := coord.Execute(p, txn.build())
+				results[i].Attempts = attempt
+				if a.Committed {
+					results[i].Committed = true
+					results[i].Latency = time.Duration(p.Now().Sub(start))
+					return
+				}
+				p.Sleep(retry.Backoff(attempt, p.Rand()))
+			}
+		})
+	}
+	if err := c.env.Run(); err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// ReadRow reads the given cells of one record in a read-only
+// transaction and returns their values.
+func (c *Cluster) ReadRow(table TableID, key Key, cells ...int) ([][]byte, error) {
+	var out [][]byte
+	txn := NewTxn("read-row")
+	txn.AddBlock(Op{
+		Table: table, Key: key, ReadCells: cells,
+		Hook: func(_ any, read [][]byte) [][]byte {
+			out = append([][]byte(nil), read...)
+			return nil
+		},
+	})
+	res, err := c.Execute(txn)
+	if err != nil {
+		return nil, err
+	}
+	if !res.Committed {
+		return nil, fmt.Errorf("crest: read-row did not commit")
+	}
+	return out, nil
+}
+
+// InsertRow inserts a whole new row at runtime (§4.4 of the paper:
+// all cell locks are claimed with one masked-CAS while the row is
+// written and published in the index). CREST-variant clusters only.
+func (c *Cluster) InsertRow(table TableID, key Key, cells [][]byte) error {
+	return c.rowOp("insert-row", func(p *sim.Proc, coord *core.Coordinator) error {
+		return coord.InsertRow(p, table, key, cells)
+	})
+}
+
+// DeleteRow logically deletes a row: the spare delete bit in the lock
+// word goes up and the index entry is tombstoned; later readers abort
+// instead of observing the ghost. CREST-variant clusters only.
+func (c *Cluster) DeleteRow(table TableID, key Key) error {
+	return c.rowOp("delete-row", func(p *sim.Proc, coord *core.Coordinator) error {
+		return coord.DeleteRow(p, table, key)
+	})
+}
+
+func (c *Cluster) rowOp(name string, fn func(*sim.Proc, *core.Coordinator) error) error {
+	if !c.finalized {
+		return fmt.Errorf("crest: Finalize before row operations")
+	}
+	coord, ok := c.coords[c.next].(*core.Coordinator)
+	if !ok {
+		return fmt.Errorf("crest: row operations require a CREST-variant cluster, not %q", c.cfg.System)
+	}
+	c.next = (c.next + 1) % len(c.coords)
+	var opErr error
+	c.env.Spawn(name, func(p *sim.Proc) { opErr = fn(p, coord) })
+	if err := c.env.Run(); err != nil {
+		return err
+	}
+	return opErr
+}
+
+// RecoveryReport mirrors the core recovery summary.
+type RecoveryReport = core.RecoveryReport
+
+// Recover runs crash recovery (§6 of the paper: dependency-tracking
+// redo logs are scanned, the committed closure is rolled forward, and
+// stale locks are cleared). Only CREST-variant clusters support it.
+func (c *Cluster) Recover() (RecoveryReport, error) {
+	if c.crestSys == nil {
+		return RecoveryReport{}, fmt.Errorf("crest: recovery requires a CREST-variant cluster, not %q", c.cfg.System)
+	}
+	return c.crestSys.Recover()
+}
+
+// ResyncMemoryNode rebuilds a restored memory node's records and
+// indexes from the surviving replicas (run after RestoreMemoryNode
+// and Recover). CREST-variant clusters only.
+func (c *Cluster) ResyncMemoryNode(id int) (records int, err error) {
+	if c.crestSys == nil {
+		return 0, fmt.Errorf("crest: resync requires a CREST-variant cluster, not %q", c.cfg.System)
+	}
+	return c.crestSys.Resync(id)
+}
+
+// FailMemoryNode marks a memory node crashed: verbs against it fail
+// until RestoreMemoryNode. For fault-tolerance demonstrations.
+func (c *Cluster) FailMemoryNode(id int) error {
+	if c.pool == nil || id < 0 || id >= c.pool.NumNodes() {
+		return fmt.Errorf("crest: no memory node %d", id)
+	}
+	c.pool.Nodes()[id].Region.Fail()
+	return nil
+}
+
+// RestoreMemoryNode clears a crash mark.
+func (c *Cluster) RestoreMemoryNode(id int) error {
+	if c.pool == nil || id < 0 || id >= c.pool.NumNodes() {
+		return fmt.Errorf("crest: no memory node %d", id)
+	}
+	c.pool.Nodes()[id].Region.Recover()
+	return nil
+}
+
+// Coordinators reports the number of coordinators available.
+func (c *Cluster) Coordinators() int { return len(c.coords) }
+
+// Now returns the cluster's current virtual time.
+func (c *Cluster) Now() time.Duration { return time.Duration(c.env.Now()) }
+
+// Cell value helpers re-exported for building workloads.
+
+// U64 encodes v into the first 8 bytes of an n-byte cell.
+func U64(v uint64, n int) []byte { return workload.U64(v, n) }
+
+// GetU64 decodes a cell's leading integer.
+func GetU64(b []byte) uint64 { return workload.GetU64(b) }
+
+// PutU64 returns a copy of the cell with its leading integer replaced.
+func PutU64(b []byte, v uint64) []byte { return workload.PutU64(b, v) }
+
+// Compile-time checks that the internal engines stay interchangeable.
+var (
+	_ = ford.New
+	_ = motor.New
+)

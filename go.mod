@@ -1,0 +1,3 @@
+module crest
+
+go 1.22

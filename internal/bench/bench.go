@@ -1,0 +1,282 @@
+// Package bench is the experiment harness: it assembles a simulated
+// cluster (memory pool + compute nodes + one of the five system
+// configurations), loads a workload, drives coordinators for a span of
+// virtual time, and aggregates the metrics the paper reports.
+//
+// Every table and figure of the paper's evaluation is a set of
+// bench.Run calls with different knobs; see the experiment definitions
+// in package benchdef (exp.go) and the per-experiment index in
+// DESIGN.md.
+package bench
+
+import (
+	"fmt"
+
+	"crest/internal/core"
+	"crest/internal/engine"
+	"crest/internal/ford"
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/motor"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+	"crest/internal/stats"
+	"crest/internal/workload"
+)
+
+// SystemKind selects which transaction system a run uses.
+type SystemKind string
+
+// The five system configurations the paper evaluates.
+const (
+	CREST     SystemKind = "crest"      // full CREST
+	CRESTCell SystemKind = "crest-cell" // factor analysis: +cell only
+	CRESTBase SystemKind = "crest-base" // factor analysis: Base
+	FORD      SystemKind = "ford"
+	Motor     SystemKind = "motor"
+)
+
+// Config describes one benchmark run.
+type Config struct {
+	System    SystemKind
+	Workload  func() workload.Generator // fresh generator per run
+	MemNodes  int
+	CompNodes int
+	// CoordsPerCN is the number of coordinators per compute node; the
+	// paper sweeps the total (CompNodes × CoordsPerCN) from 24 to 240.
+	CoordsPerCN int
+	Replicas    int // f backups per record
+	Seed        int64
+	// Duration is the measured window of virtual time. Coordinators
+	// run transactions back to back until it elapses, then drain.
+	Duration sim.Duration
+	// Warmup excludes the ramp-up from the measurements.
+	Warmup sim.Duration
+	// Params overrides the fabric latency model (zero value = default).
+	Params rdma.Params
+	// CheckHistory turns on the serializability checker (slows the
+	// run; used by tests, not benchmarks).
+	CheckHistory bool
+}
+
+// WithDefaults fills unset fields with the evaluation defaults: two
+// memory nodes, three compute nodes (the paper's testbed shape), f=1
+// replication, 20 ms measured after 2 ms warmup.
+func (c Config) WithDefaults() Config {
+	if c.System == "" {
+		c.System = CREST
+	}
+	if c.MemNodes == 0 {
+		c.MemNodes = 2
+	}
+	if c.CompNodes == 0 {
+		c.CompNodes = 3
+	}
+	if c.CoordsPerCN == 0 {
+		c.CoordsPerCN = 80
+	}
+	if c.Duration == 0 {
+		c.Duration = 20 * sim.Millisecond
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2 * sim.Millisecond
+	}
+	if c.Params.RTT == 0 {
+		c.Params = rdma.DefaultParams()
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Result is one run's aggregated outcome.
+type Result struct {
+	*stats.Run
+	System       SystemKind
+	Workload     string
+	Coordinators int
+	HistoryErr   error
+	// History is the recorded cell-level history when CheckHistory
+	// was set (diagnostics).
+	History *engine.History
+}
+
+// System is the engine-facing surface the three implementations share.
+// (Each package returns concrete compute-node types; these adapters
+// unify them.)
+type System interface {
+	Name() string
+	CreateTable(layout.Schema, int)
+	Load(layout.TableID, layout.Key, [][]byte)
+	FinishLoad() error
+	NewComputeNode(id int) ComputeNode
+}
+
+// ComputeNode creates coordinators.
+type ComputeNode interface {
+	WarmCache()
+	NewCoordinator(id int) engine.Coordinator
+}
+
+type crestSys struct{ *core.System }
+
+func (s crestSys) NewComputeNode(id int) ComputeNode { return crestCN{s.System.NewComputeNode(id)} }
+
+type crestCN struct{ *core.ComputeNode }
+
+func (c crestCN) NewCoordinator(id int) engine.Coordinator { return c.ComputeNode.NewCoordinator(id) }
+
+type fordSys struct{ *ford.System }
+
+func (s fordSys) NewComputeNode(id int) ComputeNode { return fordCN{s.System.NewComputeNode(id)} }
+
+type fordCN struct{ *ford.ComputeNode }
+
+func (c fordCN) NewCoordinator(id int) engine.Coordinator { return c.ComputeNode.NewCoordinator(id) }
+
+type motorSys struct{ *motor.System }
+
+func (s motorSys) NewComputeNode(id int) ComputeNode { return motorCN{s.System.NewComputeNode(id)} }
+
+type motorCN struct{ *motor.ComputeNode }
+
+func (c motorCN) NewCoordinator(id int) engine.Coordinator { return c.ComputeNode.NewCoordinator(id) }
+
+// NewSystem builds the configured system over db.
+func NewSystem(kind SystemKind, db *engine.DB) (System, error) {
+	switch kind {
+	case CREST:
+		return crestSys{core.New(db, core.DefaultOptions())}, nil
+	case CRESTCell:
+		return crestSys{core.New(db, core.CellOptions())}, nil
+	case CRESTBase:
+		return crestSys{core.New(db, core.BaseOptions())}, nil
+	case FORD:
+		return fordSys{ford.New(db)}, nil
+	case Motor:
+		return motorSys{motor.New(db)}, nil
+	}
+	return nil, fmt.Errorf("bench: unknown system %q", kind)
+}
+
+// PoolBytes estimates the per-node region size a workload needs under
+// the largest layout (Motor's multi-versioned records), plus index,
+// log and slack space.
+func PoolBytes(defs []workload.TableDef, coordinators int) int {
+	total := 0
+	for _, def := range defs {
+		s := def.Schema.Normalize()
+		m := layout.NewMotorRecord(s).PaddedSize()
+		if c := layout.NewRecord(s).Size(); c > m {
+			m = c
+		}
+		total += def.Capacity * m
+		total += def.Capacity * 48 // hash index entries with slack
+	}
+	total += coordinators * (80 << 10) // log segments
+	total += 4 << 20                   // allocator slack
+	return total
+}
+
+// Run executes one benchmark configuration and returns its metrics.
+func Run(cfg Config) (Result, error) {
+	cfg = cfg.WithDefaults()
+	gen := cfg.Workload()
+	defs := gen.Tables()
+
+	env := sim.NewEnv(cfg.Seed)
+	fabric := rdma.NewFabric(env, cfg.Params)
+	pool := memnode.NewPool(fabric, cfg.MemNodes, PoolBytes(defs, cfg.CompNodes*cfg.CoordsPerCN), cfg.Replicas)
+	db := engine.NewDB(pool)
+	if cfg.CheckHistory {
+		db.History = engine.NewHistory()
+	}
+	sys, err := NewSystem(cfg.System, db)
+	if err != nil {
+		return Result{}, err
+	}
+	for _, def := range defs {
+		sys.CreateTable(def.Schema, def.Capacity)
+	}
+	gen.Load(sys.Load)
+	if err := sys.FinishLoad(); err != nil {
+		return Result{}, err
+	}
+
+	res := Result{
+		Run:          stats.NewRun(),
+		System:       cfg.System,
+		Workload:     gen.Name(),
+		Coordinators: cfg.CompNodes * cfg.CoordsPerCN,
+	}
+	retry := engine.DefaultRetryPolicy()
+	stop := false
+	verbs0 := fabric.Stats()
+
+	for cn := 0; cn < cfg.CompNodes; cn++ {
+		node := sys.NewComputeNode(cn)
+		node.WarmCache()
+		for i := 0; i < cfg.CoordsPerCN; i++ {
+			coord := node.NewCoordinator(cn*cfg.CoordsPerCN + i)
+			env.Spawn(fmt.Sprintf("cn%d/coord%d", cn, i), func(p *sim.Proc) {
+				for !stop {
+					txn := gen.Next(p.Rand())
+					start := p.Now()
+					measured := start >= sim.Time(cfg.Warmup)
+					attempt := 0
+					for {
+						a := coord.Execute(p, txn)
+						if measured {
+							res.RecordAttempt(a)
+						}
+						if a.Committed {
+							break
+						}
+						if stop {
+							// Draining: give up on this transaction.
+							return
+						}
+						if a.Reason == engine.AbortWait {
+							// A release window is in progress; come
+							// back shortly without escalating.
+							p.Sleep(2*sim.Microsecond + sim.Duration(p.Rand().Int63n(int64(4*sim.Microsecond))))
+							continue
+						}
+						attempt++
+						p.Sleep(retry.Backoff(attempt, p.Rand()))
+					}
+					if measured {
+						res.RecordCommit(p.Now().Sub(start))
+					}
+				}
+			})
+		}
+	}
+
+	deadline := sim.Time(cfg.Duration)
+	if err := env.RunUntil(deadline); err != nil {
+		return res, err
+	}
+	stop = true
+	if err := env.Run(); err != nil { // drain in-flight transactions
+		return res, err
+	}
+	res.Elapsed = cfg.Duration - cfg.Warmup
+	res.Verbs = fabric.Stats().Sub(verbs0)
+	if cfg.CheckHistory {
+		res.HistoryErr = db.History.Check()
+		res.History = db.History
+	}
+	return res, nil
+}
+
+// CRESTSystem unwraps a System adapter into the concrete CREST engine
+// when the run uses a CREST variant (for recovery and diagnostics).
+func CRESTSystem(s System) (*core.System, bool) {
+	cs, ok := s.(crestSys)
+	if !ok {
+		return nil, false
+	}
+	return cs.System, true
+}

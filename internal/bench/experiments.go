@@ -1,0 +1,631 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/sim"
+	"crest/internal/workload"
+	"crest/internal/workload/smallbank"
+	"crest/internal/workload/tpcc"
+	"crest/internal/workload/ycsb"
+)
+
+// Profile scales every experiment: Quick finishes a full sweep in
+// minutes for CI; Full approaches the paper's configuration (three
+// compute nodes, up to 240 coordinators, larger tables, longer
+// measured windows) and is what EXPERIMENTS.md records.
+type Profile struct {
+	Name        string
+	Duration    sim.Duration
+	Warmup      sim.Duration
+	CoordSweep  []int // total coordinators across compute nodes
+	MaxCoords   int   // the "240 coordinators" point
+	YCSBRecords int
+	SBAccounts  int
+	TPCCScale   tpcc.Config // warehouse count overridden per experiment
+	Replicas    int
+	Seed        int64
+}
+
+// Quick is the CI-sized profile.
+func Quick() Profile {
+	return Profile{
+		Name:        "quick",
+		Duration:    5 * sim.Millisecond,
+		Warmup:      1 * sim.Millisecond,
+		CoordSweep:  []int{24, 72, 120},
+		MaxCoords:   120,
+		YCSBRecords: 20_000,
+		SBAccounts:  20_000,
+		TPCCScale: tpcc.Config{
+			Districts:            10,
+			CustomersPerDistrict: 16,
+			Items:                256,
+			OrdersPerDistrict:    32,
+			MaxOrderLines:        10,
+			HistoryCap:           1 << 13,
+		},
+		Replicas: 1,
+		Seed:     1,
+	}
+}
+
+// Full approaches the paper's setup.
+func Full() Profile {
+	return Profile{
+		Name:        "full",
+		Duration:    10 * sim.Millisecond,
+		Warmup:      2 * sim.Millisecond,
+		CoordSweep:  []int{24, 72, 144, 240},
+		MaxCoords:   240,
+		YCSBRecords: 1_000_000, // the paper's table size
+
+		SBAccounts: 100_000,
+		TPCCScale: tpcc.Config{
+			Districts:            10,
+			CustomersPerDistrict: 48,
+			Items:                1000,
+			OrdersPerDistrict:    64,
+			MaxOrderLines:        10,
+			HistoryCap:           1 << 15,
+		},
+		Replicas: 1,
+		Seed:     1,
+	}
+}
+
+// TPCC builds a TPC-C generator factory at the given warehouse count.
+func (p Profile) TPCC(warehouses int) func() workload.Generator {
+	cfg := p.TPCCScale
+	cfg.Warehouses = warehouses
+	return func() workload.Generator { return tpcc.New(cfg) }
+}
+
+// SmallBank builds a SmallBank generator factory.
+func (p Profile) SmallBank(theta float64) func() workload.Generator {
+	return func() workload.Generator {
+		return smallbank.New(smallbank.Config{Accounts: p.SBAccounts, Theta: theta})
+	}
+}
+
+// YCSB builds a YCSB generator factory.
+func (p Profile) YCSB(theta, writeRatio float64, n int) func() workload.Generator {
+	return func() workload.Generator {
+		cfg := ycsb.DefaultConfig()
+		cfg.Records = p.YCSBRecords
+		cfg.Theta = theta
+		cfg.WriteRatio = writeRatio
+		cfg.N = n
+		return ycsb.New(cfg)
+	}
+}
+
+// config assembles a run configuration at a given total coordinator
+// count (spread over three compute nodes, as in the paper).
+func (p Profile) config(system SystemKind, wl func() workload.Generator, totalCoords int) Config {
+	cns := 3
+	return Config{
+		System:      system,
+		Workload:    wl,
+		MemNodes:    2,
+		CompNodes:   cns,
+		CoordsPerCN: totalCoords / cns,
+		Replicas:    p.Replicas,
+		Seed:        p.Seed,
+		Duration:    p.Duration,
+		Warmup:      p.Warmup,
+	}
+}
+
+// Table is one regenerated artifact (a paper table or figure series).
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// Format renders the table as aligned text.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f1(v float64) string  { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string  { return fmt.Sprintf("%.2f", v) }
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// systems under comparison in the main experiments.
+var mainSystems = []SystemKind{CREST, FORD, Motor}
+
+// Fig2 reproduces the motivating experiment: FORD and Motor throughput
+// versus contention level (§2.3).
+func Fig2(p Profile) ([]Table, error) {
+	warehouseSweep := []int{80, 60, 40, 20}
+	thetaSweep := []float64{0.1, 0.5, 0.9, 0.99, 1.22}
+	tpccTab := Table{ID: "fig2a", Title: "FORD/Motor throughput (KOPS) vs TPC-C warehouses",
+		Header: []string{"warehouses", "FORD", "Motor"}}
+	for _, wh := range warehouseSweep {
+		row := []string{fmt.Sprint(wh)}
+		for _, system := range []SystemKind{FORD, Motor} {
+			res, err := Run(p.config(system, p.TPCC(wh), p.MaxCoords/2*2))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(res.ThroughputKOPS()))
+		}
+		tpccTab.Rows = append(tpccTab.Rows, row)
+	}
+	sbTab := Table{ID: "fig2b", Title: "FORD/Motor throughput (KOPS) vs SmallBank skew",
+		Header: []string{"theta", "FORD", "Motor"}}
+	for _, theta := range thetaSweep {
+		row := []string{f2(theta)}
+		for _, system := range []SystemKind{FORD, Motor} {
+			res, err := Run(p.config(system, p.SmallBank(theta), p.MaxCoords/2*2))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(res.ThroughputKOPS()))
+		}
+		sbTab.Rows = append(sbTab.Rows, row)
+	}
+	return []Table{tpccTab, sbTab}, nil
+}
+
+// Fig3 reproduces the abort-rate analysis: total abort rate and the
+// fraction caused by false conflicts, under TPC-C.
+func Fig3(p Profile) ([]Table, error) {
+	tab := Table{ID: "fig3", Title: "Abort rate and false-abort rate vs TPC-C warehouses",
+		Header: []string{"warehouses", "FORD abort", "FORD false", "Motor abort", "Motor false"}}
+	for _, wh := range []int{80, 60, 40, 20} {
+		row := []string{fmt.Sprint(wh)}
+		for _, system := range []SystemKind{FORD, Motor} {
+			res, err := Run(p.config(system, p.TPCC(wh), p.MaxCoords))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(res.AbortRate()), pct(res.FalseAbortRate()))
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	tab.Notes = append(tab.Notes,
+		"paper: at 20 warehouses FORD/Motor abort 75.9%/85.2%, false-abort 40.7%/44.1%")
+	return []Table{tab}, nil
+}
+
+// Fig4 reproduces Motor's latency breakdown under varying contention.
+func Fig4(p Profile) ([]Table, error) {
+	tpccTab := Table{ID: "fig4a", Title: "Motor latency breakdown (µs) vs TPC-C warehouses",
+		Header: []string{"warehouses", "execution", "validation", "commit"}}
+	for _, wh := range []int{80, 40, 20} {
+		res, err := Run(p.config(Motor, p.TPCC(wh), p.MaxCoords))
+		if err != nil {
+			return nil, err
+		}
+		tpccTab.Rows = append(tpccTab.Rows, []string{fmt.Sprint(wh),
+			f1(res.Phases.AvgExec()), f1(res.Phases.AvgValidate()), f1(res.Phases.AvgCommit())})
+	}
+	sbTab := Table{ID: "fig4b", Title: "Motor latency breakdown (µs) vs SmallBank skew",
+		Header: []string{"theta", "execution", "validation", "commit"}}
+	for _, theta := range []float64{0.1, 0.99, 1.22} {
+		res, err := Run(p.config(Motor, p.SmallBank(theta), p.MaxCoords))
+		if err != nil {
+			return nil, err
+		}
+		sbTab.Rows = append(sbTab.Rows, []string{f2(theta),
+			f1(res.Phases.AvgExec()), f1(res.Phases.AvgValidate()), f1(res.Phases.AvgCommit())})
+	}
+	return []Table{tpccTab, sbTab}, nil
+}
+
+// Table1 reproduces the space-overhead analysis from the workload
+// schemas, weighting each table by its record count.
+func Table1(p Profile) ([]Table, error) {
+	workloads := []struct {
+		name string
+		defs []workload.TableDef
+	}{
+		{"TPC-C", p.TPCC(40)().Tables()},
+		{"SmallBank", p.SmallBank(0.99)().Tables()},
+		{"YCSB", p.YCSB(0.99, 0.5, 4)().Tables()},
+	}
+	out := make([]Table, 0, 2)
+	for _, padded := range []bool{false, true} {
+		id, title := "table1a", "Space overhead in memory nodes (metadata only, no padding)"
+		if padded {
+			id, title = "table1b", "Space overhead in memory nodes (with cacheline padding)"
+		}
+		tab := Table{ID: id, Title: title,
+			Header: []string{"workload", "FORD", "Motor", "CREST"}}
+		for _, wl := range workloads {
+			row := []string{wl.name}
+			for _, sys := range []layout.System{layout.SysFORD, layout.SysMotor, layout.SysCREST} {
+				data, meta := 0, 0
+				for _, def := range wl.defs {
+					u := layout.Space(sys, def.Schema, padded)
+					data += u.Data * def.Capacity
+					meta += u.Meta * def.Capacity
+				}
+				row = append(row, pct(float64(meta)/float64(data)))
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		tab.Notes = append(tab.Notes,
+			"expected ordering (paper Table 1): FORD < CREST < Motor on multi-cell tables")
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// twoRecordGen is the Table 2 micro-workload: each transaction updates
+// one cell of one record and reads one cell of another.
+type twoRecordGen struct{}
+
+func (twoRecordGen) Name() string { return "two-record" }
+
+func (twoRecordGen) Tables() []workload.TableDef {
+	return []workload.TableDef{{
+		Schema:   layout.Schema{ID: 90, Name: "probe", CellSizes: []int{8, 8}},
+		Capacity: 4,
+	}}
+}
+
+func (twoRecordGen) Load(fn func(layout.TableID, layout.Key, [][]byte)) {
+	for k := 0; k < 4; k++ {
+		fn(90, layout.Key(k), [][]byte{workload.U64(0, 8), workload.U64(0, 8)})
+	}
+}
+
+func (twoRecordGen) Next(_ *rand.Rand) *engine.Txn {
+	return &engine.Txn{Label: "probe", Blocks: []engine.Block{{Ops: []engine.Op{
+		{
+			Table: 90, Key: 0, ReadCells: []int{0}, WriteCells: []int{0},
+			Hook: func(_ any, read [][]byte) [][]byte {
+				return [][]byte{workload.PutU64(read[0], workload.GetU64(read[0])+1)}
+			},
+		},
+		{
+			Table: 90, Key: 1, ReadCells: []int{1},
+			Hook: func(_ any, _ [][]byte) [][]byte { return nil },
+		},
+	}}}}
+}
+
+// Table2 reproduces the per-transaction verb profile: one uncontended
+// transaction (one read-write record + one read-only record) per
+// system.
+func Table2(p Profile) ([]Table, error) {
+	tab := Table{ID: "table2", Title: "RDMA verbs for one uncontended txn (1 RW + 1 RO record)",
+		Header: []string{"system", "READ", "WRITE", "CAS", "masked-CAS", "round-trips"}}
+	for _, system := range []SystemKind{FORD, Motor, CREST} {
+		cfg := p.config(system, func() workload.Generator { return twoRecordGen{} }, 3)
+		cfg.CoordsPerCN = 1
+		cfg.CompNodes = 1
+		verbs, err := oneTxnVerbs(cfg)
+		if err != nil {
+			return nil, err
+		}
+		tab.Rows = append(tab.Rows, []string{string(system),
+			fmt.Sprint(verbs.Reads), fmt.Sprint(verbs.Writes),
+			fmt.Sprint(verbs.CASes), fmt.Sprint(verbs.MaskedCASes), fmt.Sprint(verbs.RTTs)})
+	}
+	tab.Notes = append(tab.Notes,
+		"paper Table 2: FORD/Motor use CAS+READ / READ / WRITE+CAS; CREST masked-CAS+READ / READ / WRITE+masked-CAS",
+		"Motor reads whole version tables: same round-trips as FORD but larger payloads")
+	return []Table{tab}, nil
+}
+
+// Exp1 is Fig 11: throughput versus coordinator count.
+func Exp1(p Profile) ([]Table, error) {
+	return sweepCoords(p, "exp1", "Throughput (KOPS) vs coordinators",
+		func(res Result) string { return f1(res.ThroughputKOPS()) })
+}
+
+// Exp2 is Fig 12: average and median latency versus coordinator count.
+func Exp2(p Profile) ([]Table, error) {
+	avg, err := sweepCoords(p, "exp2-avg", "Average latency (µs) vs coordinators",
+		func(res Result) string { return f1(res.Lat.Avg()) })
+	if err != nil {
+		return nil, err
+	}
+	med, err := sweepCoords(p, "exp2-p50", "Median latency (µs) vs coordinators",
+		func(res Result) string { return f1(res.Lat.P50()) })
+	if err != nil {
+		return nil, err
+	}
+	return append(avg, med...), nil
+}
+
+// workloadsUnderTest are the three benchmark configurations of §8.3.
+func workloadsUnderTest(p Profile) []struct {
+	name string
+	gen  func() workload.Generator
+} {
+	return []struct {
+		name string
+		gen  func() workload.Generator
+	}{
+		{"tpcc", p.TPCC(40)},
+		{"smallbank", p.SmallBank(0.99)},
+		{"ycsb", p.YCSB(0.99, 0.5, 4)},
+	}
+}
+
+func sweepCoords(p Profile, id, title string, metric func(Result) string) ([]Table, error) {
+	var out []Table
+	for _, wl := range workloadsUnderTest(p) {
+		tab := Table{ID: id + "-" + wl.name, Title: title + " — " + wl.name,
+			Header: []string{"coordinators", "CREST", "FORD", "Motor"}}
+		for _, coords := range p.CoordSweep {
+			row := []string{fmt.Sprint(coords)}
+			for _, system := range mainSystems {
+				res, err := Run(p.config(system, wl.gen, coords))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, metric(res))
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// Exp3 is Fig 13: tail latencies at the maximum coordinator count.
+func Exp3(p Profile) ([]Table, error) {
+	var out []Table
+	for _, wl := range workloadsUnderTest(p) {
+		tab := Table{ID: "exp3-" + wl.name, Title: fmt.Sprintf("Tail latency (µs) at %d coordinators — %s", p.MaxCoords, wl.name),
+			Header: []string{"system", "P99", "P999"}}
+		for _, system := range mainSystems {
+			res, err := Run(p.config(system, wl.gen, p.MaxCoords))
+			if err != nil {
+				return nil, err
+			}
+			tab.Rows = append(tab.Rows, []string{string(system), f1(res.Lat.P99()), f1(res.Lat.P999())})
+		}
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// skewSettings reproduce §8.4's high/low skew pairs.
+func skewSettings(p Profile) []struct {
+	name string
+	gen  func() workload.Generator
+} {
+	return []struct {
+		name string
+		gen  func() workload.Generator
+	}{
+		{"tpcc-high (40wh)", p.TPCC(40)},
+		{"tpcc-low (100wh)", p.TPCC(100)},
+		{"smallbank-high (θ.99)", p.SmallBank(0.99)},
+		{"smallbank-low (θ.1)", p.SmallBank(0.1)},
+		{"ycsb-high (θ.99)", p.YCSB(0.99, 0.5, 4)},
+		{"ycsb-low (θ.1)", p.YCSB(0.1, 0.5, 4)},
+	}
+}
+
+// Exp4 is Fig 14: per-phase latency breakdown for all three systems
+// under high and low skew.
+func Exp4(p Profile) ([]Table, error) {
+	var out []Table
+	for _, setting := range skewSettings(p) {
+		tab := Table{ID: "exp4-" + strings.Fields(setting.name)[0], Title: "Latency breakdown (µs) — " + setting.name,
+			Header: []string{"system", "execution", "validation", "commit"}}
+		for _, system := range mainSystems {
+			res, err := Run(p.config(system, setting.gen, p.MaxCoords))
+			if err != nil {
+				return nil, err
+			}
+			tab.Rows = append(tab.Rows, []string{string(system),
+				f1(res.Phases.AvgExec()), f1(res.Phases.AvgValidate()), f1(res.Phases.AvgCommit())})
+		}
+		out = append(out, tab)
+	}
+	return dedupeTables(out), nil
+}
+
+func dedupeTables(in []Table) []Table {
+	seen := map[string]int{}
+	for i := range in {
+		seen[in[i].ID]++
+		if seen[in[i].ID] > 1 {
+			in[i].ID = fmt.Sprintf("%s-%d", in[i].ID, seen[in[i].ID])
+		}
+	}
+	return in
+}
+
+// Exp5 is Fig 15: factor analysis — Base, +cell-level CC, then full
+// CREST (localized execution + parallel commits), normalized to Base.
+func Exp5(p Profile) ([]Table, error) {
+	var out []Table
+	for _, setting := range skewSettings(p) {
+		tab := Table{ID: "exp5-" + strings.Fields(setting.name)[0], Title: "Factor analysis (normalized throughput) — " + setting.name,
+			Header: []string{"variant", "KOPS", "vs Base"}}
+		var base float64
+		for _, system := range []SystemKind{CRESTBase, CRESTCell, CREST} {
+			res, err := Run(p.config(system, setting.gen, p.MaxCoords))
+			if err != nil {
+				return nil, err
+			}
+			k := res.ThroughputKOPS()
+			if system == CRESTBase {
+				base = k
+			}
+			norm := "1.00"
+			if base > 0 {
+				norm = f2(k / base)
+			}
+			tab.Rows = append(tab.Rows, []string{string(system), f1(k), norm})
+		}
+		out = append(out, tab)
+	}
+	return dedupeTables(out), nil
+}
+
+// Exp6 is Fig 16: throughput versus skewness for all three systems.
+func Exp6(p Profile) ([]Table, error) {
+	tpccTab := Table{ID: "exp6-tpcc", Title: "Throughput (KOPS) vs TPC-C warehouses",
+		Header: []string{"warehouses", "CREST", "FORD", "Motor"}}
+	for _, wh := range []int{100, 80, 60, 40, 20} {
+		row := []string{fmt.Sprint(wh)}
+		for _, system := range mainSystems {
+			res, err := Run(p.config(system, p.TPCC(wh), p.MaxCoords))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, f1(res.ThroughputKOPS()))
+		}
+		tpccTab.Rows = append(tpccTab.Rows, row)
+	}
+	out := []Table{tpccTab}
+	for _, wl := range []struct {
+		name string
+		gen  func(theta float64) func() workload.Generator
+	}{
+		{"smallbank", p.SmallBank},
+		{"ycsb", func(theta float64) func() workload.Generator { return p.YCSB(theta, 0.5, 4) }},
+	} {
+		tab := Table{ID: "exp6-" + wl.name, Title: "Throughput (KOPS) vs Zipf theta — " + wl.name,
+			Header: []string{"theta", "CREST", "FORD", "Motor"}}
+		for _, theta := range []float64{0.1, 0.5, 0.9, 0.99, 1.11} {
+			row := []string{f2(theta)}
+			for _, system := range mainSystems {
+				res, err := Run(p.config(system, wl.gen(theta), p.MaxCoords))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f1(res.ThroughputKOPS()))
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// Exp7 is Fig 17: YCSB throughput and average latency versus the
+// number of records accessed per transaction.
+func Exp7(p Profile) ([]Table, error) {
+	var out []Table
+	for _, theta := range []float64{0.99, 0.1} {
+		tput := Table{ID: fmt.Sprintf("exp7-tput-θ%.2f", theta),
+			Title:  fmt.Sprintf("YCSB throughput (KOPS) vs records per txn (θ=%.2f)", theta),
+			Header: []string{"N", "CREST", "FORD", "Motor"}}
+		lat := Table{ID: fmt.Sprintf("exp7-lat-θ%.2f", theta),
+			Title:  fmt.Sprintf("YCSB average latency (µs) vs records per txn (θ=%.2f)", theta),
+			Header: []string{"N", "CREST", "FORD", "Motor"}}
+		for _, n := range []int{1, 2, 3, 4} {
+			trow := []string{fmt.Sprint(n)}
+			lrow := []string{fmt.Sprint(n)}
+			for _, system := range mainSystems {
+				res, err := Run(p.config(system, p.YCSB(theta, 0.5, n), p.MaxCoords))
+				if err != nil {
+					return nil, err
+				}
+				trow = append(trow, f1(res.ThroughputKOPS()))
+				lrow = append(lrow, f1(res.Lat.Avg()))
+			}
+			tput.Rows = append(tput.Rows, trow)
+			lat.Rows = append(lat.Rows, lrow)
+		}
+		out = append(out, tput, lat)
+	}
+	return out, nil
+}
+
+// Exp8 is Fig 18: YCSB throughput versus write ratio.
+func Exp8(p Profile) ([]Table, error) {
+	var out []Table
+	for _, theta := range []float64{0.99, 0.1} {
+		tab := Table{ID: fmt.Sprintf("exp8-θ%.2f", theta),
+			Title:  fmt.Sprintf("YCSB throughput (KOPS) vs write ratio (θ=%.2f)", theta),
+			Header: []string{"write%", "CREST", "FORD", "Motor"}}
+		for _, ratio := range []float64{1.0, 0.75, 0.5, 0.25, 0.0} {
+			row := []string{fmt.Sprintf("%.0f", 100*ratio)}
+			for _, system := range mainSystems {
+				res, err := Run(p.config(system, p.YCSB(theta, ratio, 4), p.MaxCoords))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, f1(res.ThroughputKOPS()))
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
+// Experiments is the registry mapping experiment ids to their
+// implementations, in the paper's order.
+var Experiments = map[string]func(Profile) ([]Table, error){
+	"fig2":   Fig2,
+	"fig3":   Fig3,
+	"fig4":   Fig4,
+	"table1": Table1,
+	"table2": Table2,
+	"exp1":   Exp1,
+	"exp2":   Exp2,
+	"exp3":   Exp3,
+	"exp4":   Exp4,
+	"exp5":   Exp5,
+	"exp6":   Exp6,
+	"exp7":   Exp7,
+	"exp8":   Exp8,
+}
+
+// ExperimentIDs lists the registry in canonical order.
+func ExperimentIDs() []string {
+	ids := make([]string, 0, len(Experiments))
+	for id := range Experiments {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return expOrder(ids[i]) < expOrder(ids[j]) })
+	return ids
+}
+
+func expOrder(id string) string {
+	order := map[string]string{
+		"fig2": "01", "fig3": "02", "fig4": "03",
+		"table1": "04", "table2": "05",
+		"exp1": "06", "exp2": "07", "exp3": "08", "exp4": "09",
+		"exp5": "10", "exp6": "11", "exp7": "12", "exp8": "13",
+	}
+	return order[id]
+}

@@ -1,0 +1,1021 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+)
+
+// Coordinator executes CREST transactions. Each coordinator belongs to
+// one compute node and one simulated process.
+type Coordinator struct {
+	cn   *ComputeNode
+	gid  uint64
+	qps  *engine.QPCache
+	log  *memnode.LogSegment
+	logN []*memnode.Node
+}
+
+// NewCoordinator creates coordinator id (globally unique across
+// compute nodes).
+func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
+	db := cn.sys.db
+	pool := db.Pool
+	c := &Coordinator{
+		cn:  cn,
+		gid: uint64(id) + 1,
+		qps: engine.NewQPCache(db.Fabric),
+		log: pool.AllocLog(logSegmentSize),
+	}
+	nodes := pool.Nodes()
+	for i := 0; i <= pool.Replicas(); i++ {
+		c.logN = append(c.logN, nodes[(id+i)%len(nodes)])
+	}
+	cn.sys.logs = append(cn.sys.logs, recoveryLog{seg: c.log, nodes: c.logN})
+	return c
+}
+
+// valCheck is one cell read that must be validated against the memory
+// pool at commit.
+//
+// Base-value reads capture the expected epoch/timestamp at read time:
+// no local writer of the cell can commit (and thus no write-back can
+// move the pool) before this reader resolves, so the captured value is
+// exactly what the pool must still hold — and it stays correct even if
+// the record cache refetches the record meanwhile.
+//
+// Local-version reads (live == true) instead compare against the
+// record cache's current epoch view at validation time: the version's
+// chain may legitimately fold into the pool before this reader
+// validates, advancing pool and cache in lockstep, while any foreign
+// write diverges the two. readV remembers which version was read so
+// the commit-time supersede check (validateLocal) can detect a local
+// writer that committed in between.
+type valCheck struct {
+	cell  int
+	en    uint16
+	ts    uint64
+	live  bool
+	readV *version // nil for base reads
+}
+
+// access is the per-record state of one attempt.
+type access struct {
+	op            *engine.Op
+	key           layout.Key
+	rk            recKey
+	lay           *layout.Record
+	obj           *object
+	intentWrite   bool
+	registered    bool // reference counted on obj
+	tracked       bool // access mask registered with the conflict tracker
+	streakCounted bool // counted toward the object's piggyback streak
+	readVals      [][]byte
+	writeVals     [][]byte
+	checks        []valCheck
+}
+
+// depSet is an insertion-ordered set of transactions to wait on.
+type depSet struct {
+	seen map[*txnState]bool
+	list []*txnState
+}
+
+func newDepSet() *depSet { return &depSet{seen: map[*txnState]bool{}} }
+
+func (d *depSet) add(t *txnState) {
+	if !d.seen[t] {
+		d.seen[t] = true
+		d.list = append(d.list, t)
+	}
+}
+
+// Execute runs one attempt of t; the caller owns retry and backoff.
+func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
+	if !c.cn.sys.opts.Localized {
+		return c.executeDirect(p, t)
+	}
+	return c.executeLocalized(p, t)
+}
+
+// executeLocalized is the full CREST path: record cache, pipelined
+// execution, dependency tracking and parallel commits.
+func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attempt {
+	db := c.cn.sys.db
+	var a engine.Attempt
+	verbs0 := db.Fabric.Stats()
+	start := p.Now()
+	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
+		a.Committed = reason == engine.AbortNone
+		a.Reason = reason
+		a.FalseConflict = falseConflict
+		a.Verbs = db.Fabric.Stats().Sub(verbs0)
+		return a
+	}
+
+	me := &txnState{id: c.cn.sys.nextTxn()}
+	var accs []*access
+	byRec := map[recKey]*access{}
+	// deps are the creators of versions this transaction read or
+	// overwrote (§5.1): it commits only after they commit, and aborts
+	// with them.
+	deps := newDepSet()
+
+	abortTxn := func(reason engine.AbortReason, falseC bool) engine.Attempt {
+		me.resolve(txnAborted, 0)
+		c.applyRelease(p, accs)
+		return finish(reason, falseC)
+	}
+
+	// --- Execution phase: pipelined blocks (§5.2). ---
+	for bi := range t.Blocks {
+		blk := &t.Blocks[bi]
+		blockAccs, gated := c.prepare(p, t, blk, byRec, &accs)
+		if gated {
+			a.Exec = p.Now().Sub(start)
+			att := abortTxn(engine.AbortWait, false)
+			att.Exec = a.Exec
+			return att
+		}
+		if reason, falseC := c.admit(p, blockAccs); reason != engine.AbortNone {
+			a.Exec = p.Now().Sub(start)
+			att := abortTxn(reason, falseC)
+			att.Exec = a.Exec
+			return att
+		}
+		// Charge the block's compute-node CPU cost (hook execution,
+		// copies) before taking any local lock: the computation does
+		// not need the locks, and paying it inside the critical
+		// section would convoy every hot record's local queue.
+		var blockCost sim.Duration
+		for oi := range blk.Ops {
+			op := &blk.Ops[oi]
+			blockCost += db.Cost.OpCost(len(op.ReadCells) + len(op.WriteCells))
+		}
+		p.Sleep(blockCost)
+		// Inner-block 2PL: local locks in (TableID, Key) order. The
+		// critical section itself is pure bookkeeping (zero virtual
+		// time), so the locks only order concurrent accessors.
+		locked := append([]*access(nil), blockAccs...)
+		sortAccs(locked)
+		for _, acc := range locked {
+			acc.obj.mu.Lock(p)
+		}
+		if me.tsExec == 0 {
+			// TS_exec is assigned after the first block's local locks
+			// are acquired (§5.2).
+			me.tsExec = c.cn.nextTSExec()
+		}
+		reason := engine.AbortNone
+		for oi := range blk.Ops {
+			op := &blk.Ops[oi]
+			acc := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
+			if reason = c.execOp(p, t, me, acc, deps); reason != engine.AbortNone {
+				break
+			}
+		}
+		for _, acc := range locked {
+			acc.obj.mu.Unlock()
+		}
+		if reason != engine.AbortNone {
+			a.Exec = p.Now().Sub(start)
+			att := abortTxn(reason, false)
+			att.Exec = a.Exec
+			return att
+		}
+	}
+	execEnd := p.Now()
+	a.Exec = execEnd.Sub(start)
+
+	// --- Validation (§6): dependencies first, then remote epochs,
+	// then the local supersede check immediately before the commit
+	// timestamp is drawn (no yield in between, so the serial position
+	// is exact). ---
+	for _, dep := range deps.list {
+		dep.await(p)
+		if dep.status == txnAborted {
+			a.Validate = p.Now().Sub(execEnd)
+			att := abortTxn(engine.AbortDependency, false)
+			att.Exec, att.Validate = a.Exec, a.Validate
+			return att
+		}
+	}
+	if reason, falseC := c.validateRemote(p, accs, start); reason != engine.AbortNone {
+		a.Validate = p.Now().Sub(execEnd)
+		att := abortTxn(reason, falseC)
+		att.Exec, att.Validate = a.Exec, a.Validate
+		return att
+	}
+	if !c.validateLocal(accs) {
+		a.Validate = p.Now().Sub(execEnd)
+		att := abortTxn(engine.AbortValidation, false)
+		att.Exec, att.Validate = a.Exec, a.Validate
+		return att
+	}
+	valEnd := p.Now()
+	a.Validate = valEnd.Sub(execEnd)
+
+	// --- Commit (§6): timestamp, redo log, then parallel apply. ---
+	ts := db.TSO.Next()
+	me.tsAssigned = ts
+	c.writeRedoLog(p, me, ts, accs, deps)
+	me.resolve(txnCommitted, ts)
+	c.applyRelease(p, accs)
+	c.recordHistory(t, accs, ts)
+	a.Commit = p.Now().Sub(valEnd)
+	return finish(engine.AbortNone, false)
+}
+
+// prepare resolves the block's keys into accesses, creating local
+// objects, sitting out any pending release windows, and pinning the
+// objects with reference counts. A writer reference registered while a
+// drain is pending would itself keep `writers` above zero and stall
+// the drain, so gating happens strictly before registration.
+func (c *Coordinator) prepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*access, accs *[]*access) (blockAccs []*access, gated bool) {
+	// Pass 1: resolve keys and local objects; no references yet.
+	for oi := range blk.Ops {
+		op := &blk.Ops[oi]
+		key := op.ResolveKey(t.State)
+		rk := recKey{op.Table, key}
+		if _, dup := byRec[rk]; dup {
+			panic(fmt.Sprintf("core: record %v accessed by two ops of one transaction", rk))
+		}
+		acc := &access{
+			op:          op,
+			key:         key,
+			rk:          rk,
+			lay:         c.cn.sys.layouts[op.Table],
+			intentWrite: op.IsWrite(),
+		}
+		acc.obj = c.getOrCreate(p, rk, acc.lay)
+		byRec[rk] = acc
+		blockAccs = append(blockAccs, acc)
+	}
+	// Pass 2: sit out release windows on every write target. Waiting
+	// is only safe while this transaction holds nothing (its first
+	// block): holding references while waiting can deadlock pipelines
+	// against each other, so later blocks abort instead and retry.
+	for {
+		waited := false
+		for _, acc := range blockAccs {
+			obj := acc.obj
+			if !acc.intentWrite || (!obj.drainPending && obj.drainUntil <= p.Now()) {
+				continue
+			}
+			if len(*accs) > 0 {
+				for _, a := range blockAccs {
+					delete(byRec, a.rk)
+				}
+				return nil, true
+			}
+			waited = true
+			if obj.drainPending {
+				obj.stateQ.Wait(p)
+			} else {
+				p.Sleep(sim.Duration(obj.drainUntil - p.Now()))
+			}
+		}
+		if !waited {
+			break
+		}
+	}
+	// Pass 3: register the reference counts (§5.1).
+	for _, acc := range blockAccs {
+		if acc.intentWrite {
+			acc.obj.writers++
+		} else {
+			acc.obj.readers++
+		}
+		acc.registered = true
+		*accs = append(*accs, acc)
+	}
+	return blockAccs, false
+}
+
+func sortAccs(accs []*access) {
+	sort.Slice(accs, func(i, j int) bool {
+		if accs[i].rk.table != accs[j].rk.table {
+			return accs[i].rk.table < accs[j].rk.table
+		}
+		return accs[i].rk.key < accs[j].rk.key
+	})
+}
+
+// getOrCreate returns the record's local object, creating it (and
+// resolving its pool address) on first access.
+func (c *Coordinator) getOrCreate(p *sim.Proc, rk recKey, lay *layout.Record) *object {
+	if obj, ok := c.cn.objs[rk]; ok {
+		return obj
+	}
+	db := c.cn.sys.db
+	primary := db.Pool.PrimaryOf(rk.table, rk.key)
+	off, err := db.ResolveAddr(p, c.cn.cache, c.qps.Get(primary.Region), rk.table, rk.key)
+	if err != nil {
+		panic(err)
+	}
+	obj := newObject(rk.table, rk.key, off, lay, primary)
+	c.cn.objs[rk] = obj
+	return obj
+}
+
+// admit performs cache admission (§5.1) for the block's accesses: it
+// fetches uncached records and acquires the missing remote cell locks,
+// batching everything per memory node into one round-trip. Only one
+// coordinator admits a given record at a time; others wait.
+func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReason, bool) {
+	db := c.cn.sys.db
+	opts := c.cn.sys.opts
+	tries := 0
+	for {
+		var waitObj *object
+		var fetches, locks []*access
+		for _, acc := range blockAccs {
+			obj := acc.obj
+			if obj.flushing || obj.releaseReq > 0 {
+				waitObj = obj
+				break
+			}
+			if obj.admitting {
+				// Readers with an admitted base proceed against it —
+				// commit-time validation handles staleness — instead
+				// of serializing behind the in-flight refresh. Lock
+				// acquirers and cold readers need the admission slot.
+				if !obj.admitted || (acc.intentWrite &&
+					c.cn.sys.lockMaskFor(acc.lay, acc.op)&^obj.remoteLocks != 0) {
+					waitObj = obj
+					break
+				}
+				continue
+			}
+			if acc.intentWrite && obj.drainPending {
+				// A forced release window is pending on this record;
+				// abort rather than wait — waiting here while holding
+				// other records' references can deadlock compute-node
+				// pipelines against each other.
+				return engine.AbortWait, false
+			}
+			if !obj.admitted {
+				fetches = append(fetches, acc)
+			}
+			if want := c.cn.sys.lockMaskFor(acc.lay, acc.op) &^ obj.remoteLocks; acc.intentWrite && want != 0 {
+				locks = append(locks, acc)
+			}
+		}
+		if waitObj != nil {
+			waitObj.stateQ.SetName(fmt.Sprintf("obj %d/%d admitting=%v flushing=%v locks=%b w=%d r=%d",
+				waitObj.table, waitObj.key, waitObj.admitting, waitObj.flushing, waitObj.remoteLocks, waitObj.writers, waitObj.readers))
+			waitObj.stateQ.Wait(p)
+			continue
+		}
+		if len(fetches) == 0 && len(locks) == 0 {
+			// Everything cached and locked; register conflict-tracker
+			// coverage for the write intents that piggybacked, and
+			// count the piggyback streaks that gate lock retention.
+			for _, acc := range blockAccs {
+				c.track(acc)
+				obj := acc.obj
+				if acc.intentWrite && !acc.streakCounted {
+					acc.streakCounted = true
+					obj.streak++
+					if k := opts.MaxPiggyback; k > 0 && obj.streak >= k && obj.remoteLocks != 0 {
+						obj.drainPending = true
+					}
+				}
+			}
+			return engine.AbortNone, false
+		}
+
+		// Claim and fetch/lock in one PostMulti. Every lock
+		// acquisition pairs the masked-CAS with a READ (Table 2's
+		// masked-CAS+READ): when the object was already cached, the
+		// read refreshes the base values of the cells that were not
+		// locked until now — their cached values may predate another
+		// compute node's commits, and locked cells skip validation.
+		type pending struct {
+			acc      *access
+			casIdx   int // index into the node batch, -1 if none
+			readIdx  int
+			bits     uint64
+			preLocks uint64 // lock bits held before this admission
+		}
+		var batches []rdma.Batch
+		perNode := map[int]int{}
+		pend := map[*object]*pending{}
+		order := []*object{}
+		add := func(acc *access) *pending {
+			obj := acc.obj
+			pd := pend[obj]
+			if pd == nil {
+				pd = &pending{acc: acc, casIdx: -1, readIdx: -1}
+				pend[obj] = pd
+				order = append(order, obj)
+				obj.admitting = true
+			}
+			return pd
+		}
+		nodeBatch := func(obj *object) int {
+			bi, ok := perNode[obj.primary.Region.ID()]
+			if !ok {
+				bi = len(batches)
+				perNode[obj.primary.Region.ID()] = bi
+				batches = append(batches, rdma.Batch{QP: c.qps.Get(obj.primary.Region)})
+			}
+			return bi
+		}
+		for _, acc := range locks {
+			pd := add(acc)
+			pd.preLocks = acc.obj.remoteLocks
+			pd.bits = c.cn.sys.lockMaskFor(acc.lay, acc.op) &^ acc.obj.remoteLocks
+			bi := nodeBatch(acc.obj)
+			pd.casIdx = len(batches[bi].Ops)
+			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				Kind: rdma.OpMaskedCAS,
+				Off:  acc.obj.off + layout.OffLock,
+				Swap: pd.bits, Mask: pd.bits,
+			})
+		}
+		for _, acc := range fetches {
+			pd := add(acc)
+			pd.preLocks = acc.obj.remoteLocks
+		}
+		for _, obj := range order {
+			pd := pend[obj]
+			bi := nodeBatch(obj)
+			pd.readIdx = len(batches[bi].Ops)
+			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				Kind: rdma.OpRead,
+				Off:  obj.off,
+				Len:  pd.acc.lay.Size(),
+			})
+		}
+		results, err := rdma.PostMulti(p, batches)
+		if err != nil {
+			panic(err)
+		}
+		var conflictMask uint64
+		conflict := false
+		for _, obj := range order {
+			pd := pend[obj]
+			bi := perNode[obj.primary.Region.ID()]
+			if pd.casIdx >= 0 {
+				if results[bi][pd.casIdx].OK {
+					obj.remoteLocks |= pd.bits
+					obj.streak = 0 // fresh acquisition opens a new window
+				} else {
+					conflict = true
+					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
+				}
+			}
+			if pd.readIdx >= 0 {
+				h, vals, vers := decodeRecord(pd.acc.lay, results[bi][pd.readIdx].Data)
+				readMask := layout.LockMask(pd.acc.op.ReadCells) &^ obj.remoteLocks
+				switch {
+				case h.Lock&layout.DeleteMask != 0:
+					obj.admitting = false
+					obj.stateQ.WakeAll()
+					return engine.AbortValidation, false
+				case !snapshotConsistent(h, vers, readMask, obj.remoteLocks):
+					// Read cells locked by another compute node, or a
+					// torn snapshot (§4.3): back off and refetch. The
+					// object must be marked unadmitted — a lock CAS in
+					// this very batch may have succeeded, and leaving
+					// its cells with the pre-lock base would let a
+					// writer read stale data without validation.
+					obj.admitted = false
+					conflict = true
+					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
+				case !obj.admitted:
+					copy(obj.epochs, h.EN[:obj.lay.NumCells()])
+					obj.base = vals
+					obj.baseVer = vers
+					obj.admitted = true
+					obj.firstFetch = p.Now()
+				default:
+					// Refresh the base of cells this compute node did
+					// not hold locked: their cached values may predate
+					// other nodes' commits. Locked cells (which is
+					// where local versions can exist) keep the local
+					// view.
+					for cell := 0; cell < obj.lay.NumCells(); cell++ {
+						if pd.preLocks&(1<<uint(cell)) != 0 {
+							continue
+						}
+						obj.base[cell] = vals[cell]
+						obj.baseVer[cell] = vers[cell]
+						obj.epochs[cell] = h.EN[cell]
+					}
+					obj.firstFetch = p.Now()
+				}
+			}
+			obj.admitting = false
+			obj.stateQ.WakeAll()
+		}
+		if !conflict {
+			continue // reloop to verify nothing else is missing
+		}
+		tries++
+		if tries > opts.LockRetries {
+			var myMask uint64
+			for _, acc := range blockAccs {
+				myMask |= accessMaskFor(acc.op)
+			}
+			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
+		}
+		p.Sleep(opts.LockBackoff + sim.Duration(p.Rand().Int63n(int64(opts.LockBackoff))))
+	}
+}
+
+// track registers the access's cell coverage with the conflict
+// tracker (instrumentation only).
+func (c *Coordinator) track(acc *access) {
+	if acc.tracked || !acc.intentWrite {
+		return
+	}
+	acc.tracked = true
+	c.cn.sys.db.Tracker.OnLock(acc.rk.table, acc.rk.key, accessMaskFor(acc.op))
+}
+
+// execOp runs one op against the record cache under the block's local
+// locks: reads observe the newest live version (or the base value),
+// writes append versions tagged with TS_exec, and reverse orderings
+// abort (§5.2).
+func (c *Coordinator) execOp(p *sim.Proc, t *engine.Txn, me *txnState, acc *access, deps *depSet) engine.AbortReason {
+	obj := acc.obj
+	op := acc.op
+
+	myLocks := c.cn.sys.lockMaskFor(acc.lay, op)
+	read := make([][]byte, len(op.ReadCells))
+	for i, cell := range op.ReadCells {
+		v, val := obj.latest(cell)
+		cs := &obj.cells[cell]
+		if v != nil && v.txn != me {
+			if v.tsExec > me.tsExec {
+				return engine.AbortReverse
+			}
+			if v.txn.status == txnPending {
+				deps.add(v.txn)
+			}
+		}
+		if myLocks&(1<<uint(cell)) == 0 {
+			// Not covered by this transaction's own write locks: the
+			// cell joins the commit-time validation set (§6).
+			ck := valCheck{cell: cell, live: v != nil, readV: v}
+			if v == nil {
+				ck.en = obj.epochs[cell]
+				ck.ts = obj.baseVer[cell].TS
+			}
+			acc.checks = append(acc.checks, ck)
+		}
+		if me.tsExec > cs.maxReadTS {
+			cs.maxReadTS = me.tsExec
+		}
+		read[i] = val
+	}
+
+	written := op.Hook(t.State, read)
+	if len(written) != len(op.WriteCells) {
+		panic(fmt.Sprintf("core: hook returned %d values for %d write cells", len(written), len(op.WriteCells)))
+	}
+	acc.readVals = read
+	acc.writeVals = written
+
+	for i, cell := range op.WriteCells {
+		if len(written[i]) != acc.lay.CellSize(cell) {
+			panic("core: hook wrote wrong cell size")
+		}
+		cs := &obj.cells[cell]
+		if cs.maxReadTS > me.tsExec {
+			// A later transaction already read this cell; our write
+			// arrives too late in TS_exec order (Fig 10, write side).
+			return engine.AbortReverse
+		}
+		v := cs.newestLive()
+		switch {
+		case v != nil && v.txn == me:
+			v.value = written[i]
+			continue
+		case v != nil:
+			if v.tsExec > me.tsExec {
+				return engine.AbortReverse
+			}
+			if v.txn.status == txnPending {
+				deps.add(v.txn)
+			}
+		}
+		obj.append(cell, &version{txn: me, tsExec: me.tsExec, value: written[i]})
+		if cell == 1 {
+		}
+	}
+	return engine.AbortNone
+}
+
+// validateLocal is the commit-time supersede check: for every read
+// cell, the value observed must still be the newest committed state of
+// the record cache. A local writer that committed after the read (and
+// thus holds an earlier commit timestamp than this transaction is
+// about to draw) supersedes it. It runs with no yield between it and
+// the TSO draw, so the outcome is exact.
+func (c *Coordinator) validateLocal(accs []*access) bool {
+	for _, acc := range accs {
+		for _, ck := range acc.checks {
+			cs := &acc.obj.cells[ck.cell]
+			if ck.readV == nil {
+				// Base read: a fold moved the base, or a committed
+				// version now shadows it.
+				if acc.obj.baseVer[ck.cell].TS != ck.ts {
+					return false
+				}
+				for _, v := range cs.versions {
+					if v.txn.tsAssigned != 0 {
+						return false
+					}
+				}
+				continue
+			}
+			// Version read: the creator resolved before this point
+			// (dependency wait). The version must still be the newest
+			// committed one — no committed successor in the list, and
+			// if it was folded, it must be what the base now holds.
+			if ck.readV.txn.status != txnCommitted {
+				return false
+			}
+			inList := false
+			for _, v := range cs.versions {
+				if v == ck.readV {
+					inList = true
+					break
+				}
+			}
+			if inList {
+				// Committed successors after readV supersede the read.
+				past := false
+				for _, v := range cs.versions {
+					if v == ck.readV {
+						past = true
+						continue
+					}
+					if past && v.txn.tsAssigned != 0 {
+						return false
+					}
+				}
+			} else {
+				// Folded: the base must hold exactly this version and
+				// no committed successor may sit in the list.
+				if acc.obj.baseVer[ck.cell].TS != ck.readV.txn.tsCommit {
+					return false
+				}
+				for _, v := range cs.versions {
+					if v.txn.tsAssigned != 0 {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// validateRemote checks every base read of an unlocked cell against
+// the memory pool: one header READ per record, batched per node. Past
+// the EN threshold it reads whole records and compares commit
+// timestamps instead (§4.2).
+func (c *Coordinator) validateRemote(p *sim.Proc, accs []*access, attemptStart sim.Time) (engine.AbortReason, bool) {
+	db := c.cn.sys.db
+	fallback := p.Now().Sub(attemptStart) > c.cn.sys.opts.ENThreshold
+	var batches []rdma.Batch
+	var batchAccs [][]*access
+	perNode := map[int]int{}
+	for _, acc := range accs {
+		if len(acc.checks) == 0 {
+			continue
+		}
+		obj := acc.obj
+		bi, ok := perNode[obj.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[obj.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(obj.primary.Region)})
+			batchAccs = append(batchAccs, nil)
+		}
+		n := layout.HeaderSize
+		if fallback {
+			n = acc.lay.Size()
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: obj.off, Len: n})
+		batchAccs[bi] = append(batchAccs[bi], acc)
+	}
+	if len(batches) == 0 {
+		return engine.AbortNone, false
+	}
+	results, err := rdma.PostMulti(p, batches)
+	if err != nil {
+		panic(err)
+	}
+	for bi := range batches {
+		for ri, acc := range batchAccs[bi] {
+			data := results[bi][ri].Data
+			h := layout.DecodeHeader(data)
+			obj := acc.obj
+			otherLocks := h.Lock &^ obj.remoteLocks &^ layout.DeleteMask
+			for _, ck := range acc.checks {
+				wantEN, wantTS := ck.en, ck.ts
+				if ck.live {
+					wantEN, wantTS = obj.epochs[ck.cell], obj.baseVer[ck.cell].TS
+				}
+				bit := uint64(1) << uint(ck.cell)
+				ok := otherLocks&bit == 0
+				if ok {
+					if fallback {
+						ok = layout.GetCellVersion(data[acc.lay.CellOff(ck.cell):]).TS == wantTS
+					} else {
+						ok = h.EN[ck.cell] == wantEN
+					}
+				}
+				if ok {
+					continue
+				}
+				// Force a refetch only when the cache itself is behind
+				// the pool — a reader whose own capture is outdated
+				// must abort, but invalidating an already-refreshed
+				// shared object would put every local accessor into a
+				// refetch storm.
+				if h.EN[ck.cell] != obj.epochs[ck.cell] &&
+					p.Now().Sub(obj.firstFetch) > c.cn.sys.opts.FetchTTL {
+					obj.admitted = false
+				}
+				conflicting := db.Tracker.ChangedSince(acc.rk.table, acc.key, wantTS)
+				if otherLocks&bit != 0 {
+					conflicting |= db.Tracker.HolderCells(acc.rk.table, acc.key)
+				}
+				myMask := accessMaskFor(acc.op)
+				return engine.AbortValidation, engine.IsFalseConflict(myMask, conflicting)
+			}
+		}
+	}
+	return engine.AbortNone, false
+}
+
+// writeRedoLog persists the dependency-tracking redo-log entry to the
+// coordinator's log replicas in one round-trip (§6). Transactions that
+// wrote nothing skip the log.
+func (c *Coordinator) writeRedoLog(p *sim.Proc, me *txnState, ts uint64, accs []*access, deps *depSet) {
+	var recs []logRecord
+	for _, acc := range accs {
+		if len(acc.op.WriteCells) == 0 {
+			continue
+		}
+		r := logRecord{Table: acc.rk.table, Key: acc.key, Mask: layout.LockMask(acc.op.WriteCells)}
+		// Values must be in ascending cell order to match the mask.
+		idx := make([]int, len(acc.op.WriteCells))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool { return acc.op.WriteCells[idx[a]] < acc.op.WriteCells[idx[b]] })
+		for _, i := range idx {
+			r.Vals = append(r.Vals, acc.writeVals[i])
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) == 0 {
+		return
+	}
+	var depIDs []uint64
+	for _, d := range deps.list {
+		depIDs = append(depIDs, d.id)
+	}
+	entry := encodeLogEntry(me.id, ts, depIDs, recs)
+	off := c.log.Reserve(len(entry))
+	batches := make([]rdma.Batch, 0, len(c.logN))
+	for _, n := range c.logN {
+		batches = append(batches, rdma.Batch{
+			QP:  c.qps.Get(n.Region),
+			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: entry}},
+		})
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+}
+
+// applyRelease ends the transaction's participation in its objects:
+// reference counts drop, the last writer of each object writes the
+// newest committed cell values back (last-writer-wins, §6), and the
+// last reference releases the remote locks and destroys the object.
+func (c *Coordinator) applyRelease(p *sim.Proc, accs []*access) {
+	db := c.cn.sys.db
+	for _, acc := range accs {
+		if !acc.registered {
+			continue
+		}
+		acc.registered = false
+		if acc.intentWrite {
+			acc.obj.writers--
+		} else {
+			acc.obj.readers--
+		}
+		if acc.tracked {
+			acc.tracked = false
+			db.Tracker.OnUnlock(acc.rk.table, acc.rk.key, accessMaskFor(acc.op))
+		}
+	}
+
+	var fins []*fin
+	var batches []rdma.Batch
+	perNode := map[int]int{}
+	addOps := func(region *rdma.Region, ops ...rdma.Op) {
+		bi, ok := perNode[region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(region)})
+		}
+		batches[bi].Ops = append(batches[bi].Ops, ops...)
+	}
+
+	seen := map[*object]bool{}
+	var objs []*object
+	for _, acc := range accs {
+		if !seen[acc.obj] {
+			seen[acc.obj] = true
+			objs = append(objs, acc.obj)
+		}
+	}
+	// Triage: most objects need nothing from this transaction (a later
+	// writer will flush, or the object is unlocked and still
+	// referenced) and must not wait behind hot-object admission
+	// traffic — that tax would serialize the whole read path.
+	var work []*object
+	for _, obj := range objs {
+		if obj.writers > 0 {
+			continue // a later writer will flush and release
+		}
+		if obj.remoteLocks == 0 {
+			if obj.refTotal() == 0 && !obj.flushing && !obj.admitting {
+				delete(c.cn.objs, obj.rkKey())
+			}
+			continue
+		}
+		work = append(work, obj)
+	}
+	if len(work) == 0 {
+		return
+	}
+	// Wait until none of the remaining objects is mid-admission or
+	// mid-flush (each bounded by one round-trip) before claiming any:
+	// skipping busy objects would leave the last writer's release —
+	// and a pending drain — to chance under heavy reader refetch
+	// traffic, while claiming-then-waiting would let two releasing
+	// coordinators deadlock on each other's claims. releaseReq keeps
+	// new admissions from barging in ahead of this release.
+	for _, obj := range work {
+		obj.releaseReq++
+	}
+	for {
+		busy := false
+		for _, obj := range work {
+			if obj.admitting || obj.flushing {
+				busy = true
+				obj.stateQ.Wait(p)
+				break
+			}
+		}
+		if !busy {
+			break
+		}
+	}
+	for _, obj := range work {
+		obj.releaseReq--
+	}
+	defer func() {
+		for _, obj := range work {
+			if obj.releaseReq == 0 && !obj.flushing && !obj.admitting {
+				obj.stateQ.WakeAll()
+			}
+		}
+	}()
+	for _, obj := range work {
+		if obj.writers > 0 {
+			continue // a later writer registered meanwhile; it flushes
+		}
+		if obj.remoteLocks == 0 {
+			if obj.refTotal() == 0 {
+				delete(c.cn.objs, obj.rkKey())
+			}
+			continue
+		}
+		// writers == 0 with locks held: this transaction is the last
+		// writer (or a reader draining a locked object). Per §6 the
+		// last writer writes the newest committed values back and
+		// releases the locks, even while readers remain — their reads
+		// validate against the epoch numbers at commit.
+		obj.flushing = true
+		f := &fin{obj: obj, plans: obj.collectFlush(), release: true, unlock: obj.remoteLocks}
+		fins = append(fins, f)
+		c.buildFlushOps(f, addOps)
+	}
+	if len(batches) > 0 {
+		if _, err := rdma.PostMulti(p, batches); err != nil {
+			panic(err)
+		}
+	}
+	for _, f := range fins {
+		obj := f.obj
+		for _, plan := range f.plans {
+			db.Tracker.OnUpdate(obj.table, obj.key, plan.ts, 1<<uint(plan.cell))
+			if plan.cell == 1 {
+			}
+		}
+		obj.remoteLocks = 0
+		obj.streak = 0
+		if obj.drainPending {
+			obj.drainPending = false
+			obj.drainUntil = p.Now().Add(c.cn.sys.opts.DrainGrace)
+		}
+		obj.flushing = false
+		obj.stateQ.WakeAll()
+		if obj.refTotal() == 0 {
+			delete(c.cn.objs, obj.rkKey())
+		}
+	}
+}
+
+func (o *object) rkKey() recKey { return recKey{o.table, o.key} }
+
+// fin is one object's pending write-back during applyRelease.
+type fin struct {
+	obj     *object
+	plans   []flushPlan
+	release bool
+	unlock  uint64
+}
+
+// buildFlushOps emits the last-writer write-back for one object: each
+// committed cell's version word + value, its header epoch number, and
+// (when the object is quiescent) the unlock masked-CAS, ordered within
+// the round-trip. Backup replicas receive the data writes; the lock
+// lives on the primary.
+func (c *Coordinator) buildFlushOps(f *fin, addOps func(*rdma.Region, ...rdma.Op)) {
+	obj := f.obj
+	db := c.cn.sys.db
+	for _, n := range db.Pool.ReplicaNodes(obj.table, obj.key) {
+		var ops []rdma.Op
+		for _, plan := range f.plans {
+			slot := make([]byte, layout.CellVersionSize+len(plan.value))
+			layout.PutCellVersion(slot, layout.CellVersion{EN: plan.en, TS: plan.ts})
+			copy(slot[layout.CellVersionSize:], plan.value)
+			enb := make([]byte, 2)
+			enb[0] = byte(plan.en)
+			enb[1] = byte(plan.en >> 8)
+			ops = append(ops,
+				rdma.Op{Kind: rdma.OpWrite, Off: obj.off + uint64(obj.lay.CellOff(plan.cell)), Data: slot},
+				rdma.Op{Kind: rdma.OpWrite, Off: obj.off + uint64(obj.lay.ENOff(plan.cell)), Data: enb},
+			)
+		}
+		if f.release && n == obj.primary && f.unlock != 0 {
+			ops = append(ops, rdma.Op{
+				Kind:    rdma.OpMaskedCAS,
+				Off:     obj.off + layout.OffLock,
+				Compare: f.unlock,
+				Swap:    0,
+				Mask:    f.unlock,
+			})
+		}
+		if len(ops) > 0 {
+			addOps(n.Region, ops...)
+		}
+		if len(f.plans) == 0 {
+			// Pure unlock: nothing to write on backups.
+			break
+		}
+	}
+}
+
+// recordHistory feeds the committed transaction into the history
+// checker.
+func (c *Coordinator) recordHistory(t *engine.Txn, accs []*access, ts uint64) {
+	h := c.cn.sys.db.History
+	if h == nil || !h.On {
+		return
+	}
+	ht := engine.HTxn{TS: ts, Label: fmt.Sprintf("%s cn%d", t.Label, c.cn.id)}
+	for _, acc := range accs {
+		for i, cell := range acc.op.ReadCells {
+			ht.Reads = append(ht.Reads, engine.HRead{
+				Cell: engine.CellID{Table: acc.rk.table, Key: acc.key, Cell: cell},
+				Hash: engine.HashValue(acc.readVals[i]),
+			})
+		}
+		for i, cell := range acc.op.WriteCells {
+			ht.Writes = append(ht.Writes, engine.HWrite{
+				Cell: engine.CellID{Table: acc.rk.table, Key: acc.key, Cell: cell},
+				Hash: engine.HashValue(acc.writeVals[i]),
+			})
+		}
+	}
+	h.Commit(ht)
+}

@@ -1,0 +1,405 @@
+// Package core implements CREST, the paper's contribution: a
+// disaggregated transaction system resolving contention with
+// cell-level concurrency control (§4), localized execution (§5) and
+// parallel commits (§6).
+//
+// The protocol per transaction (Table 2):
+//
+//	execution:  masked-CAS (cell locks) + READ per read-write record,
+//	            READ per read-only record — but only when the record
+//	            is not already in the compute node's record cache;
+//	            local transactions share fetched records and operate
+//	            on uncommitted local versions;
+//	validation: one READ of the record header per read-only record
+//	            (the EN array validates every read cell at once);
+//	commit:     one redo-log WRITE, then — for the last writer only —
+//	            WRITE (cells + epoch numbers) + masked-CAS (unlock)
+//	            per record, ordered within one round-trip.
+//
+// The Options toggles reproduce the paper's factor analysis (Exp#5):
+// Base (record-level, no localized execution), +Cell, and full CREST.
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"crest/internal/engine"
+	"crest/internal/hashindex"
+	"crest/internal/layout"
+	"crest/internal/sim"
+)
+
+// logSegmentSize is each coordinator's redo-log ring.
+const logSegmentSize = 64 << 10
+
+// Options selects protocol features, mirroring the paper's factor
+// analysis (§8.4, Exp#5).
+type Options struct {
+	// CellLevel enables cell-granularity locking and validation; when
+	// false, every access covers the whole record (the Base system).
+	CellLevel bool
+	// Localized enables the record cache, pipelined execution and
+	// parallel commits; when false the coordinator runs a strict
+	// fetch–validate–commit cycle directly against the memory pool.
+	// Localized execution requires cell-level concurrency control.
+	Localized bool
+	// ENThreshold is the attempt-duration threshold beyond which
+	// validation falls back from 2-byte epoch numbers to full-record
+	// commit-timestamp comparison, guarding against EN rollover
+	// (§4.2). The paper sets 65,536 µs.
+	ENThreshold sim.Duration
+	// LockRetries bounds masked-CAS retries (and locked-read retries)
+	// before an attempt aborts.
+	LockRetries int
+	// LockBackoff is the wait between those retries.
+	LockBackoff sim.Duration
+	// MaxPiggyback bounds how many consecutive local write
+	// transactions may reuse the compute node's held cell locks on one
+	// record before a release window is forced. Without a bound, a
+	// steady local write stream keeps `writers > 0` forever, the last-
+	// writer release never fires, and other compute nodes starve on
+	// that record. The paper does not discuss this liveness detail;
+	// the bound is our addition (see DESIGN.md).
+	MaxPiggyback int
+	// DrainGrace holds local writers back for a short period after a
+	// forced release so contending compute nodes can win the cells.
+	DrainGrace sim.Duration
+	// FetchTTL rate-limits cache invalidation: a validation failure
+	// marks the record cache stale only if the base is older than
+	// this. Without it, sustained cross-node churn on a hot record
+	// turns every abort into a refetch and the shared object's
+	// admission serializes the whole compute node.
+	FetchTTL sim.Duration
+	// RecordLevelTables opts individual tables out of cell-level
+	// concurrency control (§4.4: cell-level metadata can be reserved
+	// for the tables that need it). Accesses to these tables lock and
+	// validate the whole record.
+	RecordLevelTables []layout.TableID
+}
+
+// DefaultOptions returns the full CREST configuration.
+func DefaultOptions() Options {
+	return Options{
+		CellLevel:   true,
+		Localized:   true,
+		ENThreshold: 65536 * sim.Microsecond,
+		// No-wait on foreign locks: the attempt aborts immediately and
+		// releases everything it held. Spinning while holding other
+		// records' locks gridlocks compute nodes against each other,
+		// and even one in-place retry measurably hurts hot-key
+		// handoff.
+		LockRetries:  1,
+		LockBackoff:  3 * sim.Microsecond,
+		MaxPiggyback: 16,
+		DrainGrace:   6 * sim.Microsecond,
+		FetchTTL:     6 * sim.Microsecond,
+	}
+}
+
+// BaseOptions is the factor-analysis Base system: record-level
+// concurrency control, strict execution.
+func BaseOptions() Options {
+	o := DefaultOptions()
+	o.CellLevel = false
+	o.Localized = false
+	return o
+}
+
+// CellOptions is Base plus cell-level concurrency control.
+func CellOptions() Options {
+	o := DefaultOptions()
+	o.Localized = false
+	return o
+}
+
+// System is a CREST instance over a shared DB.
+type System struct {
+	db        *engine.DB
+	opts      Options
+	layouts   map[layout.TableID]*layout.Record
+	nextTxnID uint64
+	logs      []recoveryLog // every coordinator's log segment, for Recover
+	cns       []*ComputeNode
+}
+
+// New creates a CREST system on db.
+func New(db *engine.DB, opts Options) *System {
+	if opts.Localized && !opts.CellLevel {
+		panic("core: localized execution requires cell-level concurrency control")
+	}
+	if opts.LockRetries <= 0 {
+		opts.LockRetries = 1
+	}
+	return &System{db: db, opts: opts, layouts: map[layout.TableID]*layout.Record{}}
+}
+
+// Name labels the engine configuration.
+func (s *System) Name() string {
+	switch {
+	case s.opts.Localized:
+		return "CREST"
+	case s.opts.CellLevel:
+		return "CREST-cell"
+	default:
+		return "CREST-base"
+	}
+}
+
+// DB exposes the underlying database substrate.
+func (s *System) DB() *engine.DB { return s.db }
+
+// Options returns the system's configuration.
+func (s *System) Options() Options { return s.opts }
+
+// Layout returns the CREST record layout of a table.
+func (s *System) Layout(table layout.TableID) *layout.Record { return s.layouts[table] }
+
+// CreateTable registers a table with the CREST record structure.
+func (s *System) CreateTable(sc layout.Schema, capacity int) {
+	sc = sc.Normalize()
+	lay := layout.NewRecord(sc)
+	s.layouts[sc.ID] = lay
+	s.db.CreateTable(sc, lay.Size(), capacity)
+}
+
+// Load writes a record's initial cell values host-side (pre-load).
+func (s *System) Load(table layout.TableID, key layout.Key, cells [][]byte) {
+	lay := s.layouts[table]
+	t := s.db.Table(table)
+	s.db.LoadRecord(t, key, func(buf []byte) {
+		layout.EncodeHeader(buf, layout.Header{Key: key, TableID: table})
+		for i, v := range cells {
+			if len(v) != lay.Schema.CellSizes[i] {
+				panic(fmt.Sprintf("core: cell %d size %d, schema wants %d", i, len(v), lay.Schema.CellSizes[i]))
+			}
+			layout.PutCellVersion(buf[lay.CellOff(i):], layout.CellVersion{})
+			copy(buf[lay.CellValueOff(i):], v)
+		}
+	})
+	if h := s.db.History; h != nil && h.On {
+		for i, v := range cells {
+			h.SetInitial(engine.CellID{Table: table, Key: key, Cell: i}, v)
+		}
+	}
+}
+
+// FinishLoad publishes the hash indexes.
+func (s *System) FinishLoad() error { return s.db.FinishLoad() }
+
+// ComputeNode holds one compute node's shared state: the address
+// cache, the record cache of local objects, and the TS_exec counter.
+type ComputeNode struct {
+	sys       *System
+	id        int
+	cache     *hashindex.AddrCache
+	objs      map[recKey]*object
+	tsExecCtr uint64
+}
+
+type recKey struct {
+	table layout.TableID
+	key   layout.Key
+}
+
+// NewComputeNode creates compute node state.
+func (s *System) NewComputeNode(id int) *ComputeNode {
+	cn := &ComputeNode{
+		sys:   s,
+		id:    id,
+		cache: hashindex.NewAddrCache(),
+		objs:  map[recKey]*object{},
+	}
+	s.cns = append(s.cns, cn)
+	return cn
+}
+
+// WarmCache preloads the address cache with every record.
+func (cn *ComputeNode) WarmCache() { cn.sys.db.WarmCache(cn.cache) }
+
+// CachedObjects reports the record cache's current size (diagnostics
+// and cache-management tests).
+func (cn *ComputeNode) CachedObjects() int { return len(cn.objs) }
+
+// nextTSExec draws the compute node's monotonically increasing
+// execution timestamp (§5.2).
+func (cn *ComputeNode) nextTSExec() uint64 {
+	cn.tsExecCtr++
+	return cn.tsExecCtr
+}
+
+// nextTxnID draws a system-wide unique transaction id.
+func (s *System) nextTxn() uint64 {
+	s.nextTxnID++
+	return s.nextTxnID
+}
+
+// lockMaskFor returns the lock bits an op's writes require under the
+// system's granularity.
+func (s *System) lockMaskFor(lay *layout.Record, op *engine.Op) uint64 {
+	if !op.IsWrite() {
+		return 0
+	}
+	if s.opts.CellLevel && !s.recordLevel(lay.Schema.ID) {
+		return layout.LockMask(op.WriteCells)
+	}
+	return layout.AllCellsMask(lay.NumCells())
+}
+
+// recordLevel reports whether a table opted out of cell-level CC.
+func (s *System) recordLevel(table layout.TableID) bool {
+	for _, t := range s.opts.RecordLevelTables {
+		if t == table {
+			return true
+		}
+	}
+	return false
+}
+
+// accessMaskFor returns the cells an op touches, for conflict
+// classification (always the true cells, independent of granularity).
+func accessMaskFor(op *engine.Op) uint64 {
+	return layout.LockMask(op.ReadCells) | layout.LockMask(op.WriteCells)
+}
+
+// decodeRecord parses a fetched CREST record into header, cell values
+// and cell versions.
+func decodeRecord(lay *layout.Record, data []byte) (layout.Header, [][]byte, []layout.CellVersion) {
+	h := layout.DecodeHeader(data)
+	vals := make([][]byte, lay.NumCells())
+	vers := make([]layout.CellVersion, lay.NumCells())
+	for c := 0; c < lay.NumCells(); c++ {
+		vers[c] = layout.GetCellVersion(data[lay.CellOff(c):])
+		vals[c] = append([]byte(nil), data[lay.CellValueOff(c):][:lay.CellSize(c)]...)
+	}
+	return h, vals, vers
+}
+
+// snapshotConsistent applies the paper's §4.3 inter-cell check to a
+// fetched record: every read cell's epoch number in the header must
+// match the epoch in the cell's own version word, and no read cell may
+// be locked by another holder.
+func snapshotConsistent(h layout.Header, vers []layout.CellVersion, readMask, ownLocks uint64) bool {
+	otherLocks := h.Lock &^ ownLocks &^ layout.DeleteMask
+	if readMask&otherLocks != 0 {
+		return false
+	}
+	for c := 0; c < len(vers); c++ {
+		if readMask&(1<<uint(c)) == 0 {
+			continue
+		}
+		if h.EN[c] != vers[c].EN {
+			return false
+		}
+	}
+	return true
+}
+
+// logRecord is one record's modifications inside a redo-log entry.
+type logRecord struct {
+	Table layout.TableID
+	Key   layout.Key
+	Mask  uint64 // written cells
+	Vals  [][]byte
+}
+
+// encodeLogEntry builds the dependency-tracking redo-log entry (§6):
+// transaction id, commit timestamp, dependent transaction ids, and the
+// new cell values. The leading length word lets recovery walk the
+// segment.
+func encodeLogEntry(txnID, ts uint64, deps []uint64, recs []logRecord) []byte {
+	buf := make([]byte, 4, 128)
+	buf = binary.LittleEndian.AppendUint64(buf, txnID)
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(deps)))
+	for _, d := range deps {
+		buf = binary.LittleEndian.AppendUint64(buf, d)
+	}
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(recs)))
+	for _, r := range recs {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(r.Table))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(r.Key))
+		buf = binary.LittleEndian.AppendUint64(buf, r.Mask)
+		for _, v := range r.Vals {
+			buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v)))
+			buf = append(buf, v...)
+		}
+	}
+	binary.LittleEndian.PutUint32(buf, uint32(len(buf)))
+	return buf
+}
+
+// decodeLogEntry parses one entry, returning its total length.
+func decodeLogEntry(buf []byte) (txnID, ts uint64, deps []uint64, recs []logRecord, n int, err error) {
+	if len(buf) < 4 {
+		return 0, 0, nil, nil, 0, fmt.Errorf("core: truncated log entry")
+	}
+	total := int(binary.LittleEndian.Uint32(buf))
+	if total < 28 || total > len(buf) {
+		return 0, 0, nil, nil, 0, fmt.Errorf("core: bad log entry length %d", total)
+	}
+	b := buf[4:total]
+	txnID = binary.LittleEndian.Uint64(b)
+	ts = binary.LittleEndian.Uint64(b[8:])
+	nd := binary.LittleEndian.Uint32(b[16:])
+	b = b[20:]
+	for i := uint32(0); i < nd; i++ {
+		if len(b) < 8 {
+			return 0, 0, nil, nil, 0, fmt.Errorf("core: truncated deps")
+		}
+		deps = append(deps, binary.LittleEndian.Uint64(b))
+		b = b[8:]
+	}
+	if len(b) < 4 {
+		return 0, 0, nil, nil, 0, fmt.Errorf("core: truncated record count")
+	}
+	nr := binary.LittleEndian.Uint32(b)
+	b = b[4:]
+	for i := uint32(0); i < nr; i++ {
+		if len(b) < 20 {
+			return 0, 0, nil, nil, 0, fmt.Errorf("core: truncated record")
+		}
+		r := logRecord{
+			Table: layout.TableID(binary.LittleEndian.Uint32(b)),
+			Key:   layout.Key(binary.LittleEndian.Uint64(b[4:])),
+			Mask:  binary.LittleEndian.Uint64(b[12:]),
+		}
+		b = b[20:]
+		for m := r.Mask; m != 0; m &= m - 1 {
+			if len(b) < 4 {
+				return 0, 0, nil, nil, 0, fmt.Errorf("core: truncated value")
+			}
+			vl := int(binary.LittleEndian.Uint32(b))
+			if len(b) < 4+vl {
+				return 0, 0, nil, nil, 0, fmt.Errorf("core: truncated value bytes")
+			}
+			r.Vals = append(r.Vals, append([]byte(nil), b[4:4+vl]...))
+			b = b[4+vl:]
+		}
+		recs = append(recs, r)
+	}
+	return txnID, ts, deps, recs, total, nil
+}
+
+// Diag reports record-cache state across compute nodes (debugging aid
+// for tests and tools).
+func (s *System) Diag() string {
+	out := ""
+	for _, cn := range s.cns {
+		objs, drains, writers, readers, locked := 0, 0, 0, 0, 0
+		for _, o := range cn.objs {
+			objs++
+			if o.drainPending {
+				drains++
+			}
+			writers += o.writers
+			readers += o.readers
+			if o.remoteLocks != 0 {
+				locked++
+			}
+		}
+		out += fmt.Sprintf("cn%d: objs=%d drainPending=%d writers=%d readers=%d lockedObjs=%d\n",
+			cn.id, objs, drains, writers, readers, locked)
+	}
+	return out
+}

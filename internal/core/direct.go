@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+)
+
+// executeDirect is the strict (non-localized) execution path used by
+// the factor-analysis Base and +Cell configurations (§8.4, Exp#5): no
+// record cache, locks held from fetch to commit, every read validated
+// remotely. With CellLevel on it still locks and validates at cell
+// granularity via the CREST record structure.
+func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
+	db := c.cn.sys.db
+	var a engine.Attempt
+	verbs0 := db.Fabric.Stats()
+	start := p.Now()
+	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
+		a.Committed = reason == engine.AbortNone
+		a.Reason = reason
+		a.FalseConflict = falseConflict
+		a.Verbs = db.Fabric.Stats().Sub(verbs0)
+		return a
+	}
+
+	var ws []*dwork
+	byRec := map[recKey]*dwork{}
+	for bi := range t.Blocks {
+		blk := &t.Blocks[bi]
+		blockWs := c.dPrepare(p, t, blk, byRec)
+		ws = append(ws, blockWs...)
+		if reason, falseC := c.dFetch(p, blockWs); reason != engine.AbortNone {
+			c.dRelease(p, ws)
+			a.Exec = p.Now().Sub(start)
+			return finish(reason, falseC)
+		}
+		for oi := range blk.Ops {
+			op := &blk.Ops[oi]
+			w := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
+			c.dApplyOp(p, t, op, w)
+		}
+	}
+	execEnd := p.Now()
+	a.Exec = execEnd.Sub(start)
+
+	if reason, falseC := c.dValidate(p, ws, start); reason != engine.AbortNone {
+		c.dRelease(p, ws)
+		a.Validate = p.Now().Sub(execEnd)
+		return finish(reason, falseC)
+	}
+	valEnd := p.Now()
+	a.Validate = valEnd.Sub(execEnd)
+
+	ts := db.TSO.Next()
+	c.dWriteLog(p, ws, ts)
+	c.dInstall(p, ws, ts)
+	c.dRecord(t, ws, ts)
+	a.Commit = p.Now().Sub(valEnd)
+	return finish(engine.AbortNone, false)
+}
+
+// dwork is the direct path's per-record attempt state.
+type dwork struct {
+	op        *engine.Op
+	key       layout.Key
+	off       uint64
+	lay       *layout.Record
+	primary   *memnode.Node
+	lockBits  uint64 // remote cell locks held
+	vals      [][]byte
+	vers      []layout.CellVersion
+	hdr       layout.Header
+	checks    []valCheck
+	tracked   bool
+	readVals  [][]byte
+	writeVals [][]byte
+}
+
+func (w *dwork) table() layout.TableID { return w.lay.Schema.ID }
+
+func (c *Coordinator) dPrepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*dwork) []*dwork {
+	db := c.cn.sys.db
+	var out []*dwork
+	for oi := range blk.Ops {
+		op := &blk.Ops[oi]
+		key := op.ResolveKey(t.State)
+		rk := recKey{op.Table, key}
+		if _, dup := byRec[rk]; dup {
+			panic(fmt.Sprintf("core: record %v accessed by two ops of one transaction", rk))
+		}
+		lay := c.cn.sys.layouts[op.Table]
+		primary := db.Pool.PrimaryOf(op.Table, key)
+		off, err := db.ResolveAddr(p, c.cn.cache, c.qps.Get(primary.Region), op.Table, key)
+		if err != nil {
+			panic(err)
+		}
+		w := &dwork{op: op, key: key, off: off, lay: lay, primary: primary}
+		byRec[rk] = w
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].table() != out[j].table() {
+			return out[i].table() < out[j].table()
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
+// dFetch locks and reads the block's records: masked-CAS + READ per
+// read-write record, READ per read-only record, all batched per node
+// into one round-trip. Inconsistent snapshots and foreign locks on
+// read cells trigger bounded refetches (§4.3).
+func (c *Coordinator) dFetch(p *sim.Proc, ws []*dwork) (engine.AbortReason, bool) {
+	if len(ws) == 0 {
+		return engine.AbortNone, false
+	}
+	db := c.cn.sys.db
+	opts := c.cn.sys.opts
+	todo := append([]*dwork(nil), ws...)
+	for tries := 0; ; tries++ {
+		var batches []rdma.Batch
+		perNode := map[int]int{}
+		type slot struct {
+			w      *dwork
+			casIdx int
+			rdIdx  int
+		}
+		var slots []*slot
+		for _, w := range todo {
+			bi, ok := perNode[w.primary.Region.ID()]
+			if !ok {
+				bi = len(batches)
+				perNode[w.primary.Region.ID()] = bi
+				batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+			}
+			s := &slot{w: w, casIdx: -1}
+			if want := c.cn.sys.lockMaskFor(w.lay, w.op) &^ w.lockBits; want != 0 {
+				s.casIdx = len(batches[bi].Ops)
+				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+					Kind: rdma.OpMaskedCAS,
+					Off:  w.off + layout.OffLock,
+					Swap: want, Mask: want,
+				})
+			}
+			s.rdIdx = len(batches[bi].Ops)
+			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: w.lay.Size()})
+			slots = append(slots, s)
+		}
+		results, err := rdma.PostMulti(p, batches)
+		if err != nil {
+			panic(err)
+		}
+		var retry []*dwork
+		var conflictMask, myMask uint64
+		lockFailed := false
+		for _, s := range slots {
+			// Every result must be processed before any abort return:
+			// a sibling CAS in the same batch may have succeeded and
+			// its lock bits must be recorded so the abort path can
+			// release them.
+			w := s.w
+			bi := perNode[w.primary.Region.ID()]
+			if s.casIdx >= 0 {
+				if results[bi][s.casIdx].OK {
+					w.lockBits |= c.cn.sys.lockMaskFor(w.lay, w.op) &^ w.lockBits
+					db.Tracker.OnLock(w.table(), w.key, accessMaskFor(w.op))
+					w.tracked = true
+				} else {
+					// No-wait on write locks: the attempt aborts.
+					lockFailed = true
+					conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
+					myMask |= accessMaskFor(w.op)
+					continue
+				}
+			}
+			h, vals, vers := decodeRecord(w.lay, results[bi][s.rdIdx].Data)
+			readMask := layout.LockMask(w.op.ReadCells) &^ w.lockBits
+			if !snapshotConsistent(h, vers, readMask, w.lockBits) {
+				retry = append(retry, w)
+				conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
+				myMask |= accessMaskFor(w.op)
+				continue
+			}
+			w.hdr, w.vals, w.vers = h, vals, vers
+			for _, cell := range w.op.ReadCells {
+				if w.lockBits&(1<<uint(cell)) == 0 {
+					w.checks = append(w.checks, valCheck{cell: cell, en: h.EN[cell], ts: vers[cell].TS})
+				}
+			}
+		}
+		if lockFailed {
+			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
+		}
+		if len(retry) == 0 {
+			return engine.AbortNone, false
+		}
+		if tries >= opts.LockRetries {
+			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
+		}
+		todo = retry
+		p.Sleep(opts.LockBackoff + sim.Duration(p.Rand().Int63n(int64(opts.LockBackoff))))
+	}
+}
+
+func (c *Coordinator) dApplyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *dwork) {
+	db := c.cn.sys.db
+	read := make([][]byte, len(op.ReadCells))
+	for i, cell := range op.ReadCells {
+		read[i] = append([]byte(nil), w.vals[cell]...)
+	}
+	p.Sleep(db.Cost.OpCost(len(op.ReadCells) + len(op.WriteCells)))
+	written := op.Hook(t.State, read)
+	if len(written) != len(op.WriteCells) {
+		panic(fmt.Sprintf("core: hook returned %d values for %d write cells", len(written), len(op.WriteCells)))
+	}
+	for i, cell := range op.WriteCells {
+		if len(written[i]) != w.lay.CellSize(cell) {
+			panic("core: hook wrote wrong cell size")
+		}
+		w.vals[cell] = written[i]
+	}
+	w.readVals = read
+	w.writeVals = written
+}
+
+// dValidate re-reads record headers and compares epoch numbers (or
+// full records and commit timestamps past the EN threshold).
+func (c *Coordinator) dValidate(p *sim.Proc, ws []*dwork, attemptStart sim.Time) (engine.AbortReason, bool) {
+	db := c.cn.sys.db
+	fallback := p.Now().Sub(attemptStart) > c.cn.sys.opts.ENThreshold
+	var batches []rdma.Batch
+	var batchWs [][]*dwork
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if len(w.checks) == 0 {
+			continue
+		}
+		bi, ok := perNode[w.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[w.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+			batchWs = append(batchWs, nil)
+		}
+		n := layout.HeaderSize
+		if fallback {
+			n = w.lay.Size()
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: n})
+		batchWs[bi] = append(batchWs[bi], w)
+	}
+	if len(batches) == 0 {
+		return engine.AbortNone, false
+	}
+	results, err := rdma.PostMulti(p, batches)
+	if err != nil {
+		panic(err)
+	}
+	for bi := range batches {
+		for ri, w := range batchWs[bi] {
+			data := results[bi][ri].Data
+			h := layout.DecodeHeader(data)
+			otherLocks := h.Lock &^ w.lockBits &^ layout.DeleteMask
+			for _, ck := range w.checks {
+				bit := uint64(1) << uint(ck.cell)
+				ok := otherLocks&bit == 0
+				if ok {
+					if fallback {
+						ok = layout.GetCellVersion(data[w.lay.CellOff(ck.cell):]).TS == ck.ts
+					} else {
+						ok = h.EN[ck.cell] == ck.en
+					}
+				}
+				if ok {
+					continue
+				}
+				conflicting := db.Tracker.ChangedSince(w.table(), w.key, ck.ts)
+				if otherLocks&bit != 0 {
+					conflicting |= db.Tracker.HolderCells(w.table(), w.key)
+				}
+				return engine.AbortValidation, engine.IsFalseConflict(accessMaskFor(w.op), conflicting)
+			}
+		}
+	}
+	return engine.AbortNone, false
+}
+
+// dRelease frees held locks (abort path), batched per node.
+func (c *Coordinator) dRelease(p *sim.Proc, ws []*dwork) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if w.lockBits == 0 {
+			continue
+		}
+		bi, ok := perNode[w.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[w.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			Kind:    rdma.OpMaskedCAS,
+			Off:     w.off + layout.OffLock,
+			Compare: w.lockBits,
+			Swap:    0,
+			Mask:    w.lockBits,
+		})
+		if w.tracked {
+			db.Tracker.OnUnlock(w.table(), w.key, accessMaskFor(w.op))
+			w.tracked = false
+		}
+		w.lockBits = 0
+	}
+	if len(batches) == 0 {
+		return
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+}
+
+// dWriteLog persists the redo-log entry (no local dependencies on the
+// direct path).
+func (c *Coordinator) dWriteLog(p *sim.Proc, ws []*dwork, ts uint64) {
+	var recs []logRecord
+	for _, w := range ws {
+		if len(w.op.WriteCells) == 0 {
+			continue
+		}
+		r := logRecord{Table: w.table(), Key: w.key, Mask: layout.LockMask(w.op.WriteCells)}
+		cells := append([]int(nil), w.op.WriteCells...)
+		sort.Ints(cells)
+		for _, cell := range cells {
+			r.Vals = append(r.Vals, w.vals[cell])
+		}
+		recs = append(recs, r)
+	}
+	if len(recs) == 0 {
+		return
+	}
+	entry := encodeLogEntry(c.gid<<32, ts, nil, recs)
+	off := c.log.Reserve(len(entry))
+	batches := make([]rdma.Batch, 0, len(c.logN))
+	for _, n := range c.logN {
+		batches = append(batches, rdma.Batch{
+			QP:  c.qps.Get(n.Region),
+			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: entry}},
+		})
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+}
+
+// dInstall writes updated cells, bumps their epoch numbers and unlocks
+// on every replica, ordered within one round-trip.
+func (c *Coordinator) dInstall(p *sim.Proc, ws []*dwork, ts uint64) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if w.lockBits == 0 {
+			continue
+		}
+		for _, n := range db.Pool.ReplicaNodes(w.table(), w.key) {
+			bi, ok := perNode[n.Region.ID()]
+			if !ok {
+				bi = len(batches)
+				perNode[n.Region.ID()] = bi
+				batches = append(batches, rdma.Batch{QP: c.qps.Get(n.Region)})
+			}
+			for _, cell := range w.op.WriteCells {
+				en := w.hdr.EN[cell] + 1
+				slot := make([]byte, layout.CellVersionSize+len(w.vals[cell]))
+				layout.PutCellVersion(slot, layout.CellVersion{EN: en, TS: ts})
+				copy(slot[layout.CellVersionSize:], w.vals[cell])
+				batches[bi].Ops = append(batches[bi].Ops,
+					rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.CellOff(cell)), Data: slot},
+					rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.ENOff(cell)), Data: []byte{byte(en), byte(en >> 8)}},
+				)
+			}
+			if n == w.primary {
+				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+					Kind:    rdma.OpMaskedCAS,
+					Off:     w.off + layout.OffLock,
+					Compare: w.lockBits,
+					Swap:    0,
+					Mask:    w.lockBits,
+				})
+			}
+		}
+	}
+	if len(batches) > 0 {
+		if _, err := rdma.PostMulti(p, batches); err != nil {
+			panic(err)
+		}
+	}
+	for _, w := range ws {
+		if w.lockBits == 0 {
+			continue
+		}
+		if w.tracked {
+			db.Tracker.OnUnlock(w.table(), w.key, accessMaskFor(w.op))
+			w.tracked = false
+		}
+		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		w.lockBits = 0
+	}
+}
+
+// dRecord feeds the committed transaction into the history checker.
+func (c *Coordinator) dRecord(t *engine.Txn, ws []*dwork, ts uint64) {
+	h := c.cn.sys.db.History
+	if h == nil || !h.On {
+		return
+	}
+	ht := engine.HTxn{TS: ts, Label: t.Label}
+	for _, w := range ws {
+		for i, cell := range w.op.ReadCells {
+			ht.Reads = append(ht.Reads, engine.HRead{
+				Cell: engine.CellID{Table: w.table(), Key: w.key, Cell: cell},
+				Hash: engine.HashValue(w.readVals[i]),
+			})
+		}
+		for i, cell := range w.op.WriteCells {
+			ht.Writes = append(ht.Writes, engine.HWrite{
+				Cell: engine.CellID{Table: w.table(), Key: w.key, Cell: cell},
+				Hash: engine.HashValue(w.writeVals[i]),
+			})
+		}
+	}
+	h.Commit(ht)
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"testing"
+
+	"crest/internal/engine"
+	"crest/internal/sim"
+)
+
+// TestCrossCNWriterNotStarvedByLocalStream guards the MaxPiggyback
+// release window: a remote compute node's writer must eventually
+// acquire a cell that a continuous local write stream keeps hot.
+// (Without the drain bound, writers never reaches zero on the owning
+// node and the lock is retained forever.)
+func TestCrossCNWriterNotStarvedByLocalStream(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 1, 2, 0, 2, false)
+	stop := false
+	// Compute node 0: a stream of overlapping writers on key 0.
+	for i := 0; i < 6; i++ {
+		coord := f.cns[0].NewCoordinator(i)
+		f.env.Spawn("local", func(p *sim.Proc) {
+			retry := engine.DefaultRetryPolicy()
+			for attempt := 1; !stop; attempt++ {
+				a := coord.Execute(p, incTxn(0, 0, 1))
+				if a.Committed {
+					attempt = 0
+					p.Sleep(sim.Microsecond)
+					continue
+				}
+				p.Sleep(retry.Backoff(attempt, p.Rand()))
+			}
+		})
+	}
+	// Compute node 1: one contender that must get through.
+	won := false
+	contender := f.cns[1].NewCoordinator(10)
+	f.env.Spawn("remote", func(p *sim.Proc) {
+		retry := engine.DefaultRetryPolicy()
+		for attempt := 1; !stop; attempt++ {
+			if a := contender.Execute(p, incTxn(0, 0, 1)); a.Committed {
+				won = true
+				stop = true
+				return
+			}
+			p.Sleep(retry.Backoff(attempt, p.Rand()))
+		}
+	})
+	f.env.Spawn("deadline", func(p *sim.Proc) {
+		p.Sleep(20 * sim.Millisecond)
+		stop = true
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !won {
+		t.Fatal("remote writer starved for 20ms of virtual time")
+	}
+}
+
+// TestReleaseNotStarvedByReaderRefetches guards the releaseReq gate:
+// the last writer's release must complete even while readers
+// continuously (re)admit the record. Observable: once the writers
+// finish, the pool lock word clears.
+func TestReleaseNotStarvedByReaderRefetches(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 1, 2, 0, 2, false)
+	stopReaders := false
+	for i := 0; i < 8; i++ {
+		coord := f.cns[0].NewCoordinator(i)
+		f.env.Spawn("reader", func(p *sim.Proc) {
+			for !stopReaders {
+				var out []uint64
+				coord.Execute(p, readTxn(0, []int{0, 1, 2}, &out))
+				p.Sleep(sim.Microsecond)
+			}
+		})
+	}
+	// A remote writer keeps invalidating the readers' cache so they
+	// refetch (admission traffic on the hot object).
+	remote := f.cns[1].NewCoordinator(20)
+	f.env.Spawn("remote-writer", func(p *sim.Proc) {
+		retry := engine.DefaultRetryPolicy()
+		for j := 0; j < 10; j++ {
+			for attempt := 1; ; attempt++ {
+				if a := remote.Execute(p, incTxn(0, 2, 1)); a.Committed {
+					break
+				}
+				p.Sleep(retry.Backoff(attempt, p.Rand()))
+			}
+			p.Sleep(5 * sim.Microsecond)
+		}
+	})
+	// Local writers come and go; their releases must land.
+	writer := f.cns[0].NewCoordinator(21)
+	f.env.Spawn("local-writer", func(p *sim.Proc) {
+		retry := engine.DefaultRetryPolicy()
+		for j := 0; j < 20; j++ {
+			for attempt := 1; ; attempt++ {
+				if a := writer.Execute(p, incTxn(0, 0, 1)); a.Committed {
+					break
+				}
+				p.Sleep(retry.Backoff(attempt, p.Rand()))
+			}
+		}
+		p.Sleep(50 * sim.Microsecond)
+		stopReaders = true
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, n := range f.sys.db.Pool.ReplicaNodes(1, 0) {
+		if h := f.poolHeader(n, 0); h.Lock != 0 {
+			t.Fatalf("lock retained after writers finished: %b on node %d", h.Lock, n.ID)
+		}
+	}
+	if got := f.poolCell(f.sys.db.Pool.PrimaryOf(1, 0), 0, 0); got != 20 {
+		t.Fatalf("local writes lost: cell = %d, want 20", got)
+	}
+}

@@ -1,0 +1,90 @@
+package core
+
+import (
+	"testing"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/sim"
+)
+
+// forgeRollover simulates a full 2^16-update rollover of one cell's
+// epoch number on every replica, host-side: the epoch returns to its
+// current value while the value and commit timestamp move on — the
+// exact situation that fools EN-equality validation and that the
+// §4.2 time threshold exists for.
+func forgeRollover(f *fixture, key layout.Key, cell int, newVal uint64) {
+	tab := f.sys.db.Table(1)
+	off, _ := tab.AddrOf(key)
+	lay := f.sys.layouts[1]
+	for _, n := range f.sys.db.Pool.ReplicaNodes(1, key) {
+		buf := n.Region.Bytes()[off:]
+		ver := layout.GetCellVersion(buf[lay.CellOff(cell):])
+		// Same EN (a 65,536-update wrap), newer commit timestamp.
+		layout.PutCellVersion(buf[lay.CellOff(cell):], layout.CellVersion{EN: ver.EN, TS: ver.TS + 999})
+		copy(buf[lay.CellValueOff(cell):], word(newVal))
+	}
+}
+
+// TestENRolloverMissedWithoutThreshold documents the hazard: a
+// transaction that stays under the threshold validates by epoch
+// number alone and cannot see a full rollover. (The paper's argument
+// is that a rollover needs ≥65,536 commits on one cell, which cannot
+// happen within the 65,536µs threshold.)
+func TestENRolloverMissedWithoutThreshold(t *testing.T) {
+	opts := DefaultOptions() // threshold far above the txn's duration
+	f := newFixture(t, opts, 1, 1, 0, 4, false)
+	coord := f.cns[0].NewCoordinator(0)
+	var att engine.Attempt
+	f.env.Spawn("reader", func(p *sim.Proc) {
+		txn := &engine.Txn{Label: "r", ReadOnly: true}
+		txn.Blocks = []engine.Block{{Ops: []engine.Op{{
+			Table: 1, Key: 0, ReadCells: []int{0},
+			Hook: func(_ any, _ [][]byte) [][]byte {
+				// A forged rollover lands between read and validation.
+				forgeRollover(f, 0, 0, 777)
+				p.Sleep(10 * sim.Microsecond)
+				return nil
+			},
+		}}}}
+		att = coord.Execute(p, txn)
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !att.Committed {
+		t.Fatalf("expected the EN check to be fooled by a rollover (got %v)", att.Reason)
+	}
+}
+
+// TestENRolloverCaughtByThresholdFallback shows the defence: past the
+// threshold, validation reads the whole record and compares commit
+// timestamps, which a rollover cannot preserve.
+func TestENRolloverCaughtByThresholdFallback(t *testing.T) {
+	opts := DefaultOptions()
+	opts.ENThreshold = 5 * sim.Microsecond // force the fallback
+	f := newFixture(t, opts, 1, 1, 0, 4, false)
+	coord := f.cns[0].NewCoordinator(0)
+	var att engine.Attempt
+	f.env.Spawn("reader", func(p *sim.Proc) {
+		txn := &engine.Txn{Label: "r", ReadOnly: true}
+		txn.Blocks = []engine.Block{{Ops: []engine.Op{{
+			Table: 1, Key: 0, ReadCells: []int{0},
+			Hook: func(_ any, _ [][]byte) [][]byte {
+				forgeRollover(f, 0, 0, 777)
+				p.Sleep(10 * sim.Microsecond)
+				return nil
+			},
+		}}}}
+		att = coord.Execute(p, txn)
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if att.Committed {
+		t.Fatal("timestamp fallback failed to catch the rollover")
+	}
+	if att.Reason != engine.AbortValidation {
+		t.Fatalf("reason = %v", att.Reason)
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/sim"
+)
+
+func TestResyncRebuildsFailedNode(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 3, 1, 1, 8, false)
+	coord := f.cns[0].NewCoordinator(0)
+
+	// Node 2 fails; transactions keep committing against the
+	// survivors (only keys whose replica set avoids node 2 — pick them
+	// by probing).
+	f.sys.db.Pool.Nodes()[2].Region.Fail()
+	var usable []int
+	for k := 0; k < 8; k++ {
+		ok := true
+		for _, n := range f.sys.db.Pool.ReplicaNodes(1, layout.Key(k)) {
+			if n.ID == 2 {
+				ok = false
+			}
+		}
+		if ok {
+			usable = append(usable, k)
+		}
+	}
+	if len(usable) == 0 {
+		t.Skip("no key avoids node 2 under this placement")
+	}
+	f.env.Spawn("c", func(p *sim.Proc) {
+		for i := 0; i < 5; i++ {
+			retryUntilCommit(p, coord, incTxn(layout.Key(usable[0]), 0, 1))
+		}
+	})
+	run(t, f)
+
+	// Resync is rejected while the node is still down.
+	if _, err := f.sys.Resync(2); err == nil {
+		t.Fatal("resync accepted a failed node")
+	}
+	f.sys.db.Pool.Nodes()[2].Region.Recover()
+	n, err := f.sys.Resync(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("resync copied nothing")
+	}
+	// Every record replicated on node 2 now matches its primary.
+	tab := f.sys.db.Table(1)
+	lay := f.sys.layouts[1]
+	tab.Keys(func(key layout.Key, off uint64) {
+		onTarget := false
+		for _, nn := range f.sys.db.Pool.ReplicaNodes(1, key) {
+			if nn.ID == 2 {
+				onTarget = true
+			}
+		}
+		if !onTarget {
+			return
+		}
+		primary := f.sys.db.Pool.PrimaryOf(1, key)
+		a := primary.Region.Bytes()[off : off+uint64(lay.Size())]
+		b := f.sys.db.Pool.Nodes()[2].Region.Bytes()[off : off+uint64(lay.Size())]
+		if !bytes.Equal(a, b) {
+			t.Fatalf("key %d differs on resynced node", key)
+		}
+	})
+	if _, err := f.sys.Resync(99); err == nil {
+		t.Fatal("bad node id accepted")
+	}
+}
+
+func TestHybridRecordLevelTables(t *testing.T) {
+	opts := DefaultOptions()
+	opts.RecordLevelTables = []layout.TableID{1}
+	f := newFixture(t, opts, 1, 2, 0, 2, false)
+	c1 := f.cns[0].NewCoordinator(0)
+	c2 := f.cns[1].NewCoordinator(1)
+	outcomes := make([]engine.Attempt, 2)
+	f.env.Spawn("c1", func(p *sim.Proc) {
+		txn := incTxn(0, 0, 1)
+		txn.Blocks[0].Ops[0].Hook = func(_ any, read [][]byte) [][]byte {
+			p.Sleep(100 * sim.Microsecond)
+			return [][]byte{read[0]}
+		}
+		outcomes[0] = c1.Execute(p, txn)
+	})
+	f.env.Spawn("c2", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		outcomes[1] = c2.Execute(p, incTxn(0, 2, 1)) // disjoint cell
+	})
+	run(t, f)
+	// With table 1 opted out of cell-level CC, disjoint cells conflict
+	// like a record-level system.
+	if !outcomes[0].Committed {
+		t.Fatalf("holder aborted: %v", outcomes[0].Reason)
+	}
+	if outcomes[1].Committed {
+		t.Fatal("record-level table let disjoint cells through")
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"testing"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/sim"
+)
+
+func TestInsertRowVisibleToTransactions(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 2, 2, 1, 4, false)
+	inserter := f.cns[0].NewCoordinator(0)
+	reader := f.cns[1].NewCoordinator(1)
+	f.env.Spawn("insert", func(p *sim.Proc) {
+		err := inserter.InsertRow(p, 1, 100, [][]byte{word(7), word(8), word(9)})
+		if err != nil {
+			t.Errorf("insert: %v", err)
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The new row is readable from the other compute node (cold
+	// address cache → index lookup).
+	var got []uint64
+	f.env.Spawn("read", func(p *sim.Proc) {
+		txn := readTxn(100, []int{0, 1, 2}, &got)
+		if a := reader.Execute(p, txn); !a.Committed {
+			t.Errorf("read abort: %v", a.Reason)
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 7 || got[1] != 8 || got[2] != 9 {
+		t.Fatalf("read %v", got)
+	}
+	// Locks fully released on every replica.
+	for _, n := range f.sys.db.Pool.ReplicaNodes(1, 100) {
+		if h := f.poolHeader(n, 100); h.Lock != 0 {
+			t.Fatalf("insert leaked locks: %b", h.Lock)
+		}
+	}
+}
+
+func TestInsertRowRejectsDuplicatesAndBadShape(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 1, 1, 0, 4, false)
+	coord := f.cns[0].NewCoordinator(0)
+	f.env.Spawn("c", func(p *sim.Proc) {
+		if err := coord.InsertRow(p, 1, 0, [][]byte{word(1), word(2), word(3)}); err == nil {
+			t.Error("duplicate key accepted")
+		}
+		if err := coord.InsertRow(p, 1, 200, [][]byte{word(1)}); err == nil {
+			t.Error("wrong cell count accepted")
+		}
+		if err := coord.InsertRow(p, 99, 200, nil); err == nil {
+			t.Error("unknown table accepted")
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRowAbortsReaders(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 2, 2, 1, 4, false)
+	deleter := f.cns[0].NewCoordinator(0)
+	reader := f.cns[1].NewCoordinator(1)
+	f.env.Spawn("delete", func(p *sim.Proc) {
+		if err := deleter.DeleteRow(p, 1, 2); err != nil {
+			t.Errorf("delete: %v", err)
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// The delete bit is set, cell locks are clear.
+	for _, n := range f.sys.db.Pool.ReplicaNodes(1, 2) {
+		h := f.poolHeader(n, 2)
+		if h.Lock != layout.DeleteMask {
+			t.Fatalf("node %d lock word %x, want delete bit only", n.ID, h.Lock)
+		}
+	}
+	// A transaction touching the ghost row aborts rather than reading
+	// stale data.
+	f.env.Spawn("read", func(p *sim.Proc) {
+		var got []uint64
+		a := reader.Execute(p, readTxn(2, []int{0}, &got))
+		if a.Committed {
+			t.Error("read of deleted row committed")
+		}
+		if a.Reason != engine.AbortValidation {
+			t.Errorf("reason %v", a.Reason)
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteRowContendedTimesOut(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 1, 2, 0, 4, false)
+	holder := f.cns[0].NewCoordinator(0)
+	deleter := f.cns[1].NewCoordinator(1)
+	f.env.Spawn("holder", func(p *sim.Proc) {
+		txn := incTxn(3, 0, 1)
+		txn.Blocks[0].Ops[0].Hook = func(_ any, read [][]byte) [][]byte {
+			p.Sleep(300 * sim.Microsecond)
+			return [][]byte{read[0]}
+		}
+		holder.Execute(p, txn)
+	})
+	f.env.Spawn("deleter", func(p *sim.Proc) {
+		p.Sleep(10 * sim.Microsecond)
+		if err := deleter.DeleteRow(p, 1, 3); err == nil {
+			t.Error("delete succeeded against held cell locks")
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInsertThenDeleteRoundTrip(t *testing.T) {
+	f := newFixture(t, DefaultOptions(), 1, 1, 0, 4, false)
+	coord := f.cns[0].NewCoordinator(0)
+	f.env.Spawn("c", func(p *sim.Proc) {
+		if err := coord.InsertRow(p, 1, 50, [][]byte{word(1), word(2), word(3)}); err != nil {
+			t.Fatalf("insert: %v", err)
+		}
+		if err := coord.DeleteRow(p, 1, 50); err != nil {
+			t.Fatalf("delete: %v", err)
+		}
+		if err := coord.DeleteRow(p, 1, 999); err == nil {
+			t.Error("delete of absent key accepted")
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

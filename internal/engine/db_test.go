@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"testing"
+
+	"crest/internal/hashindex"
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+)
+
+func newTestDB(t *testing.T) (*sim.Env, *DB) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	params := rdma.DefaultParams()
+	params.JitterPct = 0
+	fabric := rdma.NewFabric(env, params)
+	pool := memnode.NewPool(fabric, 2, 1<<20, 1)
+	return env, NewDB(pool)
+}
+
+func testSchema() layout.Schema {
+	return layout.Schema{ID: 7, Name: "t", CellSizes: []int{8, 8}}
+}
+
+func TestDBCreateAndLoad(t *testing.T) {
+	_, db := newTestDB(t)
+	tab := db.CreateTable(testSchema(), 64, 8)
+	if db.Table(7) != tab {
+		t.Fatal("Table lookup")
+	}
+	db.LoadRecord(tab, 5, func(buf []byte) { buf[0] = 0xAA })
+	if tab.NumLoaded() != 1 {
+		t.Fatalf("NumLoaded = %d", tab.NumLoaded())
+	}
+	off, ok := tab.AddrOf(5)
+	if !ok {
+		t.Fatal("AddrOf miss")
+	}
+	// Every replica node received the record bytes.
+	for _, n := range db.Pool.ReplicaNodes(7, 5) {
+		if n.Region.Bytes()[off] != 0xAA {
+			t.Fatalf("node %d missing record", n.ID)
+		}
+	}
+	seen := 0
+	tab.Keys(func(k layout.Key, o uint64) {
+		if k != 5 || o != off {
+			t.Fatalf("Keys gave %d/%d", k, o)
+		}
+		seen++
+	})
+	if seen != 1 {
+		t.Fatal("Keys iteration")
+	}
+}
+
+func TestDBDuplicateTablePanics(t *testing.T) {
+	_, db := newTestDB(t)
+	db.CreateTable(testSchema(), 64, 8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate table")
+		}
+	}()
+	db.CreateTable(testSchema(), 64, 8)
+}
+
+func TestDBDuplicateLoadPanics(t *testing.T) {
+	_, db := newTestDB(t)
+	tab := db.CreateTable(testSchema(), 64, 8)
+	db.LoadRecord(tab, 1, func([]byte) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on duplicate key")
+		}
+	}()
+	db.LoadRecord(tab, 1, func([]byte) {})
+}
+
+func TestDBFullTablePanics(t *testing.T) {
+	_, db := newTestDB(t)
+	tab := db.CreateTable(testSchema(), 64, 2)
+	db.LoadRecord(tab, 1, func([]byte) {})
+	db.LoadRecord(tab, 2, func([]byte) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on full table")
+		}
+	}()
+	db.LoadRecord(tab, 3, func([]byte) {})
+}
+
+func TestClaimSlot(t *testing.T) {
+	_, db := newTestDB(t)
+	tab := db.CreateTable(testSchema(), 64, 2)
+	db.LoadRecord(tab, 1, func([]byte) {})
+	off, err := tab.ClaimSlot(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := tab.AddrOf(9); !ok || got != off {
+		t.Fatal("claimed slot not registered")
+	}
+	if _, err := tab.ClaimSlot(9); err == nil {
+		t.Fatal("duplicate claim accepted")
+	}
+	if _, err := tab.ClaimSlot(10); err == nil {
+		t.Fatal("claim beyond capacity accepted")
+	}
+}
+
+func TestResolveAddrCacheAndIndex(t *testing.T) {
+	env, db := newTestDB(t)
+	tab := db.CreateTable(testSchema(), 64, 8)
+	db.LoadRecord(tab, 3, func([]byte) {})
+	if err := db.FinishLoad(); err != nil {
+		t.Fatal(err)
+	}
+	cache := hashindex.NewAddrCache()
+	env.Spawn("r", func(p *sim.Proc) {
+		qp := db.Fabric.Connect(db.Pool.PrimaryOf(7, 3).Region)
+		before := db.Fabric.Stats()
+		off1, err := db.ResolveAddr(p, cache, qp, 7, 3)
+		if err != nil {
+			t.Error(err)
+		}
+		if db.Fabric.Stats().Sub(before).Reads == 0 {
+			t.Error("cold resolve issued no index READ")
+		}
+		mid := db.Fabric.Stats()
+		off2, err := db.ResolveAddr(p, cache, qp, 7, 3)
+		if err != nil || off2 != off1 {
+			t.Error("cached resolve mismatch")
+		}
+		if db.Fabric.Stats().Sub(mid).Reads != 0 {
+			t.Error("cached resolve issued a READ")
+		}
+		if _, err := db.ResolveAddr(p, cache, qp, 7, 99); err == nil {
+			t.Error("missing key resolved")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWarmCacheLoadsEverything(t *testing.T) {
+	_, db := newTestDB(t)
+	tab := db.CreateTable(testSchema(), 64, 8)
+	for k := layout.Key(0); k < 4; k++ {
+		db.LoadRecord(tab, k, func([]byte) {})
+	}
+	cache := hashindex.NewAddrCache()
+	db.WarmCache(cache)
+	if cache.Len() != 4 {
+		t.Fatalf("warm cache has %d entries", cache.Len())
+	}
+}
+
+func TestReplicaQPs(t *testing.T) {
+	_, db := newTestDB(t)
+	qps := db.ReplicaQPs(7, 3)
+	if len(qps) != 2 { // f=1 → primary + one backup
+		t.Fatalf("%d QPs", len(qps))
+	}
+	if qps[0].Region() != db.Pool.PrimaryOf(7, 3).Region {
+		t.Fatal("first QP is not the primary")
+	}
+}
+
+func TestQPCacheReuses(t *testing.T) {
+	_, db := newTestDB(t)
+	c := NewQPCache(db.Fabric)
+	r := db.Pool.Nodes()[0].Region
+	if c.Get(r) != c.Get(r) {
+		t.Fatal("QP not reused")
+	}
+	if c.Get(r) == c.Get(db.Pool.Nodes()[1].Region) {
+		t.Fatal("distinct regions share a QP")
+	}
+}
+
+func TestHistoryDebugCell(t *testing.T) {
+	h := NewHistory()
+	c := CellID{Table: 1, Key: 2, Cell: 0}
+	h.SetInitial(c, []byte{1})
+	h.Commit(HTxn{TS: 1, Label: "w", Writes: []HWrite{{Cell: c, Hash: 42}}})
+	h.Commit(HTxn{TS: 2, Label: "r", Reads: []HRead{{Cell: c, Hash: 42}}})
+	lines := h.DebugCell(c)
+	if len(lines) != 3 {
+		t.Fatalf("DebugCell lines: %v", lines)
+	}
+}
+
+func TestAttemptTotal(t *testing.T) {
+	a := Attempt{Exec: 10, Validate: 5, Commit: 3}
+	if a.Total() != 18 {
+		t.Fatalf("Total = %v", a.Total())
+	}
+}

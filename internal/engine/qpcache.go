@@ -1,0 +1,25 @@
+package engine
+
+import "crest/internal/rdma"
+
+// QPCache reuses queue pairs per target region, the way a coordinator
+// keeps one QP per memory node.
+type QPCache struct {
+	fabric *rdma.Fabric
+	qps    map[int]*rdma.QP
+}
+
+// NewQPCache returns an empty cache over fabric.
+func NewQPCache(fabric *rdma.Fabric) *QPCache {
+	return &QPCache{fabric: fabric, qps: map[int]*rdma.QP{}}
+}
+
+// Get returns the cached (or newly connected) QP for region r.
+func (c *QPCache) Get(r *rdma.Region) *rdma.QP {
+	if qp, ok := c.qps[r.ID()]; ok {
+		return qp
+	}
+	qp := c.fabric.Connect(r)
+	c.qps[r.ID()] = qp
+	return qp
+}

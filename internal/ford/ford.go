@@ -1,0 +1,541 @@
+// Package ford implements the FORD baseline (Zhang et al., "Localized
+// Validation Accelerates Distributed Transactions on Disaggregated
+// Persistent Memory", ACM TOS 2023) as the paper evaluates it:
+// record-level optimistic concurrency control over one-sided RDMA.
+//
+// Per transaction (Table 2 of the CREST paper):
+//
+//	execution:  READ for read-only records; CAS(lock)+READ, batched in
+//	            one round-trip, for read-write records (no-wait: a
+//	            failed CAS aborts the attempt);
+//	validation: one READ of lock+version for each read-only record,
+//	            batched per memory node;
+//	commit:     one log WRITE, then WRITE(version+data)+CAS(unlock)
+//	            batched per replica — strict locking holds every lock
+//	            until here.
+package ford
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"crest/internal/engine"
+	"crest/internal/hashindex"
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+)
+
+// logSegmentSize is each coordinator's undo-log ring in the memory
+// pool.
+const logSegmentSize = 64 << 10
+
+// System is a FORD instance over a shared DB.
+type System struct {
+	db      *engine.DB
+	layouts map[layout.TableID]*layout.FORDRecord
+	nextCN  int
+}
+
+// New creates a FORD system on db.
+func New(db *engine.DB) *System {
+	return &System{db: db, layouts: map[layout.TableID]*layout.FORDRecord{}}
+}
+
+// Name implements the conventional engine label.
+func (s *System) Name() string { return "FORD" }
+
+// DB exposes the underlying database substrate.
+func (s *System) DB() *engine.DB { return s.db }
+
+// CreateTable registers a table with FORD's record layout.
+func (s *System) CreateTable(sc layout.Schema, capacity int) {
+	sc = sc.Normalize()
+	lay := layout.NewFORDRecord(sc)
+	s.layouts[sc.ID] = lay
+	s.db.CreateTable(sc, lay.PaddedSize(), capacity)
+}
+
+// Load writes a record's initial cell values host-side (pre-load).
+func (s *System) Load(table layout.TableID, key layout.Key, cells [][]byte) {
+	lay := s.layouts[table]
+	t := s.db.Table(table)
+	s.db.LoadRecord(t, key, func(buf []byte) {
+		binary.LittleEndian.PutUint64(buf[layout.BOffKey:], uint64(key))
+		binary.LittleEndian.PutUint32(buf[layout.BOffTableID:], uint32(table))
+		for i, v := range cells {
+			if len(v) != lay.Schema.CellSizes[i] {
+				panic(fmt.Sprintf("ford: cell %d size %d, schema wants %d", i, len(v), lay.Schema.CellSizes[i]))
+			}
+			copy(buf[lay.CellValueOff(i):], v)
+		}
+	})
+	if h := s.db.History; h != nil && h.On {
+		for i, v := range cells {
+			h.SetInitial(engine.CellID{Table: table, Key: key, Cell: i}, v)
+		}
+	}
+}
+
+// FinishLoad publishes the hash indexes.
+func (s *System) FinishLoad() error { return s.db.FinishLoad() }
+
+// ComputeNode groups the coordinators of one compute node; in FORD
+// they share only the address cache.
+type ComputeNode struct {
+	sys   *System
+	id    int
+	cache *hashindex.AddrCache
+}
+
+// NewComputeNode creates compute node state.
+func (s *System) NewComputeNode(id int) *ComputeNode {
+	cn := &ComputeNode{sys: s, id: id, cache: hashindex.NewAddrCache()}
+	s.nextCN++
+	return cn
+}
+
+// WarmCache preloads the address cache with every record.
+func (cn *ComputeNode) WarmCache() { cn.sys.db.WarmCache(cn.cache) }
+
+// Coordinator executes FORD transactions.
+type Coordinator struct {
+	cn   *ComputeNode
+	gid  uint64 // global owner id, nonzero (lock word value)
+	qps  *engine.QPCache
+	log  *memnode.LogSegment
+	logN []*memnode.Node
+}
+
+// NewCoordinator creates coordinator number id on the compute node.
+// Ids must be globally unique across compute nodes.
+func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
+	db := cn.sys.db
+	pool := db.Pool
+	c := &Coordinator{
+		cn:  cn,
+		gid: uint64(id) + 1,
+		qps: engine.NewQPCache(db.Fabric),
+		log: pool.AllocLog(logSegmentSize),
+	}
+	nodes := pool.Nodes()
+	for i := 0; i <= pool.Replicas(); i++ {
+		c.logN = append(c.logN, nodes[(id+i)%len(nodes)])
+	}
+	return c
+}
+
+// work is the per-record execution state of one attempt.
+type work struct {
+	op        *engine.Op
+	key       layout.Key
+	off       uint64
+	lay       *layout.FORDRecord
+	primary   *memnode.Node
+	data      []byte // working copy of the whole record
+	readVer   uint64
+	locked    bool
+	cells     uint64 // accessed-cell mask, for conflict classification
+	readVals  [][]byte
+	writeVals [][]byte
+}
+
+func (w *work) table() layout.TableID { return w.lay.Schema.ID }
+
+// Execute runs one attempt of t. It never retries; the caller owns
+// backoff and retry.
+func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
+	db := c.cn.sys.db
+	var a engine.Attempt
+	verbs0 := db.Fabric.Stats()
+	start := p.Now()
+	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
+		a.Committed = reason == engine.AbortNone
+		a.Reason = reason
+		a.FalseConflict = falseConflict
+		a.Verbs = db.Fabric.Stats().Sub(verbs0)
+		return a
+	}
+
+	var ws []*work
+	byRec := map[recKey]*work{}
+
+	// Execution phase: per block, batch CAS+READ / READ per memory
+	// node, then run the hooks locally.
+	for bi := range t.Blocks {
+		blk := &t.Blocks[bi]
+		newWork, err := c.prepareBlock(p, t, blk, byRec)
+		if err != nil {
+			panic(err) // address resolution errors are programming bugs
+		}
+		ws = append(ws, newWork...)
+		if abort, falseC := c.fetchBlock(p, newWork); abort != engine.AbortNone {
+			c.releaseLocks(p, ws)
+			a.Exec = p.Now().Sub(start)
+			return finish(abort, falseC)
+		}
+		// Run every op of the block in program order.
+		for oi := range blk.Ops {
+			op := &blk.Ops[oi]
+			w := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
+			c.applyOp(p, t, op, w)
+		}
+	}
+	execEnd := p.Now()
+	a.Exec = execEnd.Sub(start)
+
+	// Validation phase: re-read lock+version of every read-only
+	// record.
+	if abort, falseC := c.validate(p, ws); abort != engine.AbortNone {
+		c.releaseLocks(p, ws)
+		a.Validate = p.Now().Sub(execEnd)
+		return finish(abort, falseC)
+	}
+	valEnd := p.Now()
+	a.Validate = valEnd.Sub(execEnd)
+
+	// Commit phase: undo log, then install updates and release locks.
+	ts := db.TSO.Next()
+	c.writeLog(p, ws, ts)
+	c.install(p, ws, ts)
+	c.record(t, ws, ts)
+	a.Commit = p.Now().Sub(valEnd)
+	return finish(engine.AbortNone, false)
+}
+
+type recKey struct {
+	table layout.TableID
+	key   layout.Key
+}
+
+// prepareBlock resolves keys and builds work entries for records not
+// yet fetched, sorted by (table, key) for deterministic batching.
+func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*work) ([]*work, error) {
+	db := c.cn.sys.db
+	var out []*work
+	for oi := range blk.Ops {
+		op := &blk.Ops[oi]
+		key := op.ResolveKey(t.State)
+		rk := recKey{op.Table, key}
+		if prev, ok := byRec[rk]; ok {
+			if op.IsWrite() && !prev.locked {
+				panic(fmt.Sprintf("ford: record %v written after read-only fetch; declare the write on first access", rk))
+			}
+			prev.cells |= opCellMask(op)
+			continue
+		}
+		lay := c.cn.sys.layouts[op.Table]
+		primary := db.Pool.PrimaryOf(op.Table, key)
+		off, err := db.ResolveAddr(p, c.cn.cache, c.qps.Get(primary.Region), op.Table, key)
+		if err != nil {
+			return nil, err
+		}
+		w := &work{op: op, key: key, off: off, lay: lay, primary: primary, cells: opCellMask(op)}
+		byRec[rk] = w
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].table() != out[j].table() {
+			return out[i].table() < out[j].table()
+		}
+		return out[i].key < out[j].key
+	})
+	return out, nil
+}
+
+func opCellMask(op *engine.Op) uint64 {
+	return layout.LockMask(op.ReadCells) | layout.LockMask(op.WriteCells)
+}
+
+// fetchBlock issues the block's CAS+READ / READ batches, one
+// round-trip per memory node, and parses the results.
+func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work) (engine.AbortReason, bool) {
+	if len(ws) == 0 {
+		return engine.AbortNone, false
+	}
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	batchWork := make(map[int][]*work) // batch index → works in op order
+	perNode := map[int]int{}           // region id → batch index
+	for _, w := range ws {
+		bi, ok := perNode[w.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[w.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+		}
+		if w.op.IsWrite() {
+			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				Kind:    rdma.OpCAS,
+				Off:     w.off + layout.BOffLock,
+				Compare: 0,
+				Swap:    c.gid,
+			})
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			Kind: rdma.OpRead,
+			Off:  w.off,
+			Len:  w.lay.Size(),
+		})
+		batchWork[bi] = append(batchWork[bi], w)
+	}
+	results, err := rdma.PostMulti(p, batches)
+	if err != nil {
+		panic(err)
+	}
+	abort := engine.AbortNone
+	falseConflict := false
+	for bi := range batches {
+		ri := 0
+		for _, w := range batchWork[bi] {
+			if w.op.IsWrite() {
+				if results[bi][ri].OK {
+					w.locked = true
+					db.Tracker.OnLock(w.table(), w.key, w.cells)
+				} else if abort == engine.AbortNone {
+					abort = engine.AbortLockFail
+					holder := db.Tracker.HolderCells(w.table(), w.key)
+					falseConflict = engine.IsFalseConflict(w.cells, holder)
+				}
+				ri++
+			}
+			w.data = results[bi][ri].Data
+			w.readVer = layout.ReadWord(w.data, layout.BOffVersion) & layout.MaxTS48
+			ri++
+		}
+	}
+	return abort, falseConflict
+}
+
+// applyOp runs the op's hook against the working copy.
+func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *work) {
+	db := c.cn.sys.db
+	read := make([][]byte, len(op.ReadCells))
+	for i, cell := range op.ReadCells {
+		read[i] = append([]byte(nil), w.data[w.lay.CellValueOff(cell):][:w.lay.Schema.CellSizes[cell]]...)
+	}
+	p.Sleep(db.Cost.OpCost(len(op.ReadCells) + len(op.WriteCells)))
+	written := op.Hook(t.State, read)
+	if len(written) != len(op.WriteCells) {
+		panic(fmt.Sprintf("ford: hook returned %d values for %d write cells", len(written), len(op.WriteCells)))
+	}
+	for i, cell := range op.WriteCells {
+		if len(written[i]) != w.lay.Schema.CellSizes[cell] {
+			panic(fmt.Sprintf("ford: hook wrote %d bytes to cell %d of size %d", len(written[i]), cell, w.lay.Schema.CellSizes[cell]))
+		}
+		copy(w.data[w.lay.CellValueOff(cell):], written[i])
+	}
+	w.readVals = read
+	w.writeVals = written
+}
+
+// validate re-reads lock+version of every read-only record, batched
+// per memory node in one round-trip.
+func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, bool) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	var batchWork [][]*work
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if w.locked {
+			continue // read-write records are protected by their lock
+		}
+		bi, ok := perNode[w.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[w.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+			batchWork = append(batchWork, nil)
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			Kind: rdma.OpRead,
+			Off:  w.off + layout.BOffLock,
+			Len:  16, // lock word + version word
+		})
+		batchWork[bi] = append(batchWork[bi], w)
+	}
+	if len(batches) == 0 {
+		return engine.AbortNone, false
+	}
+	results, err := rdma.PostMulti(p, batches)
+	if err != nil {
+		panic(err)
+	}
+	for bi := range batches {
+		for ri, w := range batchWork[bi] {
+			lock := binary.LittleEndian.Uint64(results[bi][ri].Data)
+			ver := binary.LittleEndian.Uint64(results[bi][ri].Data[8:]) & layout.MaxTS48
+			if lock == 0 && ver == w.readVer {
+				continue
+			}
+			var conflicting uint64
+			if lock != 0 {
+				conflicting = db.Tracker.HolderCells(w.table(), w.key)
+			}
+			if ver != w.readVer {
+				conflicting |= db.Tracker.ChangedSince(w.table(), w.key, w.readVer)
+			}
+			return engine.AbortValidation, engine.IsFalseConflict(w.cells, conflicting)
+		}
+	}
+	return engine.AbortNone, false
+}
+
+// releaseLocks clears every lock this attempt holds, batched per node
+// in one round-trip.
+func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		bi, ok := perNode[w.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[w.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			Kind:    rdma.OpCAS,
+			Off:     w.off + layout.BOffLock,
+			Compare: c.gid,
+			Swap:    0,
+		})
+		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
+		w.locked = false
+	}
+	if len(batches) == 0 {
+		return
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+}
+
+// writeLog persists the undo images of every written record to the
+// coordinator's log segment replicas in one round-trip.
+func (c *Coordinator) writeLog(p *sim.Proc, ws []*work, ts uint64) {
+	entry := c.encodeLog(ws, ts)
+	if entry == nil {
+		return
+	}
+	off := c.log.Reserve(len(entry))
+	batches := make([]rdma.Batch, 0, len(c.logN))
+	for _, n := range c.logN {
+		batches = append(batches, rdma.Batch{
+			QP:  c.qps.Get(n.Region),
+			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: entry}},
+		})
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+}
+
+// encodeLog builds the undo-log entry: ts, then per written record its
+// table, key and prior image. Returns nil if the txn wrote nothing.
+func (c *Coordinator) encodeLog(ws []*work, ts uint64) []byte {
+	n := 0
+	for _, w := range ws {
+		if w.locked {
+			n++
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(w.table()))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.key))
+		buf = binary.LittleEndian.AppendUint64(buf, w.readVer)
+		buf = append(buf, w.data[w.lay.DataOff():w.lay.Size()]...)
+	}
+	return buf
+}
+
+// install writes version+data and releases the lock on every replica
+// of every written record — one WRITE plus one CAS per record, all in
+// one round-trip (delivery order makes the data visible before the
+// unlock).
+func (c *Coordinator) install(p *sim.Proc, ws []*work, ts uint64) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		layout.PutWord(w.data, layout.BOffVersion, ts)
+		payload := append([]byte(nil), w.data[layout.BOffVersion:w.lay.Size()]...)
+		for _, n := range db.Pool.ReplicaNodes(w.table(), w.key) {
+			bi, ok := perNode[n.Region.ID()]
+			if !ok {
+				bi = len(batches)
+				perNode[n.Region.ID()] = bi
+				batches = append(batches, rdma.Batch{QP: c.qps.Get(n.Region)})
+			}
+			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				Kind: rdma.OpWrite,
+				Off:  w.off + layout.BOffVersion,
+				Data: payload,
+			})
+			if n == w.primary {
+				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+					Kind:    rdma.OpCAS,
+					Off:     w.off + layout.BOffLock,
+					Compare: c.gid,
+					Swap:    0,
+				})
+			}
+		}
+	}
+	if len(batches) == 0 {
+		return
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
+		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		w.locked = false
+	}
+}
+
+// record feeds the committed transaction into the history checker,
+// using the values the hooks actually observed and produced.
+func (c *Coordinator) record(t *engine.Txn, ws []*work, ts uint64) {
+	h := c.cn.sys.db.History
+	if h == nil || !h.On {
+		return
+	}
+	ht := engine.HTxn{TS: ts, Label: t.Label}
+	for _, w := range ws {
+		for i, cell := range w.op.ReadCells {
+			ht.Reads = append(ht.Reads, engine.HRead{
+				Cell: engine.CellID{Table: w.table(), Key: w.key, Cell: cell},
+				Hash: engine.HashValue(w.readVals[i]),
+			})
+		}
+		for i, cell := range w.op.WriteCells {
+			ht.Writes = append(ht.Writes, engine.HWrite{
+				Cell: engine.CellID{Table: w.table(), Key: w.key, Cell: cell},
+				Hash: engine.HashValue(w.writeVals[i]),
+			})
+		}
+	}
+	h.Commit(ht)
+}

@@ -1,0 +1,281 @@
+package hashindex
+
+import (
+	"testing"
+	"testing/quick"
+
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+)
+
+type fixture struct {
+	env    *sim.Env
+	fabric *rdma.Fabric
+	pool   *memnode.Pool
+	ix     *Index
+}
+
+func newFixture(mns, capacity int) *fixture {
+	env := sim.NewEnv(1)
+	params := rdma.DefaultParams()
+	params.JitterPct = 0
+	fabric := rdma.NewFabric(env, params)
+	pool := memnode.NewPool(fabric, mns, 1<<22, 0)
+	return &fixture{env: env, fabric: fabric, pool: pool, ix: New(pool, 1, capacity)}
+}
+
+func (f *fixture) run(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	f.env.Spawn("test", fn)
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadThenLookup(t *testing.T) {
+	f := newFixture(2, 1000)
+	entries := map[layout.Key]uint64{}
+	for k := layout.Key(0); k < 1000; k++ {
+		entries[k] = uint64(k) * 64
+	}
+	if err := f.ix.BulkLoad(f.pool, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		for _, node := range f.pool.Nodes() {
+			qp := f.fabric.Connect(node.Region)
+			for k, want := range entries {
+				off, found, err := f.ix.Lookup(p, qp, k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !found || off != want {
+					t.Fatalf("lookup %d on node %d = (%d,%v), want (%d,true)",
+						k, node.ID, off, found, want)
+				}
+			}
+		}
+	})
+}
+
+func TestLookupMissingKey(t *testing.T) {
+	f := newFixture(1, 100)
+	if err := f.ix.BulkLoad(f.pool, map[layout.Key]uint64{1: 64, 2: 128}); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		qp := f.fabric.Connect(f.pool.Nodes()[0].Region)
+		_, found, err := f.ix.Lookup(p, qp, 999)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if found {
+			t.Fatal("found a key never inserted")
+		}
+	})
+}
+
+func TestKeyZeroIsUsable(t *testing.T) {
+	f := newFixture(1, 10)
+	if err := f.ix.BulkLoad(f.pool, map[layout.Key]uint64{0: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		qp := f.fabric.Connect(f.pool.Nodes()[0].Region)
+		off, found, err := f.ix.Lookup(p, qp, 0)
+		if err != nil || !found || off != 4096 {
+			t.Fatalf("lookup(0) = (%d,%v,%v)", off, found, err)
+		}
+	})
+}
+
+func TestDuplicateLoadRejected(t *testing.T) {
+	f := newFixture(1, 10)
+	if err := f.ix.BulkLoad(f.pool, map[layout.Key]uint64{5: 64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.ix.BulkLoad(f.pool, map[layout.Key]uint64{5: 128}); err == nil {
+		t.Fatal("duplicate key accepted")
+	}
+}
+
+func TestRemoteInsertVisibleEverywhere(t *testing.T) {
+	f := newFixture(3, 100)
+	f.run(t, func(p *sim.Proc) {
+		if err := f.ix.InsertAll(p, f.fabric, f.pool, 77, 8192); err != nil {
+			t.Fatal(err)
+		}
+		for _, node := range f.pool.Nodes() {
+			qp := f.fabric.Connect(node.Region)
+			off, found, err := f.ix.Lookup(p, qp, 77)
+			if err != nil || !found || off != 8192 {
+				t.Fatalf("node %d lookup = (%d,%v,%v)", node.ID, off, found, err)
+			}
+		}
+	})
+}
+
+func TestInsertDuplicateFails(t *testing.T) {
+	f := newFixture(1, 100)
+	f.run(t, func(p *sim.Proc) {
+		qp := f.fabric.Connect(f.pool.Nodes()[0].Region)
+		if err := f.ix.Insert(p, qp, 9, 64); err != nil {
+			t.Fatal(err)
+		}
+		if err := f.ix.Insert(p, qp, 9, 128); err == nil {
+			t.Fatal("duplicate insert accepted")
+		}
+	})
+}
+
+func TestConcurrentInsertersDoNotCollide(t *testing.T) {
+	f := newFixture(1, 256)
+	node := f.pool.Nodes()[0]
+	for i := 0; i < 16; i++ {
+		key := layout.Key(i)
+		f.env.Spawn("inserter", func(p *sim.Proc) {
+			qp := f.fabric.Connect(node.Region)
+			if err := f.ix.Insert(p, qp, key, uint64(key)*64+64); err != nil {
+				t.Errorf("insert %d: %v", key, err)
+			}
+		})
+	}
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	f.env.Spawn("verify", func(p *sim.Proc) {
+		qp := f.fabric.Connect(node.Region)
+		for i := 0; i < 16; i++ {
+			off, found, err := f.ix.Lookup(p, qp, layout.Key(i))
+			if err != nil || !found || off != uint64(i)*64+64 {
+				t.Errorf("lookup %d = (%d,%v,%v)", i, off, found, err)
+			}
+		}
+	})
+	if err := f.env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteHidesKeyButKeepsProbeChain(t *testing.T) {
+	f := newFixture(1, 64)
+	entries := map[layout.Key]uint64{}
+	for k := layout.Key(0); k < 64; k++ {
+		entries[k] = uint64(k+1) * 64
+	}
+	if err := f.ix.BulkLoad(f.pool, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		qp := f.fabric.Connect(f.pool.Nodes()[0].Region)
+		if err := f.ix.Delete(p, qp, 10); err != nil {
+			t.Fatal(err)
+		}
+		if _, found, _ := f.ix.Lookup(p, qp, 10); found {
+			t.Fatal("deleted key still found")
+		}
+		// Every other key must remain reachable even if it probed past
+		// key 10's entry.
+		for k := layout.Key(0); k < 64; k++ {
+			if k == 10 {
+				continue
+			}
+			off, found, err := f.ix.Lookup(p, qp, k)
+			if err != nil || !found || off != entries[k] {
+				t.Fatalf("lookup %d after delete = (%d,%v,%v)", k, off, found, err)
+			}
+		}
+	})
+}
+
+func TestOverCapacityRejected(t *testing.T) {
+	f := newFixture(1, 4)
+	entries := map[layout.Key]uint64{}
+	for k := layout.Key(0); k < 5; k++ {
+		entries[k] = 64
+	}
+	if err := f.ix.BulkLoad(f.pool, entries); err == nil {
+		t.Fatal("over-capacity load accepted")
+	}
+}
+
+func TestLookupCostIsOneReadWhenUncontended(t *testing.T) {
+	f := newFixture(1, 1000)
+	entries := map[layout.Key]uint64{}
+	for k := layout.Key(0); k < 1000; k++ {
+		entries[k] = uint64(k+1) * 64
+	}
+	if err := f.ix.BulkLoad(f.pool, entries); err != nil {
+		t.Fatal(err)
+	}
+	f.run(t, func(p *sim.Proc) {
+		qp := f.fabric.Connect(f.pool.Nodes()[0].Region)
+		before := f.fabric.Stats()
+		n := 200
+		for k := layout.Key(0); k < layout.Key(n); k++ {
+			if _, found, err := f.ix.Lookup(p, qp, k); err != nil || !found {
+				t.Fatal("lookup failed")
+			}
+		}
+		reads := f.fabric.Stats().Sub(before).Reads
+		// Load factor ≤ 1/2 keeps probing rare: average well under two
+		// READs per lookup.
+		if reads > uint64(n)*3/2 {
+			t.Fatalf("%d reads for %d lookups", reads, n)
+		}
+	})
+}
+
+func TestAddrCache(t *testing.T) {
+	c := NewAddrCache()
+	if _, ok := c.Get(1, 2); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put(1, 2, 4096)
+	if off, ok := c.Get(1, 2); !ok || off != 4096 {
+		t.Fatalf("Get = (%d,%v)", off, ok)
+	}
+	if _, ok := c.Get(2, 2); ok {
+		t.Fatal("cross-table hit")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+}
+
+// Property: any set of distinct keys loads and resolves correctly.
+func TestQuickLoadLookup(t *testing.T) {
+	f := func(raw []uint16) bool {
+		keys := map[layout.Key]uint64{}
+		for i, r := range raw {
+			keys[layout.Key(r)] = uint64(i+1) * 64
+		}
+		if len(keys) == 0 {
+			return true
+		}
+		fx := newFixture(1, len(keys))
+		if err := fx.ix.BulkLoad(fx.pool, keys); err != nil {
+			return false
+		}
+		ok := true
+		fx.env.Spawn("check", func(p *sim.Proc) {
+			qp := fx.fabric.Connect(fx.pool.Nodes()[0].Region)
+			for k, want := range keys {
+				off, found, err := fx.ix.Lookup(p, qp, k)
+				if err != nil || !found || off != want {
+					ok = false
+					return
+				}
+			}
+		})
+		if err := fx.env.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+package layout
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Grouping consolidates a schema's cells into fewer, larger cells —
+// the improvement §4.4 of the paper sketches for wide tables:
+// "consolidate cells based on transactions' access patterns (e.g.,
+// grouping read-intensive cells) to mitigate conflicts". A Grouping
+// maps original cell indices to grouped ones so workloads written
+// against the original schema can be replayed against the grouped
+// layout.
+type Grouping struct {
+	original Schema
+	grouped  Schema
+	toGroup  []int   // original cell → grouped cell
+	members  [][]int // grouped cell → original cells (in layout order)
+	offsets  []int   // original cell → byte offset inside its group
+}
+
+// NewGrouping builds a grouping from explicit groups of original cell
+// indices. Every cell must appear in exactly one group; groups of one
+// keep the cell as is. The grouped schema preserves the original
+// table id and name.
+func NewGrouping(s Schema, groups [][]int) (*Grouping, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	claimed := make([]int, s.NumCells())
+	for gi, g := range groups {
+		if len(g) == 0 {
+			return nil, fmt.Errorf("layout: empty group %d", gi)
+		}
+		for _, c := range g {
+			if c < 0 || c >= s.NumCells() {
+				return nil, fmt.Errorf("layout: group %d references cell %d of %d", gi, c, s.NumCells())
+			}
+			claimed[c]++
+		}
+	}
+	for c, n := range claimed {
+		if n != 1 {
+			return nil, fmt.Errorf("layout: cell %d appears in %d groups, want exactly 1", c, n)
+		}
+	}
+	g := &Grouping{
+		original: s.Normalize(),
+		toGroup:  make([]int, s.NumCells()),
+		offsets:  make([]int, s.NumCells()),
+	}
+	g.grouped = Schema{ID: s.ID, Name: s.Name}
+	for gi, group := range groups {
+		members := append([]int(nil), group...)
+		sort.Ints(members)
+		size := 0
+		for _, c := range members {
+			g.toGroup[c] = gi
+			g.offsets[c] = size
+			size += s.CellSizes[c]
+		}
+		g.members = append(g.members, members)
+		g.grouped.CellSizes = append(g.grouped.CellSizes, size)
+	}
+	if err := g.grouped.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// GroupByAccess derives groups from observed access patterns: cells
+// that are only ever read share one group, cells that are written
+// stay individual (they are the contention points cell-level locking
+// protects). writtenCells lists every cell any transaction type
+// writes.
+func GroupByAccess(s Schema, writtenCells []int) (*Grouping, error) {
+	written := map[int]bool{}
+	for _, c := range writtenCells {
+		if c < 0 || c >= s.NumCells() {
+			return nil, fmt.Errorf("layout: written cell %d of %d", c, s.NumCells())
+		}
+		written[c] = true
+	}
+	var groups [][]int
+	var readOnly []int
+	for c := 0; c < s.NumCells(); c++ {
+		if written[c] {
+			groups = append(groups, []int{c})
+		} else {
+			readOnly = append(readOnly, c)
+		}
+	}
+	if len(readOnly) > 0 {
+		groups = append(groups, readOnly)
+	}
+	return NewGrouping(s, groups)
+}
+
+// Original returns the pre-grouping schema.
+func (g *Grouping) Original() Schema { return g.original }
+
+// Grouped returns the consolidated schema.
+func (g *Grouping) Grouped() Schema { return g.grouped }
+
+// GroupOf maps an original cell index to its grouped cell index.
+func (g *Grouping) GroupOf(cell int) int { return g.toGroup[cell] }
+
+// OffsetOf returns the byte offset of an original cell's value inside
+// its grouped cell.
+func (g *Grouping) OffsetOf(cell int) int { return g.offsets[cell] }
+
+// Members returns the original cells inside grouped cell gi, in the
+// order their bytes are laid out.
+func (g *Grouping) Members(gi int) []int { return g.members[gi] }
+
+// MapCells translates a set of original cell indices into the grouped
+// schema, deduplicating cells that landed in the same group.
+func (g *Grouping) MapCells(cells []int) []int {
+	seen := map[int]bool{}
+	var out []int
+	for _, c := range cells {
+		gi := g.toGroup[c]
+		if !seen[gi] {
+			seen[gi] = true
+			out = append(out, gi)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PackRecord assembles grouped cell values from original ones.
+func (g *Grouping) PackRecord(cells [][]byte) ([][]byte, error) {
+	if len(cells) != g.original.NumCells() {
+		return nil, fmt.Errorf("layout: %d cells for schema with %d", len(cells), g.original.NumCells())
+	}
+	out := make([][]byte, g.grouped.NumCells())
+	for gi, members := range g.members {
+		buf := make([]byte, 0, g.grouped.CellSizes[gi])
+		for _, c := range members {
+			if len(cells[c]) != g.original.CellSizes[c] {
+				return nil, fmt.Errorf("layout: cell %d has %d bytes, want %d", c, len(cells[c]), g.original.CellSizes[c])
+			}
+			buf = append(buf, cells[c]...)
+		}
+		out[gi] = buf
+	}
+	return out, nil
+}
+
+// Extract pulls one original cell's bytes out of its grouped cell
+// value.
+func (g *Grouping) Extract(cell int, groupedValue []byte) []byte {
+	off := g.offsets[cell]
+	return groupedValue[off : off+g.original.CellSizes[cell]]
+}

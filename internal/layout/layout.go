@@ -1,0 +1,260 @@
+// Package layout defines the on-memory-node wire formats of the three
+// systems this repository implements:
+//
+//   - the CREST record structure of Fig 6 in the paper — a 64-byte
+//     record header (TableID, Key, an 8-byte per-cell Lock bitmap and
+//     a 20-entry epoch-number array) followed by one cacheline-aligned
+//     slot per cell, each slot carrying the cell version (2-byte epoch
+//     number + 6-byte commit timestamp) co-located with the value;
+//   - the FORD baseline's record-level format (one 8-byte lock+version
+//     word per record);
+//   - the Motor baseline's consecutive version table (a fixed array of
+//     version slots, each a timestamped full copy of the record data).
+//
+// The package also provides the space-overhead model behind Table 1.
+package layout
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// TableID identifies a table.
+type TableID uint32
+
+// Key is a record's primary key. Workloads use dense integer keys.
+type Key uint64
+
+// Layout constants shared by the formats.
+const (
+	// Cacheline is the unit of atomic one-sided access (§4.1).
+	Cacheline = 64
+	// HeaderSize is the CREST record header: exactly one cacheline so
+	// the Lock word and EN array snapshot with a single READ (§4.3).
+	HeaderSize = Cacheline
+	// MaxENCells is the number of epoch numbers the header's EN array
+	// holds. Tables with more cells consolidate the tail into one big
+	// cell (§4.4).
+	MaxENCells = 20
+	// DeleteBit is the spare Lock bit marking a logically deleted
+	// record (§4.4).
+	DeleteBit = 63
+	// CellVersionSize is the per-cell version co-located with the
+	// value: 2-byte epoch number + 6-byte commit timestamp.
+	CellVersionSize = 8
+	// MaxTS48 is the largest commit timestamp representable in the
+	// 6-byte TS_commit field.
+	MaxTS48 = 1<<48 - 1
+)
+
+// CREST header field offsets.
+const (
+	OffKey     = 0  // 8-byte key
+	OffTableID = 8  // 4-byte table id (4 bytes reserved after it)
+	OffLock    = 16 // 8-byte per-cell lock bitmap, 8-aligned for masked-CAS
+	OffEN      = 24 // 20 × 2-byte epoch numbers
+)
+
+// Schema describes a table's columns as cell sizes in bytes.
+type Schema struct {
+	ID        TableID
+	Name      string
+	CellSizes []int
+}
+
+// NumCells returns the number of cells per record.
+func (s Schema) NumCells() int { return len(s.CellSizes) }
+
+// DataBytes returns the total value payload per record.
+func (s Schema) DataBytes() int {
+	n := 0
+	for _, c := range s.CellSizes {
+		n += c
+	}
+	return n
+}
+
+// Validate reports whether the schema is usable.
+func (s Schema) Validate() error {
+	if len(s.CellSizes) == 0 {
+		return fmt.Errorf("layout: table %q has no cells", s.Name)
+	}
+	if len(s.CellSizes) > MaxENCells {
+		return fmt.Errorf("layout: table %q has %d cells; max %d (consolidate with Normalize)",
+			s.Name, len(s.CellSizes), MaxENCells)
+	}
+	for i, c := range s.CellSizes {
+		if c <= 0 {
+			return fmt.Errorf("layout: table %q cell %d has size %d", s.Name, i, c)
+		}
+	}
+	return nil
+}
+
+// Normalize returns a schema with at most MaxENCells cells: cells from
+// index MaxENCells-1 onward are consolidated into a single large cell,
+// as §4.4 describes for wide tables. The returned schema shares no
+// state with s.
+func (s Schema) Normalize() Schema {
+	out := Schema{ID: s.ID, Name: s.Name}
+	if len(s.CellSizes) <= MaxENCells {
+		out.CellSizes = append([]int(nil), s.CellSizes...)
+		return out
+	}
+	out.CellSizes = append([]int(nil), s.CellSizes[:MaxENCells-1]...)
+	tail := 0
+	for _, c := range s.CellSizes[MaxENCells-1:] {
+		tail += c
+	}
+	out.CellSizes = append(out.CellSizes, tail)
+	return out
+}
+
+// CellVersion is the per-cell version word: a 2-byte epoch number that
+// increments on every update, and a 48-bit commit timestamp that forms
+// the global commit order.
+type CellVersion struct {
+	EN uint16
+	TS uint64
+}
+
+// PutCellVersion encodes v into the 8 bytes at b.
+func PutCellVersion(b []byte, v CellVersion) {
+	_ = b[7]
+	binary.LittleEndian.PutUint16(b, v.EN)
+	putUint48(b[2:], v.TS)
+}
+
+// GetCellVersion decodes the 8 bytes at b.
+func GetCellVersion(b []byte) CellVersion {
+	_ = b[7]
+	return CellVersion{
+		EN: binary.LittleEndian.Uint16(b),
+		TS: getUint48(b[2:]),
+	}
+}
+
+func putUint48(b []byte, v uint64) {
+	if v > MaxTS48 {
+		panic(fmt.Sprintf("layout: timestamp %d exceeds 48 bits", v))
+	}
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+}
+
+func getUint48(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 |
+		uint64(b[3])<<24 | uint64(b[4])<<32 | uint64(b[5])<<40
+}
+
+// Header is the decoded CREST record header.
+type Header struct {
+	Key     Key
+	TableID TableID
+	Lock    uint64
+	EN      [MaxENCells]uint16
+}
+
+// EncodeHeader writes h into the HeaderSize bytes at b.
+func EncodeHeader(b []byte, h Header) {
+	_ = b[HeaderSize-1]
+	binary.LittleEndian.PutUint64(b[OffKey:], uint64(h.Key))
+	binary.LittleEndian.PutUint32(b[OffTableID:], uint32(h.TableID))
+	binary.LittleEndian.PutUint64(b[OffLock:], h.Lock)
+	for i, en := range h.EN {
+		binary.LittleEndian.PutUint16(b[OffEN+2*i:], en)
+	}
+}
+
+// DecodeHeader parses the HeaderSize bytes at b.
+func DecodeHeader(b []byte) Header {
+	_ = b[HeaderSize-1]
+	h := Header{
+		Key:     Key(binary.LittleEndian.Uint64(b[OffKey:])),
+		TableID: TableID(binary.LittleEndian.Uint32(b[OffTableID:])),
+		Lock:    binary.LittleEndian.Uint64(b[OffLock:]),
+	}
+	for i := range h.EN {
+		h.EN[i] = binary.LittleEndian.Uint16(b[OffEN+2*i:])
+	}
+	return h
+}
+
+// LockMask returns the Lock-word bit mask covering the given cells.
+func LockMask(cells []int) uint64 {
+	var m uint64
+	for _, c := range cells {
+		if c < 0 || c >= DeleteBit {
+			panic(fmt.Sprintf("layout: cell index %d out of lockable range", c))
+		}
+		m |= 1 << uint(c)
+	}
+	return m
+}
+
+// AllCellsMask returns the mask covering every cell of a schema, used
+// when inserting or deleting whole rows (§4.4).
+func AllCellsMask(numCells int) uint64 {
+	if numCells <= 0 || numCells > MaxENCells {
+		panic(fmt.Sprintf("layout: bad cell count %d", numCells))
+	}
+	return 1<<uint(numCells) - 1
+}
+
+// DeleteMask is the Lock bit marking logical deletion.
+const DeleteMask = uint64(1) << DeleteBit
+
+// Record is the CREST record layout for one schema, with precomputed
+// slot offsets.
+type Record struct {
+	Schema   Schema
+	cellOff  []int // offset of each cell slot (version word first)
+	slotSize []int
+	size     int
+}
+
+// NewRecord builds the CREST layout for s. The schema must already be
+// normalized and valid.
+func NewRecord(s Schema) *Record {
+	if err := s.Validate(); err != nil {
+		panic(err)
+	}
+	r := &Record{Schema: s}
+	off := HeaderSize
+	for _, c := range s.CellSizes {
+		slot := pad(CellVersionSize+c, Cacheline)
+		r.cellOff = append(r.cellOff, off)
+		r.slotSize = append(r.slotSize, slot)
+		off += slot
+	}
+	r.size = off
+	return r
+}
+
+func pad(n, unit int) int { return (n + unit - 1) / unit * unit }
+
+// Size returns the padded record size in bytes.
+func (r *Record) Size() int { return r.size }
+
+// NumCells returns the number of cells.
+func (r *Record) NumCells() int { return len(r.cellOff) }
+
+// CellOff returns the offset (within the record) of cell i's version
+// word; the value follows immediately.
+func (r *Record) CellOff(i int) int { return r.cellOff[i] }
+
+// CellValueOff returns the offset of cell i's value bytes.
+func (r *Record) CellValueOff(i int) int { return r.cellOff[i] + CellVersionSize }
+
+// CellSize returns the value size of cell i.
+func (r *Record) CellSize(i int) int { return r.Schema.CellSizes[i] }
+
+// CellSlotSize returns the padded slot size of cell i (version+value).
+func (r *Record) CellSlotSize(i int) int { return r.slotSize[i] }
+
+// ENOff returns the offset of cell i's epoch number inside the header.
+func (r *Record) ENOff(i int) int { return OffEN + 2*i }

@@ -1,0 +1,301 @@
+package layout
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func sampleSchema() Schema {
+	return Schema{ID: 3, Name: "accounts", CellSizes: []int{8, 30, 100}}
+}
+
+func TestSchemaValidate(t *testing.T) {
+	if err := sampleSchema().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Schema{
+		{Name: "empty"},
+		{Name: "zero", CellSizes: []int{0}},
+		{Name: "neg", CellSizes: []int{8, -1}},
+		{Name: "wide", CellSizes: make([]int, MaxENCells+1)},
+	}
+	for i := range bad {
+		for j := range bad[i].CellSizes {
+			if bad[i].CellSizes[j] == 0 && bad[i].Name == "wide" {
+				bad[i].CellSizes[j] = 4
+			}
+		}
+	}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("schema %q validated but should not", s.Name)
+		}
+	}
+}
+
+func TestNormalizeConsolidatesWideTables(t *testing.T) {
+	wide := Schema{Name: "wide", CellSizes: make([]int, 30)}
+	for i := range wide.CellSizes {
+		wide.CellSizes[i] = 10
+	}
+	n := wide.Normalize()
+	if got := n.NumCells(); got != MaxENCells {
+		t.Fatalf("normalized to %d cells, want %d", got, MaxENCells)
+	}
+	if n.DataBytes() != wide.DataBytes() {
+		t.Fatalf("normalize changed data bytes: %d vs %d", n.DataBytes(), wide.DataBytes())
+	}
+	// Last cell absorbs cells 19..29: 11 cells × 10 bytes.
+	if last := n.CellSizes[MaxENCells-1]; last != 110 {
+		t.Fatalf("consolidated tail = %d, want 110", last)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Narrow schemas come back equal but not aliased.
+	s := sampleSchema()
+	c := s.Normalize()
+	c.CellSizes[0] = 999
+	if s.CellSizes[0] == 999 {
+		t.Fatal("Normalize aliased the original slice")
+	}
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	h := Header{Key: 0xdeadbeef, TableID: 7, Lock: 0b1011}
+	for i := range h.EN {
+		h.EN[i] = uint16(i * 3)
+	}
+	buf := make([]byte, HeaderSize)
+	EncodeHeader(buf, h)
+	got := DecodeHeader(buf)
+	if got != h {
+		t.Fatalf("decoded %+v, want %+v", got, h)
+	}
+}
+
+func TestCellVersionRoundTrip(t *testing.T) {
+	buf := make([]byte, 8)
+	v := CellVersion{EN: 65535, TS: MaxTS48}
+	PutCellVersion(buf, v)
+	if got := GetCellVersion(buf); got != v {
+		t.Fatalf("decoded %+v, want %+v", got, v)
+	}
+}
+
+func TestCellVersionOverflowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on 49-bit timestamp")
+		}
+	}()
+	PutCellVersion(make([]byte, 8), CellVersion{TS: MaxTS48 + 1})
+}
+
+func TestQuickCellVersionRoundTrip(t *testing.T) {
+	f := func(en uint16, ts uint64) bool {
+		ts &= MaxTS48
+		buf := make([]byte, 8)
+		PutCellVersion(buf, CellVersion{EN: en, TS: ts})
+		got := GetCellVersion(buf)
+		return got.EN == en && got.TS == ts
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickHeaderRoundTrip(t *testing.T) {
+	f := func(key uint64, table uint32, lock uint64, ens [MaxENCells]uint16) bool {
+		h := Header{Key: Key(key), TableID: TableID(table), Lock: lock, EN: ens}
+		buf := make([]byte, HeaderSize)
+		EncodeHeader(buf, h)
+		return DecodeHeader(buf) == h
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecordLayoutOffsets(t *testing.T) {
+	r := NewRecord(sampleSchema())
+	if r.NumCells() != 3 {
+		t.Fatalf("NumCells = %d", r.NumCells())
+	}
+	// Cell 0: 8+8=16 → one cacheline. Cell 1: 8+30=38 → one. Cell 2:
+	// 8+100=108 → two cachelines.
+	wantOff := []int{64, 128, 192}
+	wantSlot := []int{64, 64, 128}
+	for i := range wantOff {
+		if r.CellOff(i) != wantOff[i] {
+			t.Errorf("CellOff(%d) = %d, want %d", i, r.CellOff(i), wantOff[i])
+		}
+		if r.CellSlotSize(i) != wantSlot[i] {
+			t.Errorf("CellSlotSize(%d) = %d, want %d", i, r.CellSlotSize(i), wantSlot[i])
+		}
+		if r.CellValueOff(i) != wantOff[i]+CellVersionSize {
+			t.Errorf("CellValueOff(%d) = %d", i, r.CellValueOff(i))
+		}
+	}
+	if r.Size() != 64+64+64+128 {
+		t.Fatalf("Size = %d, want 320", r.Size())
+	}
+	if r.ENOff(2) != OffEN+4 {
+		t.Fatalf("ENOff(2) = %d", r.ENOff(2))
+	}
+}
+
+func TestQuickRecordSlotsDoNotOverlap(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > MaxENCells {
+			return true
+		}
+		s := Schema{Name: "q", CellSizes: make([]int, len(sizes))}
+		for i, b := range sizes {
+			s.CellSizes[i] = int(b)%200 + 1
+		}
+		r := NewRecord(s)
+		prevEnd := HeaderSize
+		for i := 0; i < r.NumCells(); i++ {
+			if r.CellOff(i) < prevEnd {
+				return false
+			}
+			if r.CellOff(i)%Cacheline != 0 {
+				return false
+			}
+			end := r.CellOff(i) + CellVersionSize + r.CellSize(i)
+			if end > r.CellOff(i)+r.CellSlotSize(i) {
+				return false
+			}
+			prevEnd = r.CellOff(i) + r.CellSlotSize(i)
+		}
+		return r.Size() == prevEnd
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLockMask(t *testing.T) {
+	if m := LockMask([]int{1, 3}); m != 0b1010 {
+		t.Fatalf("LockMask = %b", m)
+	}
+	if m := AllCellsMask(3); m != 0b111 {
+		t.Fatalf("AllCellsMask = %b", m)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for cell index on delete bit")
+		}
+	}()
+	LockMask([]int{DeleteBit})
+}
+
+func TestVersionWordPackUnpack(t *testing.T) {
+	w := PackVersionWord(true, 12345)
+	locked, v := UnpackVersionWord(w)
+	if !locked || v != 12345 {
+		t.Fatalf("unpack = (%v,%d)", locked, v)
+	}
+	locked, v = UnpackVersionWord(PackVersionWord(false, MaxTS48))
+	if locked || v != MaxTS48 {
+		t.Fatalf("unpack = (%v,%d)", locked, v)
+	}
+}
+
+func TestSlotMetaPackUnpack(t *testing.T) {
+	valid, ts := UnpackSlotMeta(PackSlotMeta(true, 99))
+	if !valid || ts != 99 {
+		t.Fatalf("unpack = (%v,%d)", valid, ts)
+	}
+	valid, ts = UnpackSlotMeta(PackSlotMeta(false, 0))
+	if valid || ts != 0 {
+		t.Fatalf("unpack = (%v,%d)", valid, ts)
+	}
+}
+
+func TestFORDLayout(t *testing.T) {
+	r := NewFORDRecord(sampleSchema())
+	if r.Size() != BaselineHeaderSize+138 {
+		t.Fatalf("Size = %d", r.Size())
+	}
+	if r.PaddedSize() != 192 { // 170 → 192
+		t.Fatalf("PaddedSize = %d", r.PaddedSize())
+	}
+	if r.CellValueOff(0) != 32 || r.CellValueOff(1) != 40 || r.CellValueOff(2) != 70 {
+		t.Fatalf("cell offsets %d %d %d", r.CellValueOff(0), r.CellValueOff(1), r.CellValueOff(2))
+	}
+}
+
+func TestMotorLayout(t *testing.T) {
+	s := sampleSchema()
+	r := NewMotorRecord(s)
+	want := BaselineHeaderSize + MotorSlots*MotorSlotMetaSize + MotorSlots*s.DataBytes()
+	if r.Size() != want {
+		t.Fatalf("Size = %d, want %d", r.Size(), want)
+	}
+	if r.SlotMetaOff(0) != 32 || r.SlotMetaOff(3) != 56 {
+		t.Fatalf("meta offsets %d %d", r.SlotMetaOff(0), r.SlotMetaOff(3))
+	}
+	if r.SlotDataOff(0) != 64 {
+		t.Fatalf("SlotDataOff(0) = %d", r.SlotDataOff(0))
+	}
+	if r.SlotDataOff(1) != 64+s.DataBytes() {
+		t.Fatalf("SlotDataOff(1) = %d", r.SlotDataOff(1))
+	}
+	if r.SlotCellOff(0, 2) != 64+38 {
+		t.Fatalf("SlotCellOff(0,2) = %d", r.SlotCellOff(0, 2))
+	}
+}
+
+// Table 1's qualitative result: Motor has the highest metadata
+// overhead, CREST sits between Motor and FORD for multi-cell tables.
+func TestSpaceOverheadOrdering(t *testing.T) {
+	// A TPC-C-like schema: several medium cells.
+	s := Schema{Name: "tpcc-like", CellSizes: []int{8, 8, 36, 36, 36, 36, 40}}
+	for _, padded := range []bool{false, true} {
+		ford := Space(SysFORD, s, padded)
+		motor := Space(SysMotor, s, padded)
+		crest := Space(SysCREST, s, padded)
+		if !(ford.OverheadPct() < crest.OverheadPct()) {
+			t.Errorf("padded=%v: FORD %.1f%% !< CREST %.1f%%",
+				padded, ford.OverheadPct(), crest.OverheadPct())
+		}
+		if !(crest.OverheadPct() < motor.OverheadPct()) {
+			t.Errorf("padded=%v: CREST %.1f%% !< Motor %.1f%%",
+				padded, crest.OverheadPct(), motor.OverheadPct())
+		}
+		for _, u := range []SpaceUsage{ford, motor, crest} {
+			if u.Total != u.Data+u.Meta {
+				t.Errorf("inconsistent usage %+v", u)
+			}
+		}
+	}
+}
+
+func TestSpacePaddingNeverShrinks(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		s := Schema{Name: "q", CellSizes: make([]int, len(sizes))}
+		for i, b := range sizes {
+			s.CellSizes[i] = int(b)%120 + 1
+		}
+		for _, sys := range []System{SysFORD, SysMotor, SysCREST} {
+			if Space(sys, s, true).Total < Space(sys, s, false).Total {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSystemString(t *testing.T) {
+	if SysFORD.String() != "FORD" || SysMotor.String() != "Motor" || SysCREST.String() != "CREST" {
+		t.Fatal("bad system names")
+	}
+}

@@ -1,0 +1,170 @@
+// Package memnode models the memory pool of a disaggregated
+// architecture: passive nodes that expose registered memory regions to
+// one-sided RDMA and perform no transaction logic themselves.
+//
+// Allocation across the pool is mirrored: every node performs the same
+// allocation sequence, so one offset addresses the same object (a
+// table heap, an index, a log segment) on every node. That is how
+// (f+1)-primary-backup replication stays a pure data-plane concern: a
+// record's replicas live at the same offset on the f nodes following
+// its primary.
+package memnode
+
+import (
+	"fmt"
+
+	"crest/internal/layout"
+	"crest/internal/rdma"
+)
+
+// Node is one memory node: an id plus its registered region.
+type Node struct {
+	ID     int
+	Region *rdma.Region
+}
+
+// Pool is the memory pool: all memory nodes plus the replication
+// factor.
+type Pool struct {
+	nodes    []*Node
+	replicas int // f: number of backup copies per record
+	fabric   *rdma.Fabric
+	allocOff uint64
+	size     uint64
+}
+
+// NewPool registers regions of size bytes on mns memory nodes.
+// replicas is f, the number of synchronously updated backups per
+// record; it must leave at least one distinct node per replica.
+func NewPool(fabric *rdma.Fabric, mns int, size int, replicas int) *Pool {
+	if mns <= 0 {
+		panic("memnode: need at least one memory node")
+	}
+	if replicas < 0 || replicas >= mns {
+		panic(fmt.Sprintf("memnode: %d backups impossible with %d nodes", replicas, mns))
+	}
+	p := &Pool{fabric: fabric, replicas: replicas, size: uint64(size)}
+	for i := 0; i < mns; i++ {
+		p.nodes = append(p.nodes, &Node{
+			ID:     i,
+			Region: fabric.Register(fmt.Sprintf("mn%d", i), size),
+		})
+	}
+	return p
+}
+
+// Nodes returns the pool's memory nodes.
+func (p *Pool) Nodes() []*Node { return p.nodes }
+
+// NumNodes returns the number of memory nodes.
+func (p *Pool) NumNodes() int { return len(p.nodes) }
+
+// Replicas returns f, the number of backups per record.
+func (p *Pool) Replicas() int { return p.replicas }
+
+// Fabric returns the pool's interconnect.
+func (p *Pool) Fabric() *rdma.Fabric { return p.fabric }
+
+// Alloc reserves size bytes at the same offset on every node and
+// returns that offset. Allocations are cacheline aligned.
+func (p *Pool) Alloc(size int) uint64 {
+	off := p.allocOff
+	p.allocOff += uint64((size + layout.Cacheline - 1) / layout.Cacheline * layout.Cacheline)
+	if p.allocOff > p.size {
+		panic(fmt.Sprintf("memnode: pool exhausted: %d of %d bytes", p.allocOff, p.size))
+	}
+	return off
+}
+
+// Used reports the bytes allocated so far (per node).
+func (p *Pool) Used() uint64 { return p.allocOff }
+
+// PrimaryOf returns the memory node holding the primary copy of the
+// record identified by (table, key).
+func (p *Pool) PrimaryOf(table layout.TableID, key layout.Key) *Node {
+	return p.nodes[p.primaryIndex(table, key)]
+}
+
+func (p *Pool) primaryIndex(table layout.TableID, key layout.Key) int {
+	return int(mix(uint64(table), uint64(key)) % uint64(len(p.nodes)))
+}
+
+// ReplicaNodes returns the primary followed by the f backup nodes for
+// (table, key), in replication order.
+func (p *Pool) ReplicaNodes(table layout.TableID, key layout.Key) []*Node {
+	pi := p.primaryIndex(table, key)
+	out := make([]*Node, 0, p.replicas+1)
+	for i := 0; i <= p.replicas; i++ {
+		out = append(out, p.nodes[(pi+i)%len(p.nodes)])
+	}
+	return out
+}
+
+// mix is a 64-bit finalizer-style hash combining table and key.
+func mix(a, b uint64) uint64 {
+	x := a*0x9e3779b97f4a7c15 ^ b
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Heap is a table's record heap: count fixed-size slots starting at a
+// pool-mirrored offset.
+type Heap struct {
+	pool    *Pool
+	Base    uint64
+	RecSize int
+	Count   int
+}
+
+// AllocHeap reserves a heap of count records of recSize bytes.
+func (p *Pool) AllocHeap(recSize, count int) *Heap {
+	slot := (recSize + layout.Cacheline - 1) / layout.Cacheline * layout.Cacheline
+	return &Heap{pool: p, Base: p.Alloc(slot * count), RecSize: slot, Count: count}
+}
+
+// SlotOff returns the region offset of record slot i.
+func (h *Heap) SlotOff(i int) uint64 {
+	if i < 0 || i >= h.Count {
+		panic(fmt.Sprintf("memnode: slot %d outside heap of %d", i, h.Count))
+	}
+	return h.Base + uint64(i*h.RecSize)
+}
+
+// LogSegment is a per-coordinator append-only log area in the memory
+// pool (§6, redo-logging). The owning coordinator is the only writer,
+// so it tracks the tail locally; Reserve hands out the offset for the
+// next entry. The segment is a ring: once full it wraps, which is safe
+// because entries are only needed until their transaction's updates
+// are applied and acknowledged.
+type LogSegment struct {
+	Base uint64
+	Size int
+	tail int
+}
+
+// AllocLog reserves a log segment of size bytes.
+func (p *Pool) AllocLog(size int) *LogSegment {
+	return &LogSegment{Base: p.Alloc(size), Size: size}
+}
+
+// Reserve returns the offset for an n-byte entry and advances the
+// tail. Entries never straddle the wrap point: if n does not fit in
+// the remainder, the remainder is skipped.
+func (s *LogSegment) Reserve(n int) uint64 {
+	if n > s.Size {
+		panic(fmt.Sprintf("memnode: log entry of %d bytes exceeds segment of %d", n, s.Size))
+	}
+	if s.tail+n > s.Size {
+		s.tail = 0
+	}
+	off := s.Base + uint64(s.tail)
+	s.tail += n
+	return off
+}
+
+// Tail reports the local tail position (bytes into the segment).
+func (s *LogSegment) Tail() int { return s.tail }

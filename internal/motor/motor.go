@@ -1,0 +1,616 @@
+// Package motor implements the Motor baseline (Zhang, Hua, Yang,
+// "Motor: Enabling Multi-Versioning for Distributed Transactions on
+// Disaggregated Memory", OSDI 2024) as the CREST paper evaluates it:
+// record-level optimistic concurrency control with a consecutive
+// version table per record.
+//
+// Motor's defining traits, reproduced here:
+//
+//   - every record carries MotorSlots full versions plus one metadata
+//     word per version, stored consecutively so no chain traversal is
+//     needed;
+//   - reads fetch the whole consecutive version table (header, slot
+//     metadata and all version payloads) in one READ and pick the
+//     visible version locally — larger payloads than the single-version
+//     baselines, which is Motor's space/bandwidth trade;
+//   - fully read-only transactions take a start snapshot and commit
+//     without any validation round-trip: a writer holds the record
+//     lock from before its commit timestamp is issued until its
+//     version is installed, so a reader that retries while the lock is
+//     held always observes every version older than its snapshot;
+//   - read-write transactions validate their read set (version hint +
+//     lock) like FORD, then install into the oldest version slot.
+package motor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"crest/internal/engine"
+	"crest/internal/hashindex"
+	"crest/internal/layout"
+	"crest/internal/memnode"
+	"crest/internal/rdma"
+	"crest/internal/sim"
+)
+
+const (
+	logSegmentSize = 64 << 10
+	// lockedReadRetries bounds how long a snapshot reader spins on a
+	// locked record before aborting the attempt. The spin only needs
+	// to cover a committing writer's install window (a couple of
+	// round-trips); spinning across a whole lock tenure captures
+	// coordinators under contention.
+	lockedReadRetries = 3
+)
+
+// System is a Motor instance over a shared DB.
+type System struct {
+	db      *engine.DB
+	layouts map[layout.TableID]*layout.MotorRecord
+}
+
+// New creates a Motor system on db.
+func New(db *engine.DB) *System {
+	return &System{db: db, layouts: map[layout.TableID]*layout.MotorRecord{}}
+}
+
+// Name labels the engine.
+func (s *System) Name() string { return "Motor" }
+
+// DB exposes the underlying database substrate.
+func (s *System) DB() *engine.DB { return s.db }
+
+// CreateTable registers a table with Motor's multi-version layout.
+func (s *System) CreateTable(sc layout.Schema, capacity int) {
+	sc = sc.Normalize()
+	lay := layout.NewMotorRecord(sc)
+	s.layouts[sc.ID] = lay
+	s.db.CreateTable(sc, lay.PaddedSize(), capacity)
+}
+
+// Load writes a record's initial cell values into version slot 0.
+func (s *System) Load(table layout.TableID, key layout.Key, cells [][]byte) {
+	lay := s.layouts[table]
+	t := s.db.Table(table)
+	s.db.LoadRecord(t, key, func(buf []byte) {
+		binary.LittleEndian.PutUint64(buf[layout.BOffKey:], uint64(key))
+		binary.LittleEndian.PutUint32(buf[layout.BOffTableID:], uint32(table))
+		layout.PutWord(buf, lay.SlotMetaOff(0), layout.PackSlotMeta(true, 0))
+		for i, v := range cells {
+			if len(v) != lay.Schema.CellSizes[i] {
+				panic(fmt.Sprintf("motor: cell %d size %d, schema wants %d", i, len(v), lay.Schema.CellSizes[i]))
+			}
+			copy(buf[lay.SlotCellOff(0, i):], v)
+		}
+	})
+	if h := s.db.History; h != nil && h.On {
+		for i, v := range cells {
+			h.SetInitial(engine.CellID{Table: table, Key: key, Cell: i}, v)
+		}
+	}
+}
+
+// FinishLoad publishes the hash indexes.
+func (s *System) FinishLoad() error { return s.db.FinishLoad() }
+
+// ComputeNode groups coordinators sharing an address cache.
+type ComputeNode struct {
+	sys   *System
+	id    int
+	cache *hashindex.AddrCache
+}
+
+// NewComputeNode creates compute node state.
+func (s *System) NewComputeNode(id int) *ComputeNode {
+	return &ComputeNode{sys: s, id: id, cache: hashindex.NewAddrCache()}
+}
+
+// WarmCache preloads the address cache with every record.
+func (cn *ComputeNode) WarmCache() { cn.sys.db.WarmCache(cn.cache) }
+
+// Coordinator executes Motor transactions.
+type Coordinator struct {
+	cn   *ComputeNode
+	gid  uint64
+	qps  *engine.QPCache
+	log  *memnode.LogSegment
+	logN []*memnode.Node
+}
+
+// NewCoordinator creates coordinator id (globally unique).
+func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
+	db := cn.sys.db
+	pool := db.Pool
+	c := &Coordinator{
+		cn:  cn,
+		gid: uint64(id) + 1,
+		qps: engine.NewQPCache(db.Fabric),
+		log: pool.AllocLog(logSegmentSize),
+	}
+	nodes := pool.Nodes()
+	for i := 0; i <= pool.Replicas(); i++ {
+		c.logN = append(c.logN, nodes[(id+i)%len(nodes)])
+	}
+	return c
+}
+
+type recKey struct {
+	table layout.TableID
+	key   layout.Key
+}
+
+// work is per-record attempt state.
+type work struct {
+	op        *engine.Op
+	key       layout.Key
+	off       uint64
+	lay       *layout.MotorRecord
+	primary   *memnode.Node
+	slot      int    // version slot read
+	victim    int    // slot to install into
+	readVer   uint64 // newest ts observed at fetch
+	data      []byte // working copy of one version's cell data
+	locked    bool
+	cells     uint64
+	readVals  [][]byte
+	writeVals [][]byte
+}
+
+func (w *work) table() layout.TableID { return w.lay.Schema.ID }
+
+// Execute runs one attempt of t.
+func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
+	db := c.cn.sys.db
+	var a engine.Attempt
+	verbs0 := db.Fabric.Stats()
+	start := p.Now()
+	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
+		a.Committed = reason == engine.AbortNone
+		a.Reason = reason
+		a.FalseConflict = falseConflict
+		a.Verbs = db.Fabric.Stats().Sub(verbs0)
+		return a
+	}
+
+	var snapshot uint64
+	if t.ReadOnly {
+		snapshot = db.TSO.Last() // start timestamp for MVCC reads
+	}
+
+	var ws []*work
+	byRec := map[recKey]*work{}
+	for bi := range t.Blocks {
+		blk := &t.Blocks[bi]
+		newWork := c.prepareBlock(p, t, blk, byRec)
+		ws = append(ws, newWork...)
+		if abort, falseC := c.fetchBlock(p, newWork, t.ReadOnly, snapshot); abort != engine.AbortNone {
+			c.releaseLocks(p, ws)
+			a.Exec = p.Now().Sub(start)
+			return finish(abort, falseC)
+		}
+		for oi := range blk.Ops {
+			op := &blk.Ops[oi]
+			w := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
+			c.applyOp(p, t, op, w)
+		}
+	}
+	execEnd := p.Now()
+	a.Exec = execEnd.Sub(start)
+
+	if t.ReadOnly {
+		// Snapshot reads commit without validation (§ package doc).
+		c.record(t, ws, db.TSO.Next(), true, snapshot)
+		return finish(engine.AbortNone, false)
+	}
+
+	if abort, falseC := c.validate(p, ws); abort != engine.AbortNone {
+		c.releaseLocks(p, ws)
+		a.Validate = p.Now().Sub(execEnd)
+		return finish(abort, falseC)
+	}
+	valEnd := p.Now()
+	a.Validate = valEnd.Sub(execEnd)
+
+	ts := db.TSO.Next()
+	c.writeLog(p, ws, ts)
+	c.install(p, ws, ts)
+	c.record(t, ws, ts, false, 0)
+	a.Commit = p.Now().Sub(valEnd)
+	return finish(engine.AbortNone, false)
+}
+
+// prepareBlock resolves keys into work entries, ordered by (table,
+// key).
+func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*work) []*work {
+	db := c.cn.sys.db
+	var out []*work
+	for oi := range blk.Ops {
+		op := &blk.Ops[oi]
+		key := op.ResolveKey(t.State)
+		rk := recKey{op.Table, key}
+		if prev, ok := byRec[rk]; ok {
+			if op.IsWrite() && !prev.locked {
+				panic(fmt.Sprintf("motor: record %v written after read-only fetch", rk))
+			}
+			prev.cells |= opCellMask(op)
+			continue
+		}
+		lay := c.cn.sys.layouts[op.Table]
+		primary := db.Pool.PrimaryOf(op.Table, key)
+		off, err := db.ResolveAddr(p, c.cn.cache, c.qps.Get(primary.Region), op.Table, key)
+		if err != nil {
+			panic(err)
+		}
+		w := &work{op: op, key: key, off: off, lay: lay, primary: primary, cells: opCellMask(op)}
+		byRec[rk] = w
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].table() != out[j].table() {
+			return out[i].table() < out[j].table()
+		}
+		return out[i].key < out[j].key
+	})
+	return out
+}
+
+func opCellMask(op *engine.Op) uint64 {
+	return layout.LockMask(op.ReadCells) | layout.LockMask(op.WriteCells)
+}
+
+// fetchBlock reads the block's records, batched per memory node into
+// one round-trip: the consecutive version table lets one READ return
+// the header, every version's metadata and every version's data, so
+// the coordinator picks the visible version locally — no chain
+// traversal, which is exactly Motor's layout argument. Writes prepend
+// the lock CAS to the same batch. Snapshot reads that land on a locked
+// record (a committing writer's install may be in flight) retry
+// briefly.
+func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work, snapshotRead bool, snapshot uint64) (engine.AbortReason, bool) {
+	if len(ws) == 0 {
+		return engine.AbortNone, false
+	}
+	db := c.cn.sys.db
+	todo := append([]*work(nil), ws...)
+	for retry := 0; ; retry++ {
+		var batches []rdma.Batch
+		perNode := map[int]int{}
+		type slotIdx struct {
+			w      *work
+			casIdx int
+			rdIdx  int
+		}
+		var slots []*slotIdx
+		for _, w := range todo {
+			bi, ok := perNode[w.primary.Region.ID()]
+			if !ok {
+				bi = len(batches)
+				perNode[w.primary.Region.ID()] = bi
+				batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+			}
+			s := &slotIdx{w: w, casIdx: -1}
+			if w.op.IsWrite() && !w.locked {
+				s.casIdx = len(batches[bi].Ops)
+				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+					Kind: rdma.OpCAS, Off: w.off + layout.BOffLock, Compare: 0, Swap: c.gid,
+				})
+			}
+			s.rdIdx = len(batches[bi].Ops)
+			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: w.lay.Size()})
+			slots = append(slots, s)
+		}
+		results, err := rdma.PostMulti(p, batches)
+		if err != nil {
+			panic(err)
+		}
+		var again []*work
+		lockFailed := false
+		var conflictMask, myMask uint64
+		for _, s := range slots {
+			w := s.w
+			bi := perNode[w.primary.Region.ID()]
+			if s.casIdx >= 0 {
+				if results[bi][s.casIdx].OK {
+					w.locked = true
+					db.Tracker.OnLock(w.table(), w.key, w.cells)
+				} else {
+					lockFailed = true
+					conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
+					myMask |= w.cells
+					continue
+				}
+			}
+			rec := results[bi][s.rdIdx].Data
+			lockWord := binary.LittleEndian.Uint64(rec[layout.BOffLock:])
+			if snapshotRead && lockWord != 0 {
+				again = append(again, w)
+				conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
+				myMask |= w.cells
+				continue
+			}
+			slot, victim, newest, found := chooseSlots(rec, w.lay, snapshotRead, snapshot)
+			if !found {
+				// Every version is newer than our snapshot: the
+				// history we need has been overwritten.
+				return engine.AbortValidation, false
+			}
+			w.slot, w.victim, w.readVer = slot, victim, newest
+			dataLen := w.lay.Schema.DataBytes()
+			w.data = append([]byte(nil), rec[w.lay.SlotDataOff(slot):w.lay.SlotDataOff(slot)+dataLen]...)
+		}
+		if lockFailed {
+			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
+		}
+		if len(again) == 0 {
+			return engine.AbortNone, false
+		}
+		if retry >= lockedReadRetries {
+			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
+		}
+		todo = again
+		p.Sleep(2 * sim.Microsecond)
+	}
+}
+
+// chooseSlots picks the version to read (newest visible) and the slot
+// to overwrite on install (oldest or invalid).
+func chooseSlots(meta []byte, lay *layout.MotorRecord, snapshotRead bool, snapshot uint64) (slot, victim int, newest uint64, found bool) {
+	slot, victim = -1, -1
+	var bestTS, victimTS uint64
+	victimTS = ^uint64(0)
+	for i := 0; i < layout.MotorSlots; i++ {
+		valid, ts := layout.UnpackSlotMeta(binary.LittleEndian.Uint64(meta[lay.SlotMetaOff(i):]))
+		if !valid {
+			victim, victimTS = i, 0
+			continue
+		}
+		if ts > newest {
+			newest = ts
+		}
+		if snapshotRead && ts > snapshot {
+			continue
+		}
+		if slot == -1 || ts >= bestTS {
+			slot, bestTS = i, ts
+		}
+		if ts < victimTS {
+			victim, victimTS = i, ts
+		}
+	}
+	return slot, victim, newest, slot != -1
+}
+
+// applyOp runs the op's hook against the working copy of the version
+// data.
+func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *work) {
+	db := c.cn.sys.db
+	read := make([][]byte, len(op.ReadCells))
+	for i, cell := range op.ReadCells {
+		read[i] = append([]byte(nil), w.data[w.cellOff(cell):][:w.lay.Schema.CellSizes[cell]]...)
+	}
+	p.Sleep(db.Cost.OpCost(len(op.ReadCells) + len(op.WriteCells)))
+	written := op.Hook(t.State, read)
+	if len(written) != len(op.WriteCells) {
+		panic(fmt.Sprintf("motor: hook returned %d values for %d write cells", len(written), len(op.WriteCells)))
+	}
+	for i, cell := range op.WriteCells {
+		if len(written[i]) != w.lay.Schema.CellSizes[cell] {
+			panic("motor: hook wrote wrong cell size")
+		}
+		copy(w.data[w.cellOff(cell):], written[i])
+	}
+	w.readVals = read
+	w.writeVals = written
+}
+
+// cellOff is the offset of a cell within the version-data working
+// copy.
+func (w *work) cellOff(cell int) int {
+	off := 0
+	for j := 0; j < cell; j++ {
+		off += w.lay.Schema.CellSizes[j]
+	}
+	return off
+}
+
+// validate re-reads lock+version hint of read-only records, batched
+// per node.
+func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, bool) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	var batchWork [][]*work
+	perNode := map[int]int{}
+	metaLen := layout.MotorSlots * layout.MotorSlotMetaSize
+	for _, w := range ws {
+		if w.locked {
+			continue
+		}
+		bi, ok := perNode[w.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[w.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+			batchWork = append(batchWork, nil)
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			Kind: rdma.OpRead,
+			Off:  w.off + layout.BOffLock,
+			Len:  8 + 8 + metaLen, // lock + version hint + slot metas
+		})
+		batchWork[bi] = append(batchWork[bi], w)
+	}
+	if len(batches) == 0 {
+		return engine.AbortNone, false
+	}
+	results, err := rdma.PostMulti(p, batches)
+	if err != nil {
+		panic(err)
+	}
+	for bi := range batches {
+		for ri, w := range batchWork[bi] {
+			data := results[bi][ri].Data
+			lock := binary.LittleEndian.Uint64(data)
+			newest := uint64(0)
+			for i := 0; i < layout.MotorSlots; i++ {
+				valid, ts := layout.UnpackSlotMeta(binary.LittleEndian.Uint64(data[16+i*8:]))
+				if valid && ts > newest {
+					newest = ts
+				}
+			}
+			if lock == 0 && newest == w.readVer {
+				continue
+			}
+			var conflicting uint64
+			if lock != 0 {
+				conflicting = db.Tracker.HolderCells(w.table(), w.key)
+			}
+			if newest != w.readVer {
+				conflicting |= db.Tracker.ChangedSince(w.table(), w.key, w.readVer)
+			}
+			return engine.AbortValidation, engine.IsFalseConflict(w.cells, conflicting)
+		}
+	}
+	return engine.AbortNone, false
+}
+
+// releaseLocks frees held locks in one round-trip.
+func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		bi, ok := perNode[w.primary.Region.ID()]
+		if !ok {
+			bi = len(batches)
+			perNode[w.primary.Region.ID()] = bi
+			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+		}
+		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			Kind: rdma.OpCAS, Off: w.off + layout.BOffLock, Compare: c.gid, Swap: 0,
+		})
+		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
+		w.locked = false
+	}
+	if len(batches) == 0 {
+		return
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+}
+
+// writeLog persists the redo images (Motor logs new versions; MVCC
+// needs no undo) in one round-trip.
+func (c *Coordinator) writeLog(p *sim.Proc, ws []*work, ts uint64) {
+	n := 0
+	for _, w := range ws {
+		if w.locked {
+			n++
+		}
+	}
+	if n == 0 {
+		return
+	}
+	buf := make([]byte, 0, 64)
+	buf = binary.LittleEndian.AppendUint64(buf, ts)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(w.table()))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.key))
+		buf = append(buf, w.data...)
+	}
+	off := c.log.Reserve(len(buf))
+	batches := make([]rdma.Batch, 0, len(c.logN))
+	for _, nn := range c.logN {
+		batches = append(batches, rdma.Batch{
+			QP:  c.qps.Get(nn.Region),
+			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: buf}},
+		})
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+}
+
+// install writes the new version into the victim slot on every
+// replica and releases the lock, all ordered within one round-trip:
+// data, then the metadata word that makes it visible, then the version
+// hint, then the unlock CAS.
+func (c *Coordinator) install(p *sim.Proc, ws []*work, ts uint64) {
+	db := c.cn.sys.db
+	var batches []rdma.Batch
+	perNode := map[int]int{}
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		metaWord := make([]byte, 8)
+		binary.LittleEndian.PutUint64(metaWord, layout.PackSlotMeta(true, ts))
+		verWord := make([]byte, 8)
+		binary.LittleEndian.PutUint64(verWord, ts)
+		for _, n := range db.Pool.ReplicaNodes(w.table(), w.key) {
+			bi, ok := perNode[n.Region.ID()]
+			if !ok {
+				bi = len(batches)
+				perNode[n.Region.ID()] = bi
+				batches = append(batches, rdma.Batch{QP: c.qps.Get(n.Region)})
+			}
+			batches[bi].Ops = append(batches[bi].Ops,
+				rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.SlotDataOff(w.victim)), Data: w.data},
+				rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.SlotMetaOff(w.victim)), Data: metaWord},
+				rdma.Op{Kind: rdma.OpWrite, Off: w.off + layout.BOffVersion, Data: verWord},
+			)
+			if n == w.primary {
+				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+					Kind: rdma.OpCAS, Off: w.off + layout.BOffLock, Compare: c.gid, Swap: 0,
+				})
+			}
+		}
+	}
+	if len(batches) == 0 {
+		return
+	}
+	if _, err := rdma.PostMulti(p, batches); err != nil {
+		panic(err)
+	}
+	for _, w := range ws {
+		if !w.locked {
+			continue
+		}
+		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
+		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		w.locked = false
+	}
+}
+
+// record feeds the committed transaction into the history checker.
+func (c *Coordinator) record(t *engine.Txn, ws []*work, ts uint64, snapshot bool, snapshotTS uint64) {
+	h := c.cn.sys.db.History
+	if h == nil || !h.On {
+		return
+	}
+	ht := engine.HTxn{TS: ts, Snapshot: snapshot, SnapshotTS: snapshotTS, Label: t.Label}
+	for _, w := range ws {
+		for i, cell := range w.op.ReadCells {
+			ht.Reads = append(ht.Reads, engine.HRead{
+				Cell: engine.CellID{Table: w.table(), Key: w.key, Cell: cell},
+				Hash: engine.HashValue(w.readVals[i]),
+			})
+		}
+		for i, cell := range w.op.WriteCells {
+			ht.Writes = append(ht.Writes, engine.HWrite{
+				Cell: engine.CellID{Table: w.table(), Key: w.key, Cell: cell},
+				Hash: engine.HashValue(w.writeVals[i]),
+			})
+		}
+	}
+	h.Commit(ht)
+}

@@ -1,0 +1,428 @@
+// Package rdma simulates a one-sided RDMA fabric between compute
+// nodes and memory nodes.
+//
+// The real system (and the paper's testbed) uses 100 Gbps InfiniBand
+// NICs and the vendor masked-compare-and-swap experimental verb. This
+// package substitutes a latency/bandwidth model on top of the
+// deterministic simulator in internal/sim while preserving exactly the
+// properties the protocols rely on:
+//
+//   - one-sided verbs: READ, WRITE, CAS and masked-CAS execute against
+//     a memory node's registered region without remote CPU involvement;
+//   - atomicity: a verb (and a whole doorbell batch) applies at one
+//     instant of virtual time, so CAS semantics are exact;
+//   - delivery order: the verbs of one batch apply in posted order,
+//     which CREST's commit sequence (§4.2 of the paper) depends on;
+//   - doorbell batching: a batch of verbs to one node costs a single
+//     round-trip.
+//
+// Every verb and round-trip is counted, which is how the Table 2
+// experiment (RDMA operations per transaction) is regenerated.
+package rdma
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"crest/internal/sim"
+)
+
+// Params configures the latency model of a fabric.
+type Params struct {
+	// RTT is the base round-trip time of a verb or batch. The paper
+	// quotes ~2µs for RDMA communication latency.
+	RTT sim.Duration
+	// GbpsBandwidth is the link bandwidth used to charge payload
+	// serialization time on top of RTT.
+	GbpsBandwidth float64
+	// PerOp is additional NIC processing time charged per verb in a
+	// batch (doorbell batching amortizes the round-trip, not the
+	// per-WQE work).
+	PerOp sim.Duration
+	// JitterPct, if positive, widens each round-trip by a uniformly
+	// random factor in [0, JitterPct/100]. Jitter keeps coordinators
+	// from running in lockstep; it is drawn from the environment's
+	// seeded source, so runs stay reproducible.
+	JitterPct float64
+}
+
+// DefaultParams matches the paper's testbed figures: 2µs RTT on a
+// 100 Gbps fabric.
+func DefaultParams() Params {
+	return Params{
+		RTT:           2 * sim.Microsecond,
+		GbpsBandwidth: 100,
+		PerOp:         60 * sim.Nanosecond,
+		JitterPct:     10,
+	}
+}
+
+// OpKind identifies a one-sided verb.
+type OpKind uint8
+
+// The supported one-sided verbs.
+const (
+	OpRead OpKind = iota
+	OpWrite
+	OpCAS
+	OpMaskedCAS
+)
+
+// String returns the verb's conventional name.
+func (k OpKind) String() string {
+	switch k {
+	case OpRead:
+		return "READ"
+	case OpWrite:
+		return "WRITE"
+	case OpCAS:
+		return "CAS"
+	case OpMaskedCAS:
+		return "masked-CAS"
+	}
+	return fmt.Sprintf("OpKind(%d)", uint8(k))
+}
+
+// Op is one verb in a doorbell batch.
+type Op struct {
+	Kind OpKind
+	Off  uint64 // offset within the target region
+	Len  int    // READ: bytes to fetch
+	Data []byte // WRITE: payload
+
+	// CAS / masked-CAS operands. The atomics operate on the 8-byte
+	// little-endian word at Off. For masked-CAS only the bits set in
+	// Mask participate in both the comparison and the swap, matching
+	// the ConnectX extended-atomics verb the paper uses for per-cell
+	// lock bits.
+	Compare uint64
+	Swap    uint64
+	Mask    uint64
+}
+
+// Result is the completion of one Op.
+type Result struct {
+	Data []byte // READ: fetched bytes (a private copy)
+	Old  uint64 // CAS/masked-CAS: the prior word value
+	OK   bool   // CAS/masked-CAS: whether the swap applied
+}
+
+// Stats counts fabric activity. Engines snapshot and diff it to report
+// per-transaction and per-phase verb counts.
+type Stats struct {
+	Reads       uint64
+	Writes      uint64
+	CASes       uint64
+	MaskedCASes uint64
+	RTTs        uint64
+	BytesRead   uint64
+	BytesWrite  uint64
+}
+
+// Total returns the total number of verbs issued.
+func (s Stats) Total() uint64 { return s.Reads + s.Writes + s.CASes + s.MaskedCASes }
+
+// Sub returns s minus t, for diffing snapshots.
+func (s Stats) Sub(t Stats) Stats {
+	return Stats{
+		Reads:       s.Reads - t.Reads,
+		Writes:      s.Writes - t.Writes,
+		CASes:       s.CASes - t.CASes,
+		MaskedCASes: s.MaskedCASes - t.MaskedCASes,
+		RTTs:        s.RTTs - t.RTTs,
+		BytesRead:   s.BytesRead - t.BytesRead,
+		BytesWrite:  s.BytesWrite - t.BytesWrite,
+	}
+}
+
+// Add returns s plus t.
+func (s Stats) Add(t Stats) Stats {
+	return Stats{
+		Reads:       s.Reads + t.Reads,
+		Writes:      s.Writes + t.Writes,
+		CASes:       s.CASes + t.CASes,
+		MaskedCASes: s.MaskedCASes + t.MaskedCASes,
+		RTTs:        s.RTTs + t.RTTs,
+		BytesRead:   s.BytesRead + t.BytesRead,
+		BytesWrite:  s.BytesWrite + t.BytesWrite,
+	}
+}
+
+// Fabric is the interconnect: it owns the latency model, the registered
+// memory regions and the verb counters.
+type Fabric struct {
+	env     *sim.Env
+	params  Params
+	regions []*Region
+	stats   Stats
+}
+
+// NewFabric creates a fabric on env with the given latency parameters.
+func NewFabric(env *sim.Env, params Params) *Fabric {
+	if params.RTT <= 0 {
+		panic("rdma: Params.RTT must be positive")
+	}
+	if params.GbpsBandwidth <= 0 {
+		panic("rdma: Params.GbpsBandwidth must be positive")
+	}
+	return &Fabric{env: env, params: params}
+}
+
+// Stats returns a snapshot of the fabric counters.
+func (f *Fabric) Stats() Stats { return f.stats }
+
+// Params returns the fabric's latency parameters.
+func (f *Fabric) Params() Params { return f.params }
+
+// Region is a registered memory region on a memory node, addressed by
+// byte offset from compute nodes.
+type Region struct {
+	fabric *Fabric
+	id     int
+	name   string
+	buf    []byte
+	failed bool
+}
+
+// Register allocates and registers a memory region of size bytes.
+func (f *Fabric) Register(name string, size int) *Region {
+	r := &Region{fabric: f, id: len(f.regions), name: name, buf: make([]byte, size)}
+	f.regions = append(f.regions, r)
+	return r
+}
+
+// ID returns the region's registration index.
+func (r *Region) ID() int { return r.id }
+
+// Name returns the region's label.
+func (r *Region) Name() string { return r.name }
+
+// Size returns the region's length in bytes.
+func (r *Region) Size() int { return len(r.buf) }
+
+// Fail marks the region's memory node as crashed: subsequent verbs
+// against it return an error. Used by recovery tests.
+func (r *Region) Fail() { r.failed = true }
+
+// Recover clears the crashed state.
+func (r *Region) Recover() { r.failed = false }
+
+// Failed reports whether the region's node is marked crashed.
+func (r *Region) Failed() bool { return r.failed }
+
+// Bytes exposes the raw region for loading and for recovery tooling.
+// Protocol code must not touch it; it bypasses the fabric.
+func (r *Region) Bytes() []byte { return r.buf }
+
+// QP is a queue pair from one coordinator to one memory region. It is
+// not safe for use by more than one simulated process (as with real
+// verbs, each coordinator owns its QPs).
+type QP struct {
+	fabric *Fabric
+	region *Region
+}
+
+// Connect creates a queue pair targeting region r.
+func (f *Fabric) Connect(r *Region) *QP {
+	if r.fabric != f {
+		panic("rdma: Connect across fabrics")
+	}
+	return &QP{fabric: f, region: r}
+}
+
+// Region returns the queue pair's target region.
+func (qp *QP) Region() *Region { return qp.region }
+
+// latency returns the virtual time one batch costs.
+func (f *Fabric) latency(payload int, ops int) sim.Duration {
+	d := f.params.RTT + sim.Duration(ops)*f.params.PerOp
+	if payload > 0 {
+		ns := float64(payload*8) / f.params.GbpsBandwidth // bits / (Gbps) = ns
+		d += sim.Duration(ns)
+	}
+	if f.params.JitterPct > 0 {
+		d += sim.Duration(f.env.Rand().Float64() * f.params.JitterPct / 100 * float64(d))
+	}
+	return d
+}
+
+func batchPayload(ops []Op) int {
+	n := 0
+	for i := range ops {
+		switch ops[i].Kind {
+		case OpRead:
+			n += ops[i].Len
+		case OpWrite:
+			n += len(ops[i].Data)
+		case OpCAS, OpMaskedCAS:
+			n += 8
+		}
+	}
+	return n
+}
+
+// Post issues a doorbell batch: all ops execute against the target
+// region in order, atomically at one instant of virtual time, and the
+// whole batch costs one round-trip. It returns one Result per op.
+func (qp *QP) Post(p *sim.Proc, ops []Op) ([]Result, error) {
+	if len(ops) == 0 {
+		return nil, nil
+	}
+	f := qp.fabric
+	lat := f.latency(batchPayload(ops), len(ops))
+	// Request propagation: the verbs land on the memory node halfway
+	// through the round-trip, so other coordinators can interleave
+	// before and after.
+	p.Sleep(lat / 2)
+	res, err := qp.region.apply(ops, &f.stats)
+	f.stats.RTTs++
+	p.Sleep(lat - lat/2)
+	return res, err
+}
+
+// apply executes ops against the region buffer. It runs without
+// yielding, so the batch is atomic in virtual time.
+func (r *Region) apply(ops []Op, st *Stats) ([]Result, error) {
+	if r.failed {
+		return nil, fmt.Errorf("rdma: region %q (node %d) unreachable", r.name, r.id)
+	}
+	out := make([]Result, len(ops))
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case OpRead:
+			if err := r.check(op.Off, op.Len); err != nil {
+				return nil, err
+			}
+			data := make([]byte, op.Len)
+			copy(data, r.buf[op.Off:])
+			out[i] = Result{Data: data}
+			st.Reads++
+			st.BytesRead += uint64(op.Len)
+		case OpWrite:
+			if err := r.check(op.Off, len(op.Data)); err != nil {
+				return nil, err
+			}
+			copy(r.buf[op.Off:], op.Data)
+			out[i] = Result{}
+			st.Writes++
+			st.BytesWrite += uint64(len(op.Data))
+		case OpCAS:
+			if err := r.checkAtomic(op.Off); err != nil {
+				return nil, err
+			}
+			cur := binary.LittleEndian.Uint64(r.buf[op.Off:])
+			ok := cur == op.Compare
+			if ok {
+				binary.LittleEndian.PutUint64(r.buf[op.Off:], op.Swap)
+			}
+			out[i] = Result{Old: cur, OK: ok}
+			st.CASes++
+		case OpMaskedCAS:
+			if err := r.checkAtomic(op.Off); err != nil {
+				return nil, err
+			}
+			cur := binary.LittleEndian.Uint64(r.buf[op.Off:])
+			ok := cur&op.Mask == op.Compare&op.Mask
+			if ok {
+				next := cur&^op.Mask | op.Swap&op.Mask
+				binary.LittleEndian.PutUint64(r.buf[op.Off:], next)
+			}
+			out[i] = Result{Old: cur, OK: ok}
+			st.MaskedCASes++
+		default:
+			return nil, fmt.Errorf("rdma: unknown op kind %d", op.Kind)
+		}
+	}
+	return out, nil
+}
+
+func (r *Region) check(off uint64, n int) error {
+	if n < 0 || off > uint64(len(r.buf)) || uint64(n) > uint64(len(r.buf))-off {
+		return fmt.Errorf("rdma: access [%d,%d) outside region %q of %d bytes",
+			off, off+uint64(n), r.name, len(r.buf))
+	}
+	return nil
+}
+
+func (r *Region) checkAtomic(off uint64) error {
+	if off%8 != 0 {
+		return fmt.Errorf("rdma: atomic at unaligned offset %d", off)
+	}
+	return r.check(off, 8)
+}
+
+// Read fetches n bytes at off in a single round-trip.
+func (qp *QP) Read(p *sim.Proc, off uint64, n int) ([]byte, error) {
+	res, err := qp.Post(p, []Op{{Kind: OpRead, Off: off, Len: n}})
+	if err != nil {
+		return nil, err
+	}
+	return res[0].Data, nil
+}
+
+// Write stores data at off in a single round-trip.
+func (qp *QP) Write(p *sim.Proc, off uint64, data []byte) error {
+	_, err := qp.Post(p, []Op{{Kind: OpWrite, Off: off, Data: data}})
+	return err
+}
+
+// CAS compares-and-swaps the 8-byte word at off.
+func (qp *QP) CAS(p *sim.Proc, off, compare, swap uint64) (old uint64, ok bool, err error) {
+	res, err := qp.Post(p, []Op{{Kind: OpCAS, Off: off, Compare: compare, Swap: swap}})
+	if err != nil {
+		return 0, false, err
+	}
+	return res[0].Old, res[0].OK, nil
+}
+
+// MaskedCAS compares-and-swaps only the bits of mask within the 8-byte
+// word at off.
+func (qp *QP) MaskedCAS(p *sim.Proc, off, compare, swap, mask uint64) (old uint64, ok bool, err error) {
+	res, err := qp.Post(p, []Op{{Kind: OpMaskedCAS, Off: off, Compare: compare, Swap: swap, Mask: mask}})
+	if err != nil {
+		return 0, false, err
+	}
+	return res[0].Old, res[0].OK, nil
+}
+
+// PostMulti issues one batch per queue pair concurrently (as a real
+// NIC would with doorbells to several QPs) and waits for all of them:
+// the verbs of every batch apply in order at the same instant and the
+// caller is charged the slowest batch's round-trip, not the sum. This
+// is how synchronous (f+1)-replication writes all replicas in one
+// round-trip of latency.
+func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
+	if len(batches) == 0 {
+		return nil, nil
+	}
+	f := batches[0].QP.fabric
+	var maxLat sim.Duration
+	for _, b := range batches {
+		if b.QP.fabric != f {
+			panic("rdma: PostMulti across fabrics")
+		}
+		if lat := f.latency(batchPayload(b.Ops), len(b.Ops)); lat > maxLat {
+			maxLat = lat
+		}
+	}
+	p.Sleep(maxLat / 2)
+	out := make([][]Result, len(batches))
+	var firstErr error
+	for i, b := range batches {
+		res, err := b.QP.region.apply(b.Ops, &f.stats)
+		f.stats.RTTs++
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+		out[i] = res
+	}
+	p.Sleep(maxLat - maxLat/2)
+	return out, firstErr
+}
+
+// Batch pairs a queue pair with the ops to post on it, for PostMulti.
+type Batch struct {
+	QP  *QP
+	Ops []Op
+}

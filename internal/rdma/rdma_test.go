@@ -1,0 +1,357 @@
+package rdma
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+	"testing/quick"
+
+	"crest/internal/sim"
+)
+
+func noJitter() Params {
+	p := DefaultParams()
+	p.JitterPct = 0
+	return p
+}
+
+// runOne runs fn as a single simulated process and fails on error.
+func runOne(t *testing.T, params Params, fn func(p *sim.Proc, f *Fabric)) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	f := NewFabric(env, params)
+	env.Spawn("test", func(p *sim.Proc) { fn(p, f) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 1024)
+		qp := f.Connect(r)
+		want := []byte("hello, remote memory")
+		if err := qp.Write(p, 100, want); err != nil {
+			t.Fatal(err)
+		}
+		got, err := qp.Read(p, 100, len(want))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("read %q, want %q", got, want)
+		}
+	})
+}
+
+func TestReadReturnsPrivateCopy(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 64)
+		qp := f.Connect(r)
+		if err := qp.Write(p, 0, []byte{1, 2, 3}); err != nil {
+			t.Fatal(err)
+		}
+		got, err := qp.Read(p, 0, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got[0] = 99 // must not corrupt the region
+		again, err := qp.Read(p, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if again[0] != 1 {
+			t.Fatalf("region corrupted by mutating a read result")
+		}
+	})
+}
+
+func TestCASSemantics(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 64)
+		qp := f.Connect(r)
+		old, ok, err := qp.CAS(p, 8, 0, 42)
+		if err != nil || !ok || old != 0 {
+			t.Fatalf("CAS(0,42) = (%d,%v,%v), want (0,true,nil)", old, ok, err)
+		}
+		old, ok, err = qp.CAS(p, 8, 0, 7)
+		if err != nil || ok || old != 42 {
+			t.Fatalf("failing CAS = (%d,%v,%v), want (42,false,nil)", old, ok, err)
+		}
+	})
+}
+
+func TestMaskedCASOnlyTouchesMaskedBits(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 64)
+		qp := f.Connect(r)
+		// Preload word with bits 0 and 2 set.
+		binary.LittleEndian.PutUint64(r.Bytes()[0:], 0b101)
+		// Lock cells 1 and 3 (bits 1 and 3): expect them free.
+		mask := uint64(0b1010)
+		old, ok, err := qp.MaskedCAS(p, 0, 0, mask, mask)
+		if err != nil || !ok {
+			t.Fatalf("masked-CAS = (%d,%v,%v), want success", old, ok, err)
+		}
+		got := binary.LittleEndian.Uint64(r.Bytes()[0:])
+		if got != 0b1111 {
+			t.Fatalf("word = %b, want 1111", got)
+		}
+		// Locking bit 1 again must fail and change nothing.
+		_, ok, err = qp.MaskedCAS(p, 0, 0, 0b10, 0b10)
+		if err != nil || ok {
+			t.Fatalf("relock succeeded")
+		}
+		if got := binary.LittleEndian.Uint64(r.Bytes()[0:]); got != 0b1111 {
+			t.Fatalf("failed masked-CAS mutated word to %b", got)
+		}
+		// Release bits 1 and 3: compare them as set, swap to zero.
+		_, ok, err = qp.MaskedCAS(p, 0, mask, 0, mask)
+		if err != nil || !ok {
+			t.Fatalf("release failed")
+		}
+		if got := binary.LittleEndian.Uint64(r.Bytes()[0:]); got != 0b101 {
+			t.Fatalf("word after release = %b, want 101", got)
+		}
+	})
+}
+
+func TestBatchIsOneRTT(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 1024)
+		qp := f.Connect(r)
+		before := f.Stats()
+		_, err := qp.Post(p, []Op{
+			{Kind: OpWrite, Off: 0, Data: make([]byte, 64)},
+			{Kind: OpWrite, Off: 64, Data: make([]byte, 64)},
+			{Kind: OpMaskedCAS, Off: 128, Mask: 1, Swap: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := f.Stats().Sub(before)
+		if d.RTTs != 1 {
+			t.Fatalf("batch took %d RTTs, want 1", d.RTTs)
+		}
+		if d.Writes != 2 || d.MaskedCASes != 1 {
+			t.Fatalf("counted %+v", d)
+		}
+	})
+}
+
+func TestBatchAppliesInPostedOrder(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 64)
+		qp := f.Connect(r)
+		_, err := qp.Post(p, []Op{
+			{Kind: OpWrite, Off: 0, Data: []byte{1}},
+			{Kind: OpWrite, Off: 0, Data: []byte{2}},
+			{Kind: OpRead, Off: 0, Len: 1},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.Bytes()[0] != 2 {
+			t.Fatalf("later write did not win: %d", r.Bytes()[0])
+		}
+	})
+}
+
+func TestLatencyModel(t *testing.T) {
+	params := Params{RTT: 2 * sim.Microsecond, GbpsBandwidth: 100, PerOp: 0}
+	env := sim.NewEnv(1)
+	f := NewFabric(env, params)
+	r := f.Register("mn0", 1<<20)
+	var took sim.Duration
+	env.Spawn("test", func(p *sim.Proc) {
+		qp := f.Connect(r)
+		start := p.Now()
+		if _, err := qp.Read(p, 0, 0); err != nil {
+			t.Error(err)
+		}
+		took = p.Now().Sub(start)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took != 2*sim.Microsecond {
+		t.Fatalf("empty read took %v, want 2µs", took)
+	}
+
+	// A 100 KB payload on 100 Gbps adds 8µs of serialization.
+	env2 := sim.NewEnv(1)
+	f2 := NewFabric(env2, params)
+	r2 := f2.Register("mn0", 1<<20)
+	env2.Spawn("test", func(p *sim.Proc) {
+		qp := f2.Connect(r2)
+		start := p.Now()
+		if _, err := qp.Read(p, 0, 100_000); err != nil {
+			t.Error(err)
+		}
+		took = p.Now().Sub(start)
+	})
+	if err := env2.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took != 10*sim.Microsecond {
+		t.Fatalf("100KB read took %v, want 10µs", took)
+	}
+}
+
+func TestConcurrentCASOnlyOneWins(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := NewFabric(env, noJitter())
+	r := f.Register("mn0", 64)
+	wins := 0
+	for i := 0; i < 10; i++ {
+		env.Spawn("racer", func(p *sim.Proc) {
+			qp := f.Connect(r)
+			if _, ok, err := qp.CAS(p, 0, 0, 1); err == nil && ok {
+				wins++
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wins != 1 {
+		t.Fatalf("%d CAS winners, want exactly 1", wins)
+	}
+}
+
+func TestOutOfRangeAccess(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 64)
+		qp := f.Connect(r)
+		if _, err := qp.Read(p, 60, 8); err == nil {
+			t.Error("read past end succeeded")
+		}
+		if err := qp.Write(p, 64, []byte{1}); err == nil {
+			t.Error("write past end succeeded")
+		}
+		if _, _, err := qp.CAS(p, 4, 0, 1); err == nil {
+			t.Error("unaligned CAS succeeded")
+		}
+	})
+}
+
+func TestFailedRegionRejectsVerbs(t *testing.T) {
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		r := f.Register("mn0", 64)
+		qp := f.Connect(r)
+		r.Fail()
+		if _, err := qp.Read(p, 0, 8); err == nil {
+			t.Error("read on failed region succeeded")
+		}
+		r.Recover()
+		if _, err := qp.Read(p, 0, 8); err != nil {
+			t.Errorf("read after recover failed: %v", err)
+		}
+	})
+}
+
+func TestPostMultiParallelLatency(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := NewFabric(env, noJitter())
+	r0 := f.Register("mn0", 1024)
+	r1 := f.Register("mn1", 1024)
+	var took sim.Duration
+	env.Spawn("test", func(p *sim.Proc) {
+		q0, q1 := f.Connect(r0), f.Connect(r1)
+		start := p.Now()
+		_, err := PostMulti(p, []Batch{
+			{QP: q0, Ops: []Op{{Kind: OpWrite, Off: 0, Data: make([]byte, 64)}}},
+			{QP: q1, Ops: []Op{{Kind: OpWrite, Off: 0, Data: make([]byte, 64)}}},
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		took = p.Now().Sub(start)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Both replicas written, but the caller pays one round-trip.
+	one := f.latencyForTest(64, 1)
+	if took != one {
+		t.Fatalf("PostMulti took %v, want %v (single RTT)", took, one)
+	}
+	if r0.Bytes()[0] != 0 || r1.Bytes()[0] != 0 {
+		t.Fatal("unexpected region state")
+	}
+	if got := f.Stats().RTTs; got != 2 {
+		t.Fatalf("counted %d wire RTTs, want 2", got)
+	}
+}
+
+// latencyForTest exposes the internal latency model to tests.
+func (f *Fabric) latencyForTest(payload, ops int) sim.Duration { return f.latency(payload, ops) }
+
+// Property: masked-CAS with full mask behaves exactly like CAS.
+func TestQuickMaskedCASFullMaskIsCAS(t *testing.T) {
+	f := func(initial, compare, swap uint64) bool {
+		env := sim.NewEnv(1)
+		fab := NewFabric(env, noJitter())
+		ra := fab.Register("a", 16)
+		rb := fab.Register("b", 16)
+		binary.LittleEndian.PutUint64(ra.Bytes(), initial)
+		binary.LittleEndian.PutUint64(rb.Bytes(), initial)
+		var same bool
+		env.Spawn("t", func(p *sim.Proc) {
+			qa, qb := fab.Connect(ra), fab.Connect(rb)
+			oa, oka, _ := qa.CAS(p, 0, compare, swap)
+			ob, okb, _ := qb.MaskedCAS(p, 0, compare, swap, ^uint64(0))
+			same = oa == ob && oka == okb &&
+				binary.LittleEndian.Uint64(ra.Bytes()) == binary.LittleEndian.Uint64(rb.Bytes())
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: masked-CAS never alters bits outside the mask.
+func TestQuickMaskedCASPreservesUnmaskedBits(t *testing.T) {
+	f := func(initial, compare, swap, mask uint64) bool {
+		env := sim.NewEnv(1)
+		fab := NewFabric(env, noJitter())
+		r := fab.Register("a", 16)
+		binary.LittleEndian.PutUint64(r.Bytes(), initial)
+		ok := true
+		env.Spawn("t", func(p *sim.Proc) {
+			qp := fab.Connect(r)
+			_, _, err := qp.MaskedCAS(p, 0, compare, swap, mask)
+			after := binary.LittleEndian.Uint64(r.Bytes())
+			ok = err == nil && after&^mask == initial&^mask
+		})
+		if err := env.Run(); err != nil {
+			return false
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkVerbRoundTrip(b *testing.B) {
+	env := sim.NewEnv(1)
+	f := NewFabric(env, noJitter())
+	r := f.Register("mn0", 4096)
+	env.Spawn("bench", func(p *sim.Proc) {
+		qp := f.Connect(r)
+		for i := 0; i < b.N; i++ {
+			if _, err := qp.Read(p, 0, 64); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

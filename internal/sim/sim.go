@@ -1,0 +1,362 @@
+// Package sim implements a deterministic cooperative discrete-event
+// simulator. All protocol code in this repository runs inside sim
+// processes: virtual time advances only when every process is blocked,
+// exactly one process executes at a time, and ties are broken by spawn
+// order, so a run is fully reproducible for a given seed.
+//
+// The simulator exists because the paper's behaviour is measured in
+// microseconds of network round-trips; wall-clock goroutine scheduling
+// cannot reproduce that reliably, and virtual time lets tests assert
+// exact round-trip counts and latencies.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of
+// the simulation.
+type Time int64
+
+// Duration is a span of virtual time in nanoseconds.
+type Duration int64
+
+// Convenient duration units.
+const (
+	Nanosecond  Duration = 1
+	Microsecond          = 1000 * Nanosecond
+	Millisecond          = 1000 * Microsecond
+	Second               = 1000 * Millisecond
+)
+
+// String formats a Duration in the most natural unit.
+func (d Duration) String() string {
+	switch {
+	case d >= Second:
+		return fmt.Sprintf("%.3fs", float64(d)/float64(Second))
+	case d >= Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d)/float64(Millisecond))
+	case d >= Microsecond:
+		return fmt.Sprintf("%.3fµs", float64(d)/float64(Microsecond))
+	}
+	return fmt.Sprintf("%dns", int64(d))
+}
+
+// Micros reports the duration as a float number of microseconds.
+func (d Duration) Micros() float64 { return float64(d) / float64(Microsecond) }
+
+// Seconds reports the duration as a float number of seconds.
+func (d Duration) Seconds() float64 { return float64(d) / float64(Second) }
+
+// Add advances a Time by a Duration.
+func (t Time) Add(d Duration) Time { return t + Time(d) }
+
+// Sub returns the Duration between two Times.
+func (t Time) Sub(u Time) Duration { return Duration(t - u) }
+
+type event struct {
+	at   Time
+	seq  uint64
+	proc *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event   { return h[0] }
+func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
+func (h *eventHeap) push(e event) { heap.Push(h, e) }
+func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+// Env is a simulation environment: a virtual clock, an event queue and
+// a set of cooperative processes.
+type Env struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	ack     chan struct{}
+	rng     *rand.Rand
+	live    int // processes spawned and not yet finished
+	waiting int // processes parked on a WaitQueue (no pending event)
+	waiters map[*Proc]string
+	stopped bool
+	failure error
+}
+
+// NewEnv returns an empty environment whose random source is seeded
+// with seed.
+func NewEnv(seed int64) *Env {
+	e := &Env{
+		ack:     make(chan struct{}),
+		rng:     rand.New(rand.NewSource(seed)),
+		waiters: map[*Proc]string{},
+		events:  make(eventHeap, 0, 64),
+	}
+	return e
+}
+
+// Now returns the current virtual time.
+func (e *Env) Now() Time { return e.now }
+
+// Rand returns the environment's deterministic random source. It must
+// only be used from the currently running process (or outside Run),
+// which the cooperative scheduler guarantees.
+func (e *Env) Rand() *rand.Rand { return e.rng }
+
+// Live reports the number of processes that have been spawned and have
+// not yet finished.
+func (e *Env) Live() int { return e.live }
+
+// Proc is a simulated process. Its function runs on a dedicated
+// goroutine but only while the scheduler has handed it control;
+// everything it does between two blocking calls is atomic in virtual
+// time.
+type Proc struct {
+	env    *Env
+	name   string
+	resume chan struct{}
+	done   bool
+	fn     func(*Proc)
+}
+
+// Env returns the environment the process runs in.
+func (p *Proc) Env() *Env { return p.env }
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Now returns the current virtual time.
+func (p *Proc) Now() Time { return p.env.now }
+
+// Rand returns the deterministic random source shared by the
+// environment.
+func (p *Proc) Rand() *rand.Rand { return p.env.rng }
+
+// Spawn creates a process and schedules it to start at the current
+// virtual time. It may be called before Run or from inside a running
+// process.
+func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
+	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
+	e.live++
+	e.schedule(p, e.now)
+	go p.run()
+	return p
+}
+
+// SpawnAt is Spawn with an explicit start time, which must not be in
+// the past.
+func (e *Env) SpawnAt(name string, at Time, fn func(*Proc)) *Proc {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: SpawnAt(%v) in the past (now %v)", at, e.now))
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
+	e.live++
+	e.schedule(p, at)
+	go p.run()
+	return p
+}
+
+func (e *Env) schedule(p *Proc, at Time) {
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, proc: p})
+}
+
+func (p *Proc) run() {
+	<-p.resume // wait for first dispatch
+	defer func() {
+		if r := recover(); r != nil {
+			buf := make([]byte, 16<<10)
+			n := runtime.Stack(buf, false)
+			p.env.failure = fmt.Errorf("sim: process %q panicked: %v\n%s", p.name, r, buf[:n])
+		}
+		p.done = true
+		p.env.live--
+		p.env.ack <- struct{}{}
+	}()
+	p.fn(p)
+}
+
+// park yields control back to the scheduler and blocks until the next
+// dispatch.
+func (p *Proc) park() {
+	p.env.ack <- struct{}{}
+	<-p.resume
+}
+
+// Sleep suspends the process for d of virtual time. A non-positive d
+// yields the processor: the process is rescheduled at the current time
+// behind every event already queued for it.
+func (p *Proc) Sleep(d Duration) {
+	if d < 0 {
+		d = 0
+	}
+	p.env.schedule(p, p.env.now.Add(d))
+	p.park()
+}
+
+// Yield reschedules the process at the current virtual time, letting
+// any other runnable process at this instant execute first.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// Run dispatches events until none remain or Stop is called. It
+// returns an error if a process panicked, or if processes remain
+// parked on wait queues with no pending event (a deadlock).
+func (e *Env) Run() error { return e.RunUntil(Time(1<<62 - 1)) }
+
+// RunUntil dispatches events with time ≤ deadline. Events beyond the
+// deadline stay queued; the clock is left at the last dispatched
+// event (or the deadline if nothing ran past it).
+func (e *Env) RunUntil(deadline Time) error {
+	e.stopped = false
+	for !e.events.empty() && !e.stopped {
+		if e.events.peek().at > deadline {
+			e.now = deadline
+			return e.failure
+		}
+		ev := e.events.pop()
+		if ev.proc.done {
+			continue
+		}
+		if ev.at > e.now {
+			e.now = ev.at
+		}
+		ev.proc.resume <- struct{}{}
+		<-e.ack
+		if e.failure != nil {
+			return e.failure
+		}
+	}
+	if e.failure != nil {
+		return e.failure
+	}
+	if !e.stopped && e.waiting > 0 {
+		return fmt.Errorf("sim: deadlock at %v: %d process(es) parked forever: %v",
+			e.now, e.waiting, e.waiterNames())
+	}
+	return nil
+}
+
+func (e *Env) waiterNames() []string {
+	names := make([]string, 0, len(e.waiters))
+	for p, where := range e.waiters {
+		names = append(names, p.name+" @ "+where)
+	}
+	sort.Strings(names)
+	if len(names) > 40 {
+		names = append(names[:40], "...")
+	}
+	return names
+}
+
+// Stop makes Run return after the current event completes. Parked
+// processes are abandoned (their goroutines stay blocked until the
+// process exits, which is fine for one-shot simulations).
+//
+// Stop must be called from inside a running process.
+func (e *Env) Stop() { e.stopped = true }
+
+// Stopped reports whether Stop has been called during the current Run.
+func (e *Env) Stopped() bool { return e.stopped }
+
+// WaitQueue is a FIFO queue of parked processes. Processes enter with
+// Wait and are released, in order, by Wake or WakeAll. It is the
+// primitive beneath Mutex and Cond.
+type WaitQueue struct {
+	name string
+	ps   []*Proc
+}
+
+// NewWaitQueue returns a queue labelled name (used in deadlock
+// reports).
+func NewWaitQueue(name string) *WaitQueue { return &WaitQueue{name: name} }
+
+// Len reports the number of parked processes.
+func (q *WaitQueue) Len() int { return len(q.ps) }
+
+// Wait parks p until another process wakes it. The wakeup happens at
+// the waker's current virtual time.
+func (q *WaitQueue) Wait(p *Proc) {
+	q.ps = append(q.ps, p)
+	p.env.waiting++
+	p.env.waiters[p] = q.name
+	p.park()
+}
+
+// Wake releases up to n parked processes (all of them if n < 0),
+// scheduling each at the current virtual time. It returns how many
+// were released.
+func (q *WaitQueue) Wake(n int) int {
+	if n < 0 || n > len(q.ps) {
+		n = len(q.ps)
+	}
+	for i := 0; i < n; i++ {
+		p := q.ps[i]
+		p.env.waiting--
+		delete(p.env.waiters, p)
+		p.env.schedule(p, p.env.now)
+	}
+	q.ps = q.ps[:copy(q.ps, q.ps[n:])]
+	return n
+}
+
+// WakeAll releases every parked process.
+func (q *WaitQueue) WakeAll() int { return q.Wake(-1) }
+
+// Mutex is a FIFO mutual-exclusion lock for simulated processes.
+type Mutex struct {
+	held bool
+	q    WaitQueue
+}
+
+// NewMutex returns an unlocked mutex labelled name.
+func NewMutex(name string) *Mutex { return &Mutex{q: WaitQueue{name: "mutex " + name}} }
+
+// Lock blocks p until the mutex is available, granting it in FIFO
+// order.
+func (m *Mutex) Lock(p *Proc) {
+	for m.held {
+		m.q.Wait(p)
+	}
+	m.held = true
+}
+
+// TryLock acquires the mutex if it is free and reports whether it did.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases the mutex and wakes the first waiter, if any.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("sim: Unlock of unlocked Mutex")
+	}
+	m.held = false
+	m.q.Wake(1)
+}
+
+// Held reports whether the mutex is currently held.
+func (m *Mutex) Held() bool { return m.held }
+
+// WaitingProcs lists processes parked on wait queues right now, with
+// their queue labels (diagnostics).
+func (e *Env) WaitingProcs() []string { return e.waiterNames() }
+
+// SetName labels the queue for deadlock and diagnostic reports.
+func (q *WaitQueue) SetName(name string) { q.name = name }

@@ -1,0 +1,115 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"crest/internal/engine"
+	"crest/internal/sim"
+)
+
+func TestLatenciesPercentiles(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 100; i++ {
+		l.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	if got := l.Avg(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("avg = %v", got)
+	}
+	if got := l.P50(); got != 50 {
+		t.Fatalf("p50 = %v", got)
+	}
+	if got := l.P99(); got != 99 {
+		t.Fatalf("p99 = %v", got)
+	}
+	if got := l.P999(); got != 100 {
+		t.Fatalf("p999 = %v", got)
+	}
+	if l.Count() != 100 {
+		t.Fatalf("count = %d", l.Count())
+	}
+}
+
+func TestLatenciesEmpty(t *testing.T) {
+	var l Latencies
+	if l.Avg() != 0 || l.P99() != 0 {
+		t.Fatal("empty latencies not zero")
+	}
+}
+
+func TestQuickPercentileMonotonic(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var l Latencies
+		for _, v := range raw {
+			l.Add(sim.Duration(v) * sim.Microsecond)
+		}
+		prev := 0.0
+		for _, p := range []float64{10, 25, 50, 75, 90, 99, 99.9} {
+			v := l.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAccounting(t *testing.T) {
+	r := NewRun()
+	r.RecordAttempt(engine.Attempt{Committed: false, Reason: engine.AbortLockFail, FalseConflict: true,
+		Exec: 10 * sim.Microsecond})
+	r.RecordAttempt(engine.Attempt{Committed: true,
+		Exec: 20 * sim.Microsecond, Validate: 5 * sim.Microsecond, Commit: 5 * sim.Microsecond})
+	r.RecordCommit(40 * sim.Microsecond)
+	r.Elapsed = 1 * sim.Millisecond
+
+	if r.Committed != 1 || r.Aborted != 1 {
+		t.Fatalf("counts %d/%d", r.Committed, r.Aborted)
+	}
+	if got := r.AbortRate(); got != 0.5 {
+		t.Fatalf("abort rate %v", got)
+	}
+	if got := r.FalseAbortRate(); got != 1 {
+		t.Fatalf("false abort rate %v", got)
+	}
+	// 1 committed txn in 1 ms = 1 KOPS.
+	if got := r.ThroughputKOPS(); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("throughput %v", got)
+	}
+	// Aborted attempt's exec time folds into the committed txn's
+	// execution phase: (10+20)/1 = 30µs.
+	if got := r.Phases.AvgExec(); got != 30 {
+		t.Fatalf("avg exec %v", got)
+	}
+	if r.ByReason[engine.AbortLockFail] != 1 {
+		t.Fatal("reason not counted")
+	}
+	if r.String() == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func TestRunMerge(t *testing.T) {
+	a, b := NewRun(), NewRun()
+	a.RecordCommit(10 * sim.Microsecond)
+	b.RecordCommit(20 * sim.Microsecond)
+	b.RecordAttempt(engine.Attempt{Reason: engine.AbortValidation})
+	a.Merge(b)
+	if a.Committed != 2 || a.Aborted != 1 {
+		t.Fatalf("merge %d/%d", a.Committed, a.Aborted)
+	}
+	if a.Lat.Count() != 2 {
+		t.Fatal("latencies not merged")
+	}
+	if a.ByReason[engine.AbortValidation] != 1 {
+		t.Fatal("reasons not merged")
+	}
+}

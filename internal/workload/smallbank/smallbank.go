@@ -1,0 +1,248 @@
+// Package smallbank implements the SmallBank banking benchmark
+// (Cahill, Röhm, Fekete, TODS 2009) as §8.2 of the paper configures
+// it: two single-cell tables (savings and checking balances), accounts
+// selected by a Zipf distribution to model hot accounts.
+//
+// Every transaction touches the one balance column, so SmallBank has
+// zero false conflicts by construction — the paper uses it to show
+// that CREST's localized execution helps even when cell-level
+// concurrency control cannot.
+package smallbank
+
+import (
+	"math/rand"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/workload"
+)
+
+// Table ids.
+const (
+	SavingsTable  layout.TableID = 20
+	CheckingTable layout.TableID = 21
+)
+
+// CellSize approximates the paper's 26.7-byte average cell.
+const CellSize = 27
+
+// InitialBalance is every account's starting balance in both tables.
+const InitialBalance = 10_000
+
+// Config sizes the workload.
+type Config struct {
+	Accounts int     // paper: 100 K
+	Theta    float64 // Zipfian constant (paper default 0.99)
+}
+
+// DefaultConfig matches the paper.
+func DefaultConfig() Config { return Config{Accounts: 100_000, Theta: 0.99} }
+
+// Generator produces SmallBank transactions with the standard mix:
+// Balance 15%, DepositChecking 15%, TransactSavings 15%, Amalgamate
+// 15%, WriteCheck 25%, SendPayment 15%.
+type Generator struct {
+	cfg    Config
+	picker *workload.KeyPicker
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	if cfg.Accounts <= 1 {
+		panic("smallbank: need at least two accounts")
+	}
+	return &Generator{cfg: cfg, picker: workload.NewKeyPicker(cfg.Accounts, cfg.Theta)}
+}
+
+// Name implements workload.Generator.
+func (g *Generator) Name() string { return "smallbank" }
+
+// Tables implements workload.Generator.
+func (g *Generator) Tables() []workload.TableDef {
+	return []workload.TableDef{
+		{Schema: layout.Schema{ID: SavingsTable, Name: "savings", CellSizes: []int{CellSize}}, Capacity: g.cfg.Accounts},
+		{Schema: layout.Schema{ID: CheckingTable, Name: "checking", CellSizes: []int{CellSize}}, Capacity: g.cfg.Accounts},
+	}
+}
+
+// Load implements workload.Generator.
+func (g *Generator) Load(fn func(layout.TableID, layout.Key, [][]byte)) {
+	for k := 0; k < g.cfg.Accounts; k++ {
+		fn(SavingsTable, layout.Key(k), [][]byte{workload.U64(InitialBalance, CellSize)})
+		fn(CheckingTable, layout.Key(k), [][]byte{workload.U64(InitialBalance, CellSize)})
+	}
+}
+
+// Next implements workload.Generator.
+func (g *Generator) Next(rng *rand.Rand) *engine.Txn {
+	switch p := rng.Float64(); {
+	case p < 0.15:
+		return g.balance(rng)
+	case p < 0.30:
+		return g.depositChecking(rng)
+	case p < 0.45:
+		return g.transactSavings(rng)
+	case p < 0.60:
+		return g.amalgamate(rng)
+	case p < 0.85:
+		return g.writeCheck(rng)
+	default:
+		return g.sendPayment(rng)
+	}
+}
+
+func readOp(table layout.TableID, key layout.Key, sink func(uint64)) engine.Op {
+	return engine.Op{
+		Table: table, Key: key, ReadCells: []int{0},
+		Hook: func(_ any, read [][]byte) [][]byte {
+			if sink != nil {
+				sink(workload.GetU64(read[0]))
+			}
+			return nil
+		},
+	}
+}
+
+func addOp(table layout.TableID, key layout.Key, delta int64) engine.Op {
+	return engine.Op{
+		Table: table, Key: key, ReadCells: []int{0}, WriteCells: []int{0},
+		Hook: func(_ any, read [][]byte) [][]byte {
+			v := int64(workload.GetU64(read[0])) + delta
+			return [][]byte{workload.PutU64(read[0], uint64(v))}
+		},
+	}
+}
+
+// balance reads both balances of one account (read-only).
+func (g *Generator) balance(rng *rand.Rand) *engine.Txn {
+	acct := g.picker.Pick(rng)
+	return &engine.Txn{
+		Label:    "Balance",
+		ReadOnly: true,
+		Blocks: []engine.Block{{Ops: []engine.Op{
+			readOp(SavingsTable, acct, nil),
+			readOp(CheckingTable, acct, nil),
+		}}},
+	}
+}
+
+// depositChecking adds a fixed amount to a checking balance.
+func (g *Generator) depositChecking(rng *rand.Rand) *engine.Txn {
+	return &engine.Txn{
+		Label:  "DepositChecking",
+		Blocks: []engine.Block{{Ops: []engine.Op{addOp(CheckingTable, g.picker.Pick(rng), 130)}}},
+	}
+}
+
+// transactSavings adds to a savings balance.
+func (g *Generator) transactSavings(rng *rand.Rand) *engine.Txn {
+	return &engine.Txn{
+		Label:  "TransactSavings",
+		Blocks: []engine.Block{{Ops: []engine.Op{addOp(SavingsTable, g.picker.Pick(rng), 210)}}},
+	}
+}
+
+// amalgamate moves all funds of account A into account B's checking.
+func (g *Generator) amalgamate(rng *rand.Rand) *engine.Txn {
+	pair := g.picker.PickDistinct(rng, 2)
+	a, b := pair[0], pair[1]
+	st := &struct{ moved int64 }{}
+	return &engine.Txn{
+		Label: "Amalgamate",
+		State: st,
+		Blocks: []engine.Block{{Ops: []engine.Op{
+			{
+				Table: SavingsTable, Key: a, ReadCells: []int{0}, WriteCells: []int{0},
+				Hook: func(state any, read [][]byte) [][]byte {
+					s := state.(*struct{ moved int64 })
+					s.moved += int64(workload.GetU64(read[0]))
+					return [][]byte{workload.PutU64(read[0], 0)}
+				},
+			},
+			{
+				Table: CheckingTable, Key: a, ReadCells: []int{0}, WriteCells: []int{0},
+				Hook: func(state any, read [][]byte) [][]byte {
+					s := state.(*struct{ moved int64 })
+					s.moved += int64(workload.GetU64(read[0]))
+					return [][]byte{workload.PutU64(read[0], 0)}
+				},
+			},
+			{
+				Table: CheckingTable, Key: b, ReadCells: []int{0}, WriteCells: []int{0},
+				Hook: func(state any, read [][]byte) [][]byte {
+					s := state.(*struct{ moved int64 })
+					v := int64(workload.GetU64(read[0])) + s.moved
+					return [][]byte{workload.PutU64(read[0], uint64(v))}
+				},
+			},
+		}}},
+	}
+}
+
+// writeCheck reads both balances and deducts a check (plus an
+// overdraft penalty when funds are short) from checking.
+func (g *Generator) writeCheck(rng *rand.Rand) *engine.Txn {
+	acct := g.picker.Pick(rng)
+	amount := int64(rng.Intn(50) + 1)
+	st := &struct{ savings int64 }{}
+	return &engine.Txn{
+		Label: "WriteCheck",
+		State: st,
+		Blocks: []engine.Block{{Ops: []engine.Op{
+			{
+				Table: SavingsTable, Key: acct, ReadCells: []int{0},
+				Hook: func(state any, read [][]byte) [][]byte {
+					state.(*struct{ savings int64 }).savings = int64(workload.GetU64(read[0]))
+					return nil
+				},
+			},
+			{
+				Table: CheckingTable, Key: acct, ReadCells: []int{0}, WriteCells: []int{0},
+				Hook: func(state any, read [][]byte) [][]byte {
+					s := state.(*struct{ savings int64 })
+					bal := int64(workload.GetU64(read[0]))
+					take := amount
+					if s.savings+bal < amount {
+						take++ // overdraft penalty
+					}
+					return [][]byte{workload.PutU64(read[0], uint64(bal-take))}
+				},
+			},
+		}}},
+	}
+}
+
+// sendPayment transfers between two checking accounts.
+func (g *Generator) sendPayment(rng *rand.Rand) *engine.Txn {
+	pair := g.picker.PickDistinct(rng, 2)
+	amount := int64(rng.Intn(90) + 10)
+	return &engine.Txn{
+		Label: "SendPayment",
+		Blocks: []engine.Block{{Ops: []engine.Op{
+			addOp(CheckingTable, pair[0], -amount),
+			addOp(CheckingTable, pair[1], amount),
+		}}},
+	}
+}
+
+// ConservingGenerator restricts the mix to money-conserving
+// transactions (Balance, Amalgamate, SendPayment), used by invariant
+// tests: the sum of all balances never changes.
+type ConservingGenerator struct{ *Generator }
+
+// NewConserving wraps a generator with the conserving mix.
+func NewConserving(cfg Config) *ConservingGenerator {
+	return &ConservingGenerator{Generator: New(cfg)}
+}
+
+// Next implements workload.Generator.
+func (g *ConservingGenerator) Next(rng *rand.Rand) *engine.Txn {
+	switch p := rng.Float64(); {
+	case p < 0.2:
+		return g.balance(rng)
+	case p < 0.6:
+		return g.amalgamate(rng)
+	default:
+		return g.sendPayment(rng)
+	}
+}

@@ -1,0 +1,281 @@
+package tpcc
+
+import (
+	"math/rand"
+	"testing"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/workload"
+)
+
+func tinyConfig() Config {
+	return Config{
+		Warehouses:           2,
+		Districts:            2,
+		CustomersPerDistrict: 8,
+		Items:                32,
+		OrdersPerDistrict:    16,
+		MaxOrderLines:        10,
+		HistoryCap:           64,
+	}
+}
+
+func TestSchemasValid(t *testing.T) {
+	g := New(tinyConfig())
+	for _, def := range g.Tables() {
+		if err := def.Schema.Normalize().Validate(); err != nil {
+			t.Fatalf("table %s: %v", def.Schema.Name, err)
+		}
+		if def.Capacity <= 0 {
+			t.Fatalf("table %s capacity %d", def.Schema.Name, def.Capacity)
+		}
+	}
+}
+
+func TestAverageCellShapeNearPaper(t *testing.T) {
+	// The paper reports ~6.6 cells per record, ~36 bytes per cell on
+	// average across the TPC-C tables. Our schemas should be in that
+	// neighbourhood.
+	g := New(DefaultConfig())
+	cells, bytes := 0, 0
+	for _, def := range g.Tables() {
+		cells += def.Schema.NumCells()
+		bytes += def.Schema.DataBytes()
+	}
+	avgCells := float64(cells) / 9
+	avgBytes := float64(bytes) / float64(cells)
+	if avgCells < 4 || avgCells > 10 {
+		t.Fatalf("avg cells/record %.1f far from paper's 6.6", avgCells)
+	}
+	// (The paper's 36.1-byte average weights tables by row count; our
+	// unweighted schema average just needs to be the right order of
+	// magnitude.)
+	if avgBytes < 8 || avgBytes > 60 {
+		t.Fatalf("avg cell bytes %.1f far from paper's 36.1", avgBytes)
+	}
+}
+
+// loadState materializes the whole database for local hook execution.
+func loadState(g *Generator) map[layout.TableID]map[layout.Key][][]byte {
+	state := map[layout.TableID]map[layout.Key][][]byte{}
+	for _, def := range g.Tables() {
+		state[def.Schema.ID] = map[layout.Key][][]byte{}
+	}
+	g.Load(func(table layout.TableID, key layout.Key, cells [][]byte) {
+		cp := make([][]byte, len(cells))
+		for i, c := range cells {
+			cp[i] = append([]byte(nil), c...)
+		}
+		state[table][key] = cp
+	})
+	return state
+}
+
+func TestLoadMatchesCapacities(t *testing.T) {
+	g := New(tinyConfig())
+	state := loadState(g)
+	for _, def := range g.Tables() {
+		if got := len(state[def.Schema.ID]); got != def.Capacity {
+			t.Fatalf("table %s loaded %d of %d", def.Schema.Name, got, def.Capacity)
+		}
+		sizes := def.Schema.CellSizes
+		for key, cells := range state[def.Schema.ID] {
+			if len(cells) != len(sizes) {
+				t.Fatalf("table %s key %d has %d cells", def.Schema.Name, key, len(cells))
+			}
+			for i, c := range cells {
+				if len(c) != sizes[i] {
+					t.Fatalf("table %s cell %d size %d != %d", def.Schema.Name, i, len(c), sizes[i])
+				}
+			}
+		}
+	}
+}
+
+// applyLocally executes a transaction's hooks against the local state,
+// verifying every referenced record exists and every write matches its
+// cell size.
+func applyLocally(t *testing.T, txn *engine.Txn, g *Generator,
+	state map[layout.TableID]map[layout.Key][][]byte) {
+	t.Helper()
+	sizes := map[layout.TableID][]int{}
+	for _, def := range g.Tables() {
+		sizes[def.Schema.ID] = def.Schema.CellSizes
+	}
+	for _, blk := range txn.Blocks {
+		for i := range blk.Ops {
+			op := &blk.Ops[i]
+			key := op.ResolveKey(txn.State)
+			rec := state[op.Table][key]
+			if rec == nil {
+				t.Fatalf("txn %s references unloaded record table=%d key=%d", txn.Label, op.Table, key)
+			}
+			read := make([][]byte, len(op.ReadCells))
+			for j, c := range op.ReadCells {
+				read[j] = append([]byte(nil), rec[c]...)
+			}
+			written := op.Hook(txn.State, read)
+			if len(written) != len(op.WriteCells) {
+				t.Fatalf("txn %s hook wrote %d values for %d cells", txn.Label, len(written), len(op.WriteCells))
+			}
+			for j, c := range op.WriteCells {
+				if len(written[j]) != sizes[op.Table][c] {
+					t.Fatalf("txn %s wrote %d bytes to cell %d (size %d)",
+						txn.Label, len(written[j]), c, sizes[op.Table][c])
+				}
+				rec[c] = written[j]
+			}
+		}
+	}
+}
+
+func TestAllTransactionTypesExecuteLocally(t *testing.T) {
+	g := New(tinyConfig())
+	state := loadState(g)
+	rng := rand.New(rand.NewSource(8))
+	labels := map[string]int{}
+	for i := 0; i < 1500; i++ {
+		txn := g.Next(rng)
+		labels[txn.Label]++
+		applyLocally(t, txn, g, state)
+		// No record may be touched by two ops of one txn.
+		seen := map[[2]uint64]bool{}
+		for _, blk := range txn.Blocks {
+			for j := range blk.Ops {
+				op := &blk.Ops[j]
+				rk := [2]uint64{uint64(op.Table), uint64(op.ResolveKey(txn.State))}
+				if seen[rk] {
+					t.Fatalf("txn %s touches record %v twice", txn.Label, rk)
+				}
+				seen[rk] = true
+			}
+		}
+	}
+	for _, want := range []string{"NewOrder", "Payment", "OrderStatus", "Delivery", "StockLevel"} {
+		if labels[want] == 0 {
+			t.Fatalf("type %s never generated: %v", want, labels)
+		}
+	}
+	// ~92% read-write.
+	rw := labels["NewOrder"] + labels["Payment"] + labels["Delivery"]
+	if frac := float64(rw) / 1500; frac < 0.85 || frac > 0.97 {
+		t.Fatalf("read-write fraction %.2f, paper says 92%%", frac)
+	}
+}
+
+func TestNewOrderAdvancesNextOID(t *testing.T) {
+	g := New(tinyConfig())
+	state := loadState(g)
+	rng := rand.New(rand.NewSource(9))
+	before := map[layout.Key]uint64{}
+	for key, cells := range state[DistrictTable] {
+		before[key] = workload.GetU64(cells[DNextOID])
+	}
+	placed := 0
+	for i := 0; i < 300 && placed < 20; i++ {
+		txn := g.Next(rng)
+		if txn.Label != "NewOrder" {
+			continue
+		}
+		applyLocally(t, txn, g, state)
+		placed++
+	}
+	advanced := uint64(0)
+	for key, cells := range state[DistrictTable] {
+		advanced += workload.GetU64(cells[DNextOID]) - before[key]
+	}
+	if advanced != uint64(placed) {
+		t.Fatalf("D_NEXT_O_ID advanced %d for %d NewOrders", advanced, placed)
+	}
+}
+
+func TestNewOrderNeverWritesWarehouse(t *testing.T) {
+	// The motivating false conflict (§2.3): NewOrder only reads
+	// warehouse columns; Payment writes only W_YTD.
+	g := New(tinyConfig())
+	rng := rand.New(rand.NewSource(10))
+	checked := 0
+	for i := 0; i < 400; i++ {
+		txn := g.Next(rng)
+		for _, blk := range txn.Blocks {
+			for _, op := range blk.Ops {
+				if op.Table != WarehouseTable {
+					continue
+				}
+				switch txn.Label {
+				case "NewOrder":
+					if len(op.WriteCells) != 0 {
+						t.Fatal("NewOrder writes the warehouse")
+					}
+					checked++
+				case "Payment":
+					if len(op.WriteCells) != 1 || op.WriteCells[0] != WYtd {
+						t.Fatal("Payment must write exactly W_YTD")
+					}
+					for _, c := range op.ReadCells {
+						if c == WTax {
+							t.Fatal("Payment reads W_TAX")
+						}
+					}
+					checked++
+				}
+			}
+		}
+	}
+	if checked < 50 {
+		t.Fatalf("only %d warehouse accesses observed", checked)
+	}
+}
+
+func TestReadOnlyTypesMarked(t *testing.T) {
+	g := New(tinyConfig())
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 500; i++ {
+		txn := g.Next(rng)
+		ro := txn.Label == "OrderStatus" || txn.Label == "StockLevel"
+		if txn.ReadOnly != ro {
+			t.Fatalf("%s ReadOnly=%v", txn.Label, txn.ReadOnly)
+		}
+	}
+}
+
+func TestStockLevelThreeBlockPipeline(t *testing.T) {
+	g := New(tinyConfig())
+	rng := rand.New(rand.NewSource(12))
+	for i := 0; i < 400; i++ {
+		txn := g.Next(rng)
+		if txn.Label != "StockLevel" {
+			continue
+		}
+		if len(txn.Blocks) != 3 {
+			t.Fatalf("StockLevel has %d blocks, want 3", len(txn.Blocks))
+		}
+		return
+	}
+	t.Fatal("no StockLevel generated")
+}
+
+func TestNURandSkewsAndStaysInRange(t *testing.T) {
+	g := New(tinyConfig())
+	rng := rand.New(rand.NewSource(13))
+	counts := map[int]int{}
+	for i := 0; i < 5000; i++ {
+		cu := g.customer(rng)
+		if cu < 0 || cu >= g.cfg.CustomersPerDistrict {
+			t.Fatalf("customer %d out of range", cu)
+		}
+		counts[cu]++
+	}
+	// NURand is non-uniform: the hottest customer should exceed the
+	// uniform expectation noticeably.
+	max, uniform := 0, 5000/g.cfg.CustomersPerDistrict
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < uniform*3/2 {
+		t.Fatalf("NURand looks uniform: max %d vs uniform %d", max, uniform)
+	}
+}

@@ -1,0 +1,429 @@
+package tpcc
+
+import (
+	"math/rand"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/workload"
+)
+
+// nuRand is TPC-C's non-uniform random distribution NURand(A, x, y):
+// customers are selected with a skew toward a hashed hot set, per
+// clause 2.1.6 of the specification. C is fixed per generator run.
+func nuRand(rng *rand.Rand, a, x, y int) int {
+	c := a / 2
+	return (((rng.Intn(a+1) | (x + rng.Intn(y-x+1))) + c) % (y - x + 1)) + x
+}
+
+// customer picks a customer id within a district using NURand(1023),
+// scaled to the configured district size.
+func (g *Generator) customer(rng *rand.Rand) int {
+	n := g.cfg.CustomersPerDistrict
+	return nuRand(rng, 1023, 0, n-1) % n
+}
+
+// newOrderState threads the order id resolved in block 1 into the
+// key-dependent block 2 (the paper's Fig 9 example is exactly this
+// dependency: the order rows' keys derive from D_NEXT_O_ID).
+type newOrderState struct {
+	oID uint64
+}
+
+// newOrder places an order: it reads the warehouse tax/name columns
+// (never writing the warehouse — the false-conflict half of §2.3),
+// increments the district's next-order-id (the true hot cell), updates
+// stock, and writes the order rows in a dependent second block.
+func (g *Generator) newOrder(rng *rand.Rand) *engine.Txn {
+	c := g.cfg
+	w := rng.Intn(c.Warehouses)
+	d := rng.Intn(c.Districts)
+	cu := g.customer(rng)
+	nOL := 5 + rng.Intn(c.MaxOrderLines-4)
+	st := &newOrderState{}
+
+	items := rng.Perm(c.Items)[:nOL]
+	block1 := []engine.Op{
+		{
+			Table: WarehouseTable, Key: layout.Key(w),
+			ReadCells: []int{WName, WTax},
+			Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+		},
+		{
+			Table: DistrictTable, Key: g.districtKey(w, d),
+			ReadCells: []int{DTax, DNextOID}, WriteCells: []int{DNextOID},
+			Hook: func(state any, read [][]byte) [][]byte {
+				s := state.(*newOrderState)
+				s.oID = workload.GetU64(read[1])
+				return [][]byte{workload.PutU64(read[1], s.oID+1)}
+			},
+		},
+		{
+			Table: CustomerTable, Key: g.customerKey(w, d, cu),
+			ReadCells: []int{CLast, CCredit, CDiscount},
+			Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+		},
+	}
+	for ol := 0; ol < nOL; ol++ {
+		item := items[ol]
+		supplyW := w
+		if c.Warehouses > 1 && rng.Intn(100) == 0 {
+			supplyW = rng.Intn(c.Warehouses) // 1% remote per spec
+		}
+		qty := uint64(rng.Intn(10) + 1)
+		block1 = append(block1,
+			engine.Op{
+				Table: ItemTable, Key: layout.Key(item),
+				ReadCells: []int{IName, IPrice},
+				Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+			},
+			engine.Op{
+				Table: StockTable, Key: g.stockKey(supplyW, item),
+				ReadCells:  []int{SQty, SDist},
+				WriteCells: []int{SQty, SYtd, SOrderCnt},
+				Hook: func(_ any, read [][]byte) [][]byte {
+					have := workload.GetU64(read[0])
+					if have >= qty+10 {
+						have -= qty
+					} else {
+						have = have - qty + 91
+					}
+					return [][]byte{
+						workload.PutU64(read[0], have),
+						workload.U64(qty, 8),
+						workload.U64(1, 8),
+					}
+				},
+			},
+		)
+	}
+
+	block2 := []engine.Op{
+		{
+			Table:      OrdersTable,
+			KeyFn:      func(state any) layout.Key { return g.orderKey(w, d, state.(*newOrderState).oID) },
+			WriteCells: []int{OCID, OEntryD, OCarrier, OOLCnt},
+			Hook: func(state any, _ [][]byte) [][]byte {
+				s := state.(*newOrderState)
+				return [][]byte{
+					workload.U64(uint64(cu), 8), workload.U64(s.oID, 8),
+					workload.U64(0, 8), workload.U64(uint64(nOL), 8),
+				}
+			},
+		},
+		{
+			Table:      NewOrderTable,
+			KeyFn:      func(state any) layout.Key { return g.orderKey(w, d, state.(*newOrderState).oID) },
+			WriteCells: []int{0},
+			Hook:       func(_ any, _ [][]byte) [][]byte { return [][]byte{workload.U64(1, 8)} },
+		},
+	}
+	for ol := 0; ol < nOL; ol++ {
+		ol := ol
+		item := items[ol]
+		block2 = append(block2, engine.Op{
+			Table: OrderLineTable,
+			KeyFn: func(state any) layout.Key {
+				return g.orderLineKey(w, d, state.(*newOrderState).oID, ol)
+			},
+			WriteCells: []int{OLIID, OLSupplyW, OLQty, OLAmount, OLDistInfo},
+			Hook: func(_ any, _ [][]byte) [][]byte {
+				return [][]byte{
+					workload.U64(uint64(item), 8), workload.U64(uint64(w), 8),
+					workload.U64(1, 8), workload.U64(100, 8),
+					workload.Text(uint64(item), 24),
+				}
+			},
+		})
+	}
+	return &engine.Txn{
+		Label:  "NewOrder",
+		State:  st,
+		Blocks: []engine.Block{{Ops: block1}, {Ops: block2}},
+	}
+}
+
+// payment records a customer payment: it updates the warehouse and
+// district YTD columns (the cells NewOrder never touches), the
+// customer's balance columns, and appends a history row.
+func (g *Generator) payment(rng *rand.Rand) *engine.Txn {
+	c := g.cfg
+	w := rng.Intn(c.Warehouses)
+	d := rng.Intn(c.Districts)
+	// 85% local customer, 15% remote warehouse (spec), which adds the
+	// cross-warehouse contention the paper's skew sweep relies on.
+	cw, cd := w, d
+	if c.Warehouses > 1 && rng.Intn(100) < 15 {
+		for cw == w {
+			cw = rng.Intn(c.Warehouses)
+		}
+		cd = rng.Intn(c.Districts)
+	}
+	cu := g.customer(rng)
+	amount := uint64(rng.Intn(5000) + 100)
+	g.histSeq++
+	histKey := layout.Key(g.histSeq % uint64(c.HistoryCap))
+
+	ops := []engine.Op{
+		{
+			Table: WarehouseTable, Key: layout.Key(w),
+			ReadCells: []int{WName, WYtd}, WriteCells: []int{WYtd},
+			Hook: func(_ any, read [][]byte) [][]byte {
+				return [][]byte{workload.PutU64(read[1], workload.GetU64(read[1])+amount)}
+			},
+		},
+		{
+			Table: DistrictTable, Key: g.districtKey(w, d),
+			ReadCells: []int{DName, DYtd}, WriteCells: []int{DYtd},
+			Hook: func(_ any, read [][]byte) [][]byte {
+				return [][]byte{workload.PutU64(read[1], workload.GetU64(read[1])+amount)}
+			},
+		},
+		{
+			Table: CustomerTable, Key: g.customerKey(cw, cd, cu),
+			ReadCells:  []int{CLast, CCredit, CBalance, CYtdPayment, CPaymentCnt},
+			WriteCells: []int{CBalance, CYtdPayment, CPaymentCnt},
+			Hook: func(_ any, read [][]byte) [][]byte {
+				return [][]byte{
+					workload.PutU64(read[2], workload.GetU64(read[2])-amount),
+					workload.PutU64(read[3], workload.GetU64(read[3])+amount),
+					workload.PutU64(read[4], workload.GetU64(read[4])+1),
+				}
+			},
+		},
+		{
+			Table: HistoryTable, Key: histKey,
+			WriteCells: []int{0, 1},
+			Hook: func(_ any, _ [][]byte) [][]byte {
+				return [][]byte{workload.U64(amount, 8), workload.Text(uint64(histKey), 24)}
+			},
+		},
+	}
+	return &engine.Txn{Label: "Payment", Blocks: []engine.Block{{Ops: ops}}}
+}
+
+// orderStatusState carries the district's next order id into the
+// dependent read of a recent order.
+type orderStatusState struct {
+	nextO uint64
+}
+
+// orderStatus is read-only: customer balance plus a recent order and
+// its order lines.
+func (g *Generator) orderStatus(rng *rand.Rand) *engine.Txn {
+	c := g.cfg
+	w := rng.Intn(c.Warehouses)
+	d := rng.Intn(c.Districts)
+	cu := g.customer(rng)
+	back := uint64(rng.Intn(8) + 1)
+	st := &orderStatusState{}
+	oKey := func(state any) layout.Key {
+		s := state.(*orderStatusState)
+		o := uint64(0)
+		if s.nextO > back {
+			o = s.nextO - back
+		}
+		return g.orderKey(w, d, o)
+	}
+
+	block1 := []engine.Op{
+		{
+			Table: CustomerTable, Key: g.customerKey(w, d, cu),
+			ReadCells: []int{CFirst, CMiddle, CLast, CBalance},
+			Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+		},
+		{
+			Table: DistrictTable, Key: g.districtKey(w, d),
+			ReadCells: []int{DNextOID},
+			Hook: func(state any, read [][]byte) [][]byte {
+				state.(*orderStatusState).nextO = workload.GetU64(read[0])
+				return nil
+			},
+		},
+	}
+	block2 := []engine.Op{{
+		Table: OrdersTable, KeyFn: oKey,
+		ReadCells: []int{OCID, OEntryD, OCarrier, OOLCnt},
+		Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+	}}
+	for ol := 0; ol < 5; ol++ {
+		ol := ol
+		block2 = append(block2, engine.Op{
+			Table: OrderLineTable,
+			KeyFn: func(state any) layout.Key {
+				s := state.(*orderStatusState)
+				o := uint64(0)
+				if s.nextO > back {
+					o = s.nextO - back
+				}
+				return g.orderLineKey(w, d, o, ol)
+			},
+			ReadCells: []int{OLIID, OLSupplyW, OLQty, OLAmount},
+			Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+		})
+	}
+	return &engine.Txn{
+		Label:    "OrderStatus",
+		ReadOnly: true,
+		State:    st,
+		Blocks:   []engine.Block{{Ops: block1}, {Ops: block2}},
+	}
+}
+
+// deliveryState carries the delivered order's customer and total.
+type deliveryState struct {
+	cID   uint64
+	total uint64
+}
+
+// delivery delivers one order in one district (the spec delivers all
+// ten districts; DESIGN.md documents the scaling): it clears the
+// new-order flag, stamps the carrier, sums the order lines, and
+// credits the customer's balance in a dependent block.
+func (g *Generator) delivery(rng *rand.Rand) *engine.Txn {
+	c := g.cfg
+	w := rng.Intn(c.Warehouses)
+	d := rng.Intn(c.Districts)
+	o := uint64(rng.Intn(c.OrdersPerDistrict))
+	carrier := uint64(rng.Intn(10) + 1)
+	st := &deliveryState{}
+
+	block1 := []engine.Op{
+		{
+			Table: NewOrderTable, Key: g.orderKey(w, d, o),
+			ReadCells: []int{0}, WriteCells: []int{0},
+			Hook: func(_ any, read [][]byte) [][]byte {
+				return [][]byte{workload.PutU64(read[0], 0)}
+			},
+		},
+		{
+			Table: OrdersTable, Key: g.orderKey(w, d, o),
+			ReadCells: []int{OCID, OOLCnt}, WriteCells: []int{OCarrier},
+			Hook: func(state any, read [][]byte) [][]byte {
+				state.(*deliveryState).cID = workload.GetU64(read[0])
+				return [][]byte{workload.U64(carrier, 8)}
+			},
+		},
+	}
+	for ol := 0; ol < 5; ol++ {
+		block1 = append(block1, engine.Op{
+			Table: OrderLineTable, Key: g.orderLineKey(w, d, o, ol),
+			ReadCells: []int{OLAmount},
+			Hook: func(state any, read [][]byte) [][]byte {
+				state.(*deliveryState).total += workload.GetU64(read[0])
+				return nil
+			},
+		})
+	}
+	block2 := []engine.Op{{
+		Table: CustomerTable,
+		KeyFn: func(state any) layout.Key {
+			s := state.(*deliveryState)
+			return g.customerKey(w, d, int(s.cID)%c.CustomersPerDistrict)
+		},
+		ReadCells: []int{CBalance}, WriteCells: []int{CBalance},
+		Hook: func(state any, read [][]byte) [][]byte {
+			s := state.(*deliveryState)
+			return [][]byte{workload.PutU64(read[0], workload.GetU64(read[0])+s.total)}
+		},
+	}}
+	return &engine.Txn{
+		Label:  "Delivery",
+		State:  st,
+		Blocks: []engine.Block{{Ops: block1}, {Ops: block2}},
+	}
+}
+
+// stockLevelState resolves the three-stage key dependency: district →
+// recent order lines → their items' stock rows.
+type stockLevelState struct {
+	nextO uint64
+	items []uint64
+	keys  []layout.Key
+}
+
+// stockKeys dedupes the item ids read in block 2 into distinct stock
+// keys (a transaction accesses each record at most once; duplicate
+// items probe to the neighbouring stock row, an approximation noted in
+// DESIGN.md).
+func (s *stockLevelState) stockKeys(g *Generator, w, n int) []layout.Key {
+	if s.keys != nil {
+		return s.keys
+	}
+	seen := map[layout.Key]bool{}
+	for _, it := range s.items {
+		k := g.stockKey(w, int(it)%g.cfg.Items)
+		for seen[k] {
+			k = g.stockKey(w, (int(k)+1)%g.cfg.Items)
+		}
+		seen[k] = true
+		s.keys = append(s.keys, k)
+	}
+	for len(s.keys) < n {
+		k := g.stockKey(w, len(s.keys)*7%g.cfg.Items)
+		for seen[k] {
+			k = g.stockKey(w, (int(k)+1)%g.cfg.Items)
+		}
+		seen[k] = true
+		s.keys = append(s.keys, k)
+	}
+	return s.keys
+}
+
+// stockLevel is read-only and pipeline-heavy: three blocks chained by
+// key dependencies.
+func (g *Generator) stockLevel(rng *rand.Rand) *engine.Txn {
+	c := g.cfg
+	w := rng.Intn(c.Warehouses)
+	d := rng.Intn(c.Districts)
+	const scan = 5
+	st := &stockLevelState{}
+
+	block1 := []engine.Op{{
+		Table: DistrictTable, Key: g.districtKey(w, d),
+		ReadCells: []int{DNextOID},
+		Hook: func(state any, read [][]byte) [][]byte {
+			state.(*stockLevelState).nextO = workload.GetU64(read[0])
+			return nil
+		},
+	}}
+	block2 := make([]engine.Op, 0, scan)
+	for i := 0; i < scan; i++ {
+		i := i
+		block2 = append(block2, engine.Op{
+			Table: OrderLineTable,
+			KeyFn: func(state any) layout.Key {
+				s := state.(*stockLevelState)
+				o := uint64(0)
+				if s.nextO > uint64(i+1) {
+					o = s.nextO - uint64(i+1)
+				}
+				return g.orderLineKey(w, d, o, 0)
+			},
+			ReadCells: []int{OLIID},
+			Hook: func(state any, read [][]byte) [][]byte {
+				s := state.(*stockLevelState)
+				s.items = append(s.items, workload.GetU64(read[0]))
+				return nil
+			},
+		})
+	}
+	block3 := make([]engine.Op, 0, scan)
+	for i := 0; i < scan; i++ {
+		i := i
+		block3 = append(block3, engine.Op{
+			Table: StockTable,
+			KeyFn: func(state any) layout.Key {
+				return state.(*stockLevelState).stockKeys(g, w, scan)[i]
+			},
+			ReadCells: []int{SQty},
+			Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+		})
+	}
+	return &engine.Txn{
+		Label:    "StockLevel",
+		ReadOnly: true,
+		State:    st,
+		Blocks:   []engine.Block{{Ops: block1}, {Ops: block2}, {Ops: block3}},
+	}
+}

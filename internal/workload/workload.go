@@ -1,0 +1,134 @@
+// Package workload defines the benchmark-workload interface shared by
+// the TPC-C, SmallBank and YCSB generators (sub-packages), plus the
+// skewed key-selection machinery (Zipf) the paper's contention knobs
+// are built on.
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+)
+
+// TableDef describes one table a workload needs: its schema and how
+// many records it will hold.
+type TableDef struct {
+	Schema   layout.Schema
+	Capacity int
+}
+
+// Generator produces transactions for one benchmark workload.
+type Generator interface {
+	// Name identifies the workload ("tpcc", "smallbank", "ycsb").
+	Name() string
+	// Tables lists the tables to create before loading.
+	Tables() []TableDef
+	// Load emits every initial record through fn.
+	Load(fn func(table layout.TableID, key layout.Key, cells [][]byte))
+	// Next generates one transaction using rng for all randomness.
+	Next(rng *rand.Rand) *engine.Txn
+}
+
+// U64 encodes v as the 8 leading bytes of a cell of size n (the rest
+// is zero padding). Workload cells store integers this way so hooks
+// can do arithmetic on fixed-size cells.
+func U64(v uint64, n int) []byte {
+	b := make([]byte, n)
+	binary.LittleEndian.PutUint64(b, v)
+	return b
+}
+
+// GetU64 decodes the integer stored by U64.
+func GetU64(b []byte) uint64 { return binary.LittleEndian.Uint64(b) }
+
+// PutU64 overwrites the integer in place, preserving padding.
+func PutU64(b []byte, v uint64) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	binary.LittleEndian.PutUint64(out, v)
+	return out
+}
+
+// Text fills a cell of size n with a deterministic printable pattern
+// seeded by tag, for non-numeric columns.
+func Text(tag uint64, n int) []byte {
+	b := make([]byte, n)
+	x := tag*0x9e3779b97f4a7c15 + 1
+	for i := range b {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		b[i] = 'a' + byte(x%26)
+	}
+	return b
+}
+
+// KeyPicker selects record indices in [0, n) — uniformly or Zipf-
+// distributed — and scrambles ranks so hot keys spread over the key
+// space (and thus over memory nodes).
+type KeyPicker struct {
+	n     uint64
+	zipf  *Zipf
+	step  uint64
+	shift uint64
+}
+
+// NewKeyPicker builds a picker over n keys with Zipfian constant
+// theta; theta == 0 selects uniformly.
+func NewKeyPicker(n int, theta float64) *KeyPicker {
+	if n <= 0 {
+		panic("workload: KeyPicker over empty key space")
+	}
+	p := &KeyPicker{n: uint64(n), step: scrambleStep(uint64(n)), shift: uint64(n) / 3}
+	if theta > 0 {
+		p.zipf = NewZipf(uint64(n), theta)
+	}
+	return p
+}
+
+// scrambleStep returns a multiplier coprime to n, so rank→key is a
+// permutation.
+func scrambleStep(n uint64) uint64 {
+	step := n*7/11 + 3
+	for gcd(step, n) != 1 {
+		step++
+	}
+	return step
+}
+
+func gcd(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	return a
+}
+
+// Pick draws one key.
+func (p *KeyPicker) Pick(rng *rand.Rand) layout.Key {
+	var rank uint64
+	if p.zipf != nil {
+		rank = p.zipf.Next(rng)
+	} else {
+		rank = uint64(rng.Int63n(int64(p.n)))
+	}
+	return layout.Key((rank*p.step + p.shift) % p.n)
+}
+
+// PickDistinct draws k distinct keys.
+func (p *KeyPicker) PickDistinct(rng *rand.Rand, k int) []layout.Key {
+	if uint64(k) > p.n {
+		panic("workload: more distinct keys than key space")
+	}
+	out := make([]layout.Key, 0, k)
+	seen := map[layout.Key]bool{}
+	for len(out) < k {
+		key := p.Pick(rng)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package ycsb adapts the YCSB key-value benchmark for transaction
+// processing, exactly as §8.2 of the paper describes: one table of
+// records with four 40-byte cells; each transaction selects N distinct
+// records (Zipf-distributed); read transactions read all cells of each
+// record, write transactions update one random cell of each record.
+package ycsb
+
+import (
+	"math/rand"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/workload"
+)
+
+// TableID is the YCSB table.
+const TableID layout.TableID = 10
+
+// Config sizes the workload. The zero value is unusable; use
+// DefaultConfig.
+type Config struct {
+	Records    int     // table size (paper: 1 M; scaled default 100 K)
+	N          int     // records per transaction (paper default 4)
+	WriteRatio float64 // fraction of write transactions
+	Theta      float64 // Zipfian constant (0 = uniform)
+	CellSize   int     // bytes per cell (paper: 40)
+	NumCells   int     // cells per record (paper: 4)
+}
+
+// DefaultConfig matches the paper's setup at a laptop-scale record
+// count.
+func DefaultConfig() Config {
+	return Config{
+		Records:    100_000,
+		N:          4,
+		WriteRatio: 0.5,
+		Theta:      0.99,
+		CellSize:   40,
+		NumCells:   4,
+	}
+}
+
+// Generator produces YCSB transactions.
+type Generator struct {
+	cfg    Config
+	picker *workload.KeyPicker
+}
+
+// New builds a generator.
+func New(cfg Config) *Generator {
+	if cfg.Records <= 0 || cfg.N <= 0 || cfg.NumCells <= 0 || cfg.CellSize < 8 {
+		panic("ycsb: invalid config")
+	}
+	return &Generator{cfg: cfg, picker: workload.NewKeyPicker(cfg.Records, cfg.Theta)}
+}
+
+// Name implements workload.Generator.
+func (g *Generator) Name() string { return "ycsb" }
+
+// Config returns the generator's configuration.
+func (g *Generator) Config() Config { return g.cfg }
+
+// Tables implements workload.Generator.
+func (g *Generator) Tables() []workload.TableDef {
+	sizes := make([]int, g.cfg.NumCells)
+	for i := range sizes {
+		sizes[i] = g.cfg.CellSize
+	}
+	return []workload.TableDef{{
+		Schema:   layout.Schema{ID: TableID, Name: "usertable", CellSizes: sizes},
+		Capacity: g.cfg.Records,
+	}}
+}
+
+// Load implements workload.Generator.
+func (g *Generator) Load(fn func(layout.TableID, layout.Key, [][]byte)) {
+	for k := 0; k < g.cfg.Records; k++ {
+		cells := make([][]byte, g.cfg.NumCells)
+		for c := range cells {
+			cells[c] = workload.U64(uint64(k), g.cfg.CellSize)
+		}
+		fn(TableID, layout.Key(k), cells)
+	}
+}
+
+// Next implements workload.Generator.
+func (g *Generator) Next(rng *rand.Rand) *engine.Txn {
+	keys := g.picker.PickDistinct(rng, g.cfg.N)
+	isWrite := rng.Float64() < g.cfg.WriteRatio
+	t := &engine.Txn{Label: "ycsb-read", ReadOnly: !isWrite}
+	if isWrite {
+		t.Label = "ycsb-write"
+	}
+	var ops []engine.Op
+	for _, key := range keys {
+		if isWrite {
+			cell := rng.Intn(g.cfg.NumCells)
+			ops = append(ops, engine.Op{
+				Table:      TableID,
+				Key:        key,
+				ReadCells:  []int{cell},
+				WriteCells: []int{cell},
+				Hook: func(_ any, read [][]byte) [][]byte {
+					return [][]byte{workload.PutU64(read[0], workload.GetU64(read[0])+1)}
+				},
+			})
+			continue
+		}
+		all := make([]int, g.cfg.NumCells)
+		for c := range all {
+			all[c] = c
+		}
+		ops = append(ops, engine.Op{
+			Table:     TableID,
+			Key:       key,
+			ReadCells: all,
+			Hook:      func(_ any, _ [][]byte) [][]byte { return nil },
+		})
+	}
+	t.Blocks = []engine.Block{{Ops: ops}}
+	return t
+}

@@ -1,0 +1,115 @@
+package ycsb
+
+import (
+	"math/rand"
+	"testing"
+
+	"crest/internal/layout"
+)
+
+func TestTablesAndLoad(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 1000
+	g := New(cfg)
+	defs := g.Tables()
+	if len(defs) != 1 {
+		t.Fatalf("%d tables", len(defs))
+	}
+	if err := defs[0].Schema.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if got := defs[0].Schema.DataBytes(); got != 160 {
+		t.Fatalf("record data bytes = %d, want 160 (4×40)", got)
+	}
+	loaded := 0
+	g.Load(func(table layout.TableID, key layout.Key, cells [][]byte) {
+		if table != TableID || int(key) >= cfg.Records {
+			t.Fatalf("bad record %d/%d", table, key)
+		}
+		if len(cells) != 4 || len(cells[0]) != 40 {
+			t.Fatal("bad cell shape")
+		}
+		loaded++
+	})
+	if loaded != cfg.Records {
+		t.Fatalf("loaded %d records", loaded)
+	}
+}
+
+func TestNextShape(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 1000
+	cfg.N = 3
+	g := New(cfg)
+	rng := rand.New(rand.NewSource(1))
+	reads, writes := 0, 0
+	for i := 0; i < 500; i++ {
+		txn := g.Next(rng)
+		ops := txn.Blocks[0].Ops
+		if len(ops) != 3 {
+			t.Fatalf("%d ops, want 3", len(ops))
+		}
+		seen := map[layout.Key]bool{}
+		for _, op := range ops {
+			if seen[op.Key] {
+				t.Fatal("duplicate key in one txn")
+			}
+			seen[op.Key] = true
+			if int(op.Key) >= cfg.Records {
+				t.Fatal("key out of range")
+			}
+		}
+		if txn.ReadOnly {
+			reads++
+			if len(ops[0].ReadCells) != 4 || len(ops[0].WriteCells) != 0 {
+				t.Fatal("read txn must read all cells")
+			}
+		} else {
+			writes++
+			if len(ops[0].WriteCells) != 1 {
+				t.Fatal("write txn must update one cell")
+			}
+		}
+	}
+	// 50% write ratio within loose bounds.
+	if writes < 150 || reads < 150 {
+		t.Fatalf("mix off: %d writes %d reads", writes, reads)
+	}
+}
+
+func TestWriteRatioExtremes(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 100
+	cfg.WriteRatio = 0
+	g := New(cfg)
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		if !g.Next(rng).ReadOnly {
+			t.Fatal("write generated at ratio 0")
+		}
+	}
+	cfg.WriteRatio = 1
+	g = New(cfg)
+	for i := 0; i < 50; i++ {
+		if g.Next(rng).ReadOnly {
+			t.Fatal("read generated at ratio 1")
+		}
+	}
+}
+
+func TestUniformThetaZero(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 64
+	cfg.Theta = 0
+	g := New(cfg)
+	rng := rand.New(rand.NewSource(3))
+	seen := map[layout.Key]bool{}
+	for i := 0; i < 500; i++ {
+		for _, op := range g.Next(rng).Blocks[0].Ops {
+			seen[op.Key] = true
+		}
+	}
+	if len(seen) < 60 {
+		t.Fatalf("uniform selection covered only %d keys", len(seen))
+	}
+}
