@@ -6,6 +6,7 @@ import (
 
 	"crest/internal/bench"
 	"crest/internal/sim"
+	"crest/internal/trace"
 	"crest/internal/workload"
 	"crest/internal/workload/smallbank"
 	"crest/internal/workload/tpcc"
@@ -47,6 +48,12 @@ type BenchmarkConfig struct {
 	// Scale shrinks table cardinalities for fast runs: records,
 	// accounts and TPC-C rings use the quick profile when true.
 	Quick bool
+
+	// Trace records the run's deterministic event trace; the snapshot
+	// comes back in BenchmarkResult.Trace.
+	Trace bool
+	// TraceCapacity bounds the trace ring buffer (0 = default).
+	TraceCapacity int
 }
 
 // BenchmarkResult aggregates a run, in the paper's units.
@@ -70,6 +77,11 @@ type BenchmarkResult struct {
 	ExecUs     float64
 	ValidateUs float64
 	CommitUs   float64
+
+	// Trace is the run's event trace when BenchmarkConfig.Trace was
+	// set (render with WriteChromeTrace / WriteSpanSummary /
+	// WriteHotKeys), nil otherwise.
+	Trace *TraceSnapshot
 }
 
 // String summarizes the result in one line.
@@ -100,11 +112,21 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		Duration:    sim.Duration(cfg.Duration),
 		Warmup:      sim.Duration(cfg.Warmup),
 	}
+	var rec *trace.Recorder
+	if cfg.Trace {
+		rec = trace.NewRecorder(cfg.TraceCapacity)
+		bc.Trace = rec
+	}
 	res, err := bench.Run(bc)
 	if err != nil {
 		return BenchmarkResult{}, err
 	}
+	var snap *TraceSnapshot
+	if rec != nil {
+		snap = rec.Snapshot()
+	}
 	return BenchmarkResult{
+		Trace:          snap,
 		System:         System(res.System),
 		Workload:       name,
 		Coordinators:   res.Coordinators,

@@ -41,6 +41,7 @@ func main() {
 		warmup   = flag.Duration("warmup", 4*time.Millisecond, "virtual warmup excluded from measurement")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		quick    = flag.Bool("quick", false, "use CI-scale table sizes")
+		traceOut = flag.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
 	)
 	flag.Parse()
 
@@ -82,9 +83,23 @@ func main() {
 			Warmup:              *warmup,
 			Seed:                *seed,
 			Quick:               *quick,
+			Trace:               *traceOut != "",
 		})
 		if err != nil {
 			fatalf("%v", err)
+		}
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := crest.WriteChromeTrace(f, res.Trace); err != nil {
+				fatalf("writing trace: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "[trace: %d events -> %s]\n", len(res.Trace.Events), *traceOut)
 		}
 		fmt.Println(res)
 		fmt.Printf("  committed=%d aborted=%d false-abort=%.1f%%\n", res.Committed, res.Aborted, 100*res.FalseAbortRate)

@@ -35,6 +35,7 @@ package crest
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"crest/internal/bench"
@@ -46,6 +47,7 @@ import (
 	"crest/internal/motor"
 	"crest/internal/rdma"
 	"crest/internal/sim"
+	"crest/internal/trace"
 	"crest/internal/workload"
 )
 
@@ -79,6 +81,14 @@ type Config struct {
 	Seed                int64         // deterministic virtual-time seed
 	RTT                 time.Duration // fabric round-trip (default 2µs)
 	PoolBytes           int           // per-node region size (default sized from tables)
+	// Trace records a deterministic event trace of everything the
+	// cluster does (transaction spans, phases, RDMA verbs, lock
+	// traffic); read it back with TraceSnapshot. Tracing consumes no
+	// virtual time and no randomness, so a traced cluster runs the
+	// exact same schedule as an untraced one.
+	Trace bool
+	// TraceCapacity bounds the trace ring buffer (0 = default).
+	TraceCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -126,6 +136,7 @@ type Cluster struct {
 	finalized bool
 	coords    []engine.Coordinator
 	next      int
+	trace     *trace.Recorder // nil unless Config.Trace
 }
 
 // NewCluster builds a cluster. Tables must be created and loaded
@@ -141,6 +152,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		params.RTT = sim.Duration(cfg.RTT)
 	}
 	c.fabric = rdma.NewFabric(c.env, params)
+	if cfg.Trace {
+		c.trace = trace.NewRecorder(cfg.TraceCapacity)
+		c.env.SetObserver(c.trace)
+		c.fabric.SetRecorder(c.trace)
+	}
 	return c, nil
 }
 
@@ -182,6 +198,7 @@ func (c *Cluster) ensureSystem() error {
 	}
 	c.pool = memnode.NewPool(c.fabric, c.cfg.MemoryNodes, size, c.cfg.Replicas)
 	c.db = engine.NewDB(c.pool)
+	c.db.Trace = c.trace
 	sys, err := bench.NewSystem(bench.SystemKind(c.cfg.System), c.db)
 	if err != nil {
 		return err
@@ -386,6 +403,26 @@ func (c *Cluster) RestoreMemoryNode(id int) error {
 	c.pool.Nodes()[id].Region.Recover()
 	return nil
 }
+
+// TraceSnapshot is an immutable copy of a cluster's recorded event
+// stream and hot-key contention profile.
+type TraceSnapshot = trace.Snapshot
+
+// TraceSnapshot copies the trace recorded so far (empty unless the
+// cluster was built with Config.Trace). Render it with
+// WriteChromeTrace, WriteSpanSummary or WriteHotKeys.
+func (c *Cluster) TraceSnapshot() *TraceSnapshot { return c.trace.Snapshot() }
+
+// WriteChromeTrace renders a trace snapshot as Chrome trace_event JSON
+// (opens directly in Perfetto or chrome://tracing).
+func WriteChromeTrace(w io.Writer, s *TraceSnapshot) error { return trace.WriteChromeTrace(w, s) }
+
+// WriteSpanSummary renders per-transaction span timelines with exact
+// virtual-time phase durations and round-trip attribution.
+func WriteSpanSummary(w io.Writer, s *TraceSnapshot) error { return trace.WriteSpanSummary(w, s) }
+
+// WriteHotKeys renders the top-k hot-key contention profile.
+func WriteHotKeys(w io.Writer, s *TraceSnapshot, k int) error { return trace.WriteHotKeys(w, s, k) }
 
 // Coordinators reports the number of coordinators available.
 func (c *Cluster) Coordinators() int { return len(c.coords) }

@@ -21,6 +21,7 @@ import (
 	"crest/internal/rdma"
 	"crest/internal/sim"
 	"crest/internal/stats"
+	"crest/internal/trace"
 	"crest/internal/workload"
 )
 
@@ -57,6 +58,11 @@ type Config struct {
 	// CheckHistory turns on the serializability checker (slows the
 	// run; used by tests, not benchmarks).
 	CheckHistory bool
+	// Trace, when non-nil, records the run's event stream (see
+	// internal/trace). Tracing consumes no virtual time and no
+	// randomness, so a traced run commits exactly the same schedule as
+	// an untraced one.
+	Trace *trace.Recorder
 }
 
 // WithDefaults fills unset fields with the evaluation defaults: two
@@ -189,6 +195,11 @@ func Run(cfg Config) (Result, error) {
 	fabric := rdma.NewFabric(env, cfg.Params)
 	pool := memnode.NewPool(fabric, cfg.MemNodes, PoolBytes(defs, cfg.CompNodes*cfg.CoordsPerCN), cfg.Replicas)
 	db := engine.NewDB(pool)
+	if cfg.Trace != nil {
+		env.SetObserver(cfg.Trace)
+		fabric.SetRecorder(cfg.Trace)
+		db.Trace = cfg.Trace
+	}
 	if cfg.CheckHistory {
 		db.History = engine.NewHistory()
 	}

@@ -9,6 +9,7 @@ import (
 	"crest/internal/memnode"
 	"crest/internal/rdma"
 	"crest/internal/sim"
+	"crest/internal/trace"
 )
 
 // Coordinator executes CREST transactions. Each coordinator belongs to
@@ -107,18 +108,10 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 // execution, dependency tracking and parallel commits.
 func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
-	var a engine.Attempt
-	verbs0 := db.Fabric.Stats()
-	start := p.Now()
-	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
-		a.Committed = reason == engine.AbortNone
-		a.Reason = reason
-		a.FalseConflict = falseConflict
-		a.Verbs = db.Fabric.Stats().Sub(verbs0)
-		return a
-	}
+	at := engine.BeginAttempt(db, p, c.gid, t)
 
 	me := &txnState{id: c.cn.sys.nextTxn()}
+	at.Span().SetTxn(me.id)
 	var accs []*access
 	byRec := map[recKey]*access{}
 	// deps are the creators of versions this transaction read or
@@ -127,9 +120,10 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 	deps := newDepSet()
 
 	abortTxn := func(reason engine.AbortReason, falseC bool) engine.Attempt {
+		at.Fail(reason, falseC)
 		me.resolve(txnAborted, 0)
 		c.applyRelease(p, accs)
-		return finish(reason, falseC)
+		return at.Done()
 	}
 
 	// --- Execution phase: pipelined blocks (§5.2). ---
@@ -137,16 +131,13 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 		blk := &t.Blocks[bi]
 		blockAccs, gated := c.prepare(p, t, blk, byRec, &accs)
 		if gated {
-			a.Exec = p.Now().Sub(start)
-			att := abortTxn(engine.AbortWait, false)
-			att.Exec = a.Exec
-			return att
+			return abortTxn(engine.AbortWait, false)
 		}
-		if reason, falseC := c.admit(p, blockAccs); reason != engine.AbortNone {
-			a.Exec = p.Now().Sub(start)
-			att := abortTxn(reason, falseC)
-			att.Exec = a.Exec
-			return att
+		at.Phase(trace.PhaseLock)
+		admitReason, admitFalse := c.admit(p, blockAccs)
+		at.Phase(trace.PhaseExec)
+		if admitReason != engine.AbortNone {
+			return abortTxn(admitReason, admitFalse)
 		}
 		// Charge the block's compute-node CPU cost (hook execution,
 		// copies) before taking any local lock: the computation does
@@ -183,52 +174,38 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 			acc.obj.mu.Unlock()
 		}
 		if reason != engine.AbortNone {
-			a.Exec = p.Now().Sub(start)
-			att := abortTxn(reason, false)
-			att.Exec = a.Exec
-			return att
+			return abortTxn(reason, false)
 		}
 	}
-	execEnd := p.Now()
-	a.Exec = execEnd.Sub(start)
 
 	// --- Validation (§6): dependencies first, then remote epochs,
 	// then the local supersede check immediately before the commit
 	// timestamp is drawn (no yield in between, so the serial position
 	// is exact). ---
+	at.Phase(trace.PhaseValidate)
 	for _, dep := range deps.list {
 		dep.await(p)
 		if dep.status == txnAborted {
-			a.Validate = p.Now().Sub(execEnd)
-			att := abortTxn(engine.AbortDependency, false)
-			att.Exec, att.Validate = a.Exec, a.Validate
-			return att
+			return abortTxn(engine.AbortDependency, false)
 		}
 	}
-	if reason, falseC := c.validateRemote(p, accs, start); reason != engine.AbortNone {
-		a.Validate = p.Now().Sub(execEnd)
-		att := abortTxn(reason, falseC)
-		att.Exec, att.Validate = a.Exec, a.Validate
-		return att
+	if reason, falseC := c.validateRemote(p, accs, at.Start()); reason != engine.AbortNone {
+		return abortTxn(reason, falseC)
 	}
 	if !c.validateLocal(accs) {
-		a.Validate = p.Now().Sub(execEnd)
-		att := abortTxn(engine.AbortValidation, false)
-		att.Exec, att.Validate = a.Exec, a.Validate
-		return att
+		return abortTxn(engine.AbortValidation, false)
 	}
-	valEnd := p.Now()
-	a.Validate = valEnd.Sub(execEnd)
 
 	// --- Commit (§6): timestamp, redo log, then parallel apply. ---
+	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
 	me.tsAssigned = ts
 	c.writeRedoLog(p, me, ts, accs, deps)
 	me.resolve(txnCommitted, ts)
+	at.Phase(trace.PhaseApply)
 	c.applyRelease(p, accs)
 	c.recordHistory(t, accs, ts)
-	a.Commit = p.Now().Sub(valEnd)
-	return finish(engine.AbortNone, false)
+	return at.Done()
 }
 
 // prepare resolves the block's keys into accesses, creating local
@@ -381,6 +358,11 @@ func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReaso
 				obj := acc.obj
 				if acc.intentWrite && !acc.streakCounted {
 					acc.streakCounted = true
+					// streak > 0 means an earlier local txn already
+					// counted against these locks: this one piggybacks.
+					if obj.streak > 0 && obj.remoteLocks != 0 {
+						db.Trace.LockPiggyback(p.Now(), trace.SpanOf(p), obj.table, obj.key, obj.remoteLocks)
+					}
 					obj.streak++
 					if k := opts.MaxPiggyback; k > 0 && obj.streak >= k && obj.remoteLocks != 0 {
 						obj.drainPending = true
@@ -466,9 +448,11 @@ func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReaso
 				if results[bi][pd.casIdx].OK {
 					obj.remoteLocks |= pd.bits
 					obj.streak = 0 // fresh acquisition opens a new window
+					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), obj.table, obj.key, pd.bits)
 				} else {
 					conflict = true
 					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
+					db.Trace.Conflict(p.Now(), trace.SpanOf(p), obj.table, obj.key, pd.bits)
 				}
 			}
 			if pd.readIdx >= 0 {
@@ -489,6 +473,7 @@ func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReaso
 					obj.admitted = false
 					conflict = true
 					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
+					db.Trace.Conflict(p.Now(), trace.SpanOf(p), obj.table, obj.key, readMask)
 				case !obj.admitted:
 					copy(obj.epochs, h.EN[:obj.lay.NumCells()])
 					obj.base = vals
@@ -608,8 +593,6 @@ func (c *Coordinator) execOp(p *sim.Proc, t *engine.Txn, me *txnState, acc *acce
 			}
 		}
 		obj.append(cell, &version{txn: me, tsExec: me.tsExec, value: written[i]})
-		if cell == 1 {
-		}
 	}
 	return engine.AbortNone
 }
@@ -753,6 +736,7 @@ func (c *Coordinator) validateRemote(p *sim.Proc, accs []*access, attemptStart s
 					conflicting |= db.Tracker.HolderCells(acc.rk.table, acc.key)
 				}
 				myMask := accessMaskFor(acc.op)
+				db.Trace.Conflict(p.Now(), trace.SpanOf(p), acc.rk.table, acc.key, bit)
 				return engine.AbortValidation, engine.IsFalseConflict(myMask, conflicting)
 			}
 		}
@@ -927,9 +911,15 @@ func (c *Coordinator) applyRelease(p *sim.Proc, accs []*access) {
 		obj := f.obj
 		for _, plan := range f.plans {
 			db.Tracker.OnUpdate(obj.table, obj.key, plan.ts, 1<<uint(plan.cell))
-			if plan.cell == 1 {
+			// A fold of more than 65536 epochs — or one landing exactly
+			// on the wrap — silently reuses epoch numbers; validation
+			// correctness then rests on the EN-threshold fallback, so
+			// the rollover is worth a trace event.
+			if before := plan.en - uint16(plan.bumps); plan.en < before {
+				db.Trace.ENOverflow(p.Now(), trace.SpanOf(p), obj.table, obj.key, plan.cell)
 			}
 		}
+		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), obj.table, obj.key, obj.remoteLocks)
 		obj.remoteLocks = 0
 		obj.streak = 0
 		if obj.drainPending {

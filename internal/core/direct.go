@@ -9,6 +9,7 @@ import (
 	"crest/internal/memnode"
 	"crest/internal/rdma"
 	"crest/internal/sim"
+	"crest/internal/trace"
 )
 
 // executeDirect is the strict (non-localized) execution path used by
@@ -18,16 +19,7 @@ import (
 // granularity via the CREST record structure.
 func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
-	var a engine.Attempt
-	verbs0 := db.Fabric.Stats()
-	start := p.Now()
-	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
-		a.Committed = reason == engine.AbortNone
-		a.Reason = reason
-		a.FalseConflict = falseConflict
-		a.Verbs = db.Fabric.Stats().Sub(verbs0)
-		return a
-	}
+	at := engine.BeginAttempt(db, p, c.gid, t)
 
 	var ws []*dwork
 	byRec := map[recKey]*dwork{}
@@ -35,10 +27,15 @@ func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
 		blk := &t.Blocks[bi]
 		blockWs := c.dPrepare(p, t, blk, byRec)
 		ws = append(ws, blockWs...)
-		if reason, falseC := c.dFetch(p, blockWs); reason != engine.AbortNone {
+		at.Phase(trace.PhaseLock)
+		reason, falseC := c.dFetch(p, blockWs)
+		at.Phase(trace.PhaseExec)
+		if reason != engine.AbortNone {
+			// Release before Fail: the strict path has always charged
+			// abort-time lock release to the phase that failed.
 			c.dRelease(p, ws)
-			a.Exec = p.Now().Sub(start)
-			return finish(reason, falseC)
+			at.Fail(reason, falseC)
+			return at.Done()
 		}
 		for oi := range blk.Ops {
 			op := &blk.Ops[oi]
@@ -46,23 +43,21 @@ func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
 			c.dApplyOp(p, t, op, w)
 		}
 	}
-	execEnd := p.Now()
-	a.Exec = execEnd.Sub(start)
 
-	if reason, falseC := c.dValidate(p, ws, start); reason != engine.AbortNone {
+	at.Phase(trace.PhaseValidate)
+	if reason, falseC := c.dValidate(p, ws, at.Start()); reason != engine.AbortNone {
 		c.dRelease(p, ws)
-		a.Validate = p.Now().Sub(execEnd)
-		return finish(reason, falseC)
+		at.Fail(reason, falseC)
+		return at.Done()
 	}
-	valEnd := p.Now()
-	a.Validate = valEnd.Sub(execEnd)
 
+	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
 	c.dWriteLog(p, ws, ts)
+	at.Phase(trace.PhaseApply)
 	c.dInstall(p, ws, ts)
 	c.dRecord(t, ws, ts)
-	a.Commit = p.Now().Sub(valEnd)
-	return finish(engine.AbortNone, false)
+	return at.Done()
 }
 
 // dwork is the direct path's per-record attempt state.
@@ -169,14 +164,18 @@ func (c *Coordinator) dFetch(p *sim.Proc, ws []*dwork) (engine.AbortReason, bool
 			bi := perNode[w.primary.Region.ID()]
 			if s.casIdx >= 0 {
 				if results[bi][s.casIdx].OK {
-					w.lockBits |= c.cn.sys.lockMaskFor(w.lay, w.op) &^ w.lockBits
+					want := c.cn.sys.lockMaskFor(w.lay, w.op) &^ w.lockBits
+					w.lockBits |= want
 					db.Tracker.OnLock(w.table(), w.key, accessMaskFor(w.op))
 					w.tracked = true
+					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, want)
 				} else {
 					// No-wait on write locks: the attempt aborts.
 					lockFailed = true
 					conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 					myMask |= accessMaskFor(w.op)
+					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key,
+						c.cn.sys.lockMaskFor(w.lay, w.op)&^w.lockBits)
 					continue
 				}
 			}
@@ -186,6 +185,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, ws []*dwork) (engine.AbortReason, bool
 				retry = append(retry, w)
 				conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 				myMask |= accessMaskFor(w.op)
+				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, readMask)
 				continue
 			}
 			w.hdr, w.vals, w.vers = h, vals, vers
@@ -285,6 +285,7 @@ func (c *Coordinator) dValidate(p *sim.Proc, ws []*dwork, attemptStart sim.Time)
 				if otherLocks&bit != 0 {
 					conflicting |= db.Tracker.HolderCells(w.table(), w.key)
 				}
+				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, bit)
 				return engine.AbortValidation, engine.IsFalseConflict(accessMaskFor(w.op), conflicting)
 			}
 		}
@@ -318,6 +319,7 @@ func (c *Coordinator) dRelease(p *sim.Proc, ws []*dwork) {
 			db.Tracker.OnUnlock(w.table(), w.key, accessMaskFor(w.op))
 			w.tracked = false
 		}
+		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.lockBits)
 		w.lockBits = 0
 	}
 	if len(batches) == 0 {
@@ -380,6 +382,9 @@ func (c *Coordinator) dInstall(p *sim.Proc, ws []*dwork, ts uint64) {
 			}
 			for _, cell := range w.op.WriteCells {
 				en := w.hdr.EN[cell] + 1
+				if en == 0 { // 16-bit epoch wrapped
+					db.Trace.ENOverflow(p.Now(), trace.SpanOf(p), w.table(), w.key, cell)
+				}
 				slot := make([]byte, layout.CellVersionSize+len(w.vals[cell]))
 				layout.PutCellVersion(slot, layout.CellVersion{EN: en, TS: ts})
 				copy(slot[layout.CellVersionSize:], w.vals[cell])
@@ -413,6 +418,7 @@ func (c *Coordinator) dInstall(p *sim.Proc, ws []*dwork, ts uint64) {
 			w.tracked = false
 		}
 		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.lockBits)
 		w.lockBits = 0
 	}
 }

@@ -1,0 +1,102 @@
+package engine
+
+import (
+	"crest/internal/rdma"
+	"crest/internal/sim"
+	"crest/internal/trace"
+)
+
+// AttemptTimer measures one transaction attempt: per-phase virtual
+// time, the fabric verbs attributable to the attempt, and the trace
+// span. It replaces the per-engine ad-hoc timers with one shared
+// implementation so every engine reports phases the same way and every
+// phase transition reaches the trace.
+//
+// Usage: BeginAttempt at the top of Execute, Phase at each protocol
+// phase boundary, Fail at an abort site (before any release/cleanup
+// work, so the failing phase's duration is frozen there), and Done as
+// the final statement of every return path (after cleanup, so the verb
+// diff includes release traffic — aborting attempts pay for their lock
+// releases).
+//
+// Attempt folds the phases the way the pre-existing timers did:
+// Exec = execute + lock, Commit = log + apply, and release time after
+// a Fail is excluded. The trace keeps the finer five-phase split.
+type AttemptTimer struct {
+	db     *DB
+	p      *sim.Proc
+	span   *trace.Span
+	verbs0 rdma.Stats
+	start  sim.Time
+	mark   sim.Time
+	cur    trace.Phase
+	dur    [trace.NumPhases]sim.Duration
+	failed bool
+	reason AbortReason
+	falseC bool
+}
+
+// BeginAttempt starts timing one attempt of t on coordinator coord,
+// opening (or, on a retry of the same *Txn, resuming) its trace span.
+func BeginAttempt(db *DB, p *sim.Proc, coord uint64, t *Txn) AttemptTimer {
+	at := AttemptTimer{db: db, p: p, verbs0: db.Fabric.Stats(), start: p.Now(), mark: p.Now(), cur: trace.PhaseExec}
+	if db.Trace != nil {
+		at.span = db.Trace.StartSpan(p, coord, t.Label, t)
+		db.Trace.EnterPhase(at.mark, at.span, trace.PhaseExec)
+	}
+	return at
+}
+
+// Span returns the attempt's trace span (nil when tracing is off).
+func (at *AttemptTimer) Span() *trace.Span { return at.span }
+
+// Start returns the virtual time the attempt began.
+func (at *AttemptTimer) Start() sim.Time { return at.start }
+
+// Phase transitions to ph, charging the elapsed time to the phase
+// being left.
+func (at *AttemptTimer) Phase(ph trace.Phase) {
+	now := at.p.Now()
+	at.dur[at.cur] += now.Sub(at.mark)
+	at.mark = now
+	at.cur = ph
+	at.db.Trace.EnterPhase(now, at.span, ph)
+}
+
+// Fail marks the attempt aborted: the failing phase's duration is
+// frozen here and subsequent time (lock release, write-back) accrues
+// to the untallied release phase, exactly as the pre-existing timers
+// captured phase durations before cleanup.
+func (at *AttemptTimer) Fail(reason AbortReason, falseConflict bool) {
+	now := at.p.Now()
+	at.dur[at.cur] += now.Sub(at.mark)
+	at.mark = now
+	at.cur = trace.PhaseRelease
+	at.failed = true
+	at.reason = reason
+	at.falseC = falseConflict
+	if at.db.Trace != nil {
+		at.db.Trace.Abort(now, at.span, reason.String(), falseConflict)
+		at.db.Trace.EnterPhase(now, at.span, trace.PhaseRelease)
+	}
+}
+
+// Done closes the attempt and returns its outcome. The verb diff is
+// taken here — after any cleanup — matching how the engines have
+// always attributed release traffic to the attempt.
+func (at *AttemptTimer) Done() Attempt {
+	now := at.p.Now()
+	if !at.failed {
+		at.dur[at.cur] += now.Sub(at.mark)
+		at.db.Trace.Commit(now, at.span)
+	}
+	return Attempt{
+		Committed:     !at.failed,
+		Reason:        at.reason,
+		FalseConflict: at.falseC,
+		Exec:          at.dur[trace.PhaseExec] + at.dur[trace.PhaseLock],
+		Validate:      at.dur[trace.PhaseValidate],
+		Commit:        at.dur[trace.PhaseLog] + at.dur[trace.PhaseApply],
+		Verbs:         at.db.Fabric.Stats().Sub(at.verbs0),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"crest/internal/memnode"
 	"crest/internal/rdma"
 	"crest/internal/sim"
+	"crest/internal/trace"
 )
 
 // Table is one table's placement in the memory pool: a heap of record
@@ -74,6 +75,10 @@ type DB struct {
 	Tracker *ConflictTracker
 	History *History
 	Cost    CostModel
+	// Trace, when non-nil, receives every engine-level event (spans,
+	// phases, lock traffic). Callers who set it should also call
+	// Fabric.SetRecorder and sim's SetObserver with the same recorder.
+	Trace *trace.Recorder
 }
 
 // NewDB wraps a pool.

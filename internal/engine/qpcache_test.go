@@ -1,0 +1,49 @@
+package engine
+
+import (
+	"testing"
+
+	"crest/internal/rdma"
+	"crest/internal/sim"
+)
+
+func TestQPCacheReusesQPPerRegion(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := rdma.NewFabric(env, rdma.DefaultParams())
+	r0 := f.Register("mn0", 64)
+	r1 := f.Register("mn1", 64)
+
+	c := NewQPCache(f)
+	qp0 := c.Get(r0)
+	if qp0 == nil {
+		t.Fatal("no QP for region 0")
+	}
+	for i := 0; i < 3; i++ {
+		if got := c.Get(r0); got != qp0 {
+			t.Fatalf("repeat Get for the same region returned a different QP (%p vs %p)", got, qp0)
+		}
+	}
+
+	qp1 := c.Get(r1)
+	if qp1 == qp0 {
+		t.Fatal("distinct regions share one QP")
+	}
+	if qp0.ID() == qp1.ID() {
+		t.Fatalf("distinct regions got the same QP id %d", qp0.ID())
+	}
+	if got := c.Get(r1); got != qp1 {
+		t.Fatal("repeat Get for region 1 returned a different QP")
+	}
+}
+
+func TestQPCachesAreIndependentPerCoordinator(t *testing.T) {
+	env := sim.NewEnv(1)
+	f := rdma.NewFabric(env, rdma.DefaultParams())
+	r := f.Register("mn0", 64)
+
+	a := NewQPCache(f)
+	b := NewQPCache(f)
+	if a.Get(r) == b.Get(r) {
+		t.Fatal("two caches (coordinators) share one connection")
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"crest/internal/memnode"
 	"crest/internal/rdma"
 	"crest/internal/sim"
+	"crest/internal/trace"
 )
 
 // logSegmentSize is each coordinator's undo-log ring in the memory
@@ -148,16 +149,7 @@ func (w *work) table() layout.TableID { return w.lay.Schema.ID }
 // backoff and retry.
 func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
-	var a engine.Attempt
-	verbs0 := db.Fabric.Stats()
-	start := p.Now()
-	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
-		a.Committed = reason == engine.AbortNone
-		a.Reason = reason
-		a.FalseConflict = falseConflict
-		a.Verbs = db.Fabric.Stats().Sub(verbs0)
-		return a
-	}
+	at := engine.BeginAttempt(db, p, c.gid, t)
 
 	var ws []*work
 	byRec := map[recKey]*work{}
@@ -171,10 +163,15 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 			panic(err) // address resolution errors are programming bugs
 		}
 		ws = append(ws, newWork...)
-		if abort, falseC := c.fetchBlock(p, newWork); abort != engine.AbortNone {
+		at.Phase(trace.PhaseLock)
+		abort, falseC := c.fetchBlock(p, newWork)
+		at.Phase(trace.PhaseExec)
+		if abort != engine.AbortNone {
+			// Release before Fail: FORD has always charged abort-time
+			// lock release to the phase that failed.
 			c.releaseLocks(p, ws)
-			a.Exec = p.Now().Sub(start)
-			return finish(abort, falseC)
+			at.Fail(abort, falseC)
+			return at.Done()
 		}
 		// Run every op of the block in program order.
 		for oi := range blk.Ops {
@@ -183,26 +180,24 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 			c.applyOp(p, t, op, w)
 		}
 	}
-	execEnd := p.Now()
-	a.Exec = execEnd.Sub(start)
 
 	// Validation phase: re-read lock+version of every read-only
 	// record.
+	at.Phase(trace.PhaseValidate)
 	if abort, falseC := c.validate(p, ws); abort != engine.AbortNone {
 		c.releaseLocks(p, ws)
-		a.Validate = p.Now().Sub(execEnd)
-		return finish(abort, falseC)
+		at.Fail(abort, falseC)
+		return at.Done()
 	}
-	valEnd := p.Now()
-	a.Validate = valEnd.Sub(execEnd)
 
 	// Commit phase: undo log, then install updates and release locks.
+	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
 	c.writeLog(p, ws, ts)
+	at.Phase(trace.PhaseApply)
 	c.install(p, ws, ts)
 	c.record(t, ws, ts)
-	a.Commit = p.Now().Sub(valEnd)
-	return finish(engine.AbortNone, false)
+	return at.Done()
 }
 
 type recKey struct {
@@ -294,10 +289,14 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work) (engine.AbortReason, b
 				if results[bi][ri].OK {
 					w.locked = true
 					db.Tracker.OnLock(w.table(), w.key, w.cells)
-				} else if abort == engine.AbortNone {
-					abort = engine.AbortLockFail
-					holder := db.Tracker.HolderCells(w.table(), w.key)
-					falseConflict = engine.IsFalseConflict(w.cells, holder)
+					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+				} else {
+					if abort == engine.AbortNone {
+						abort = engine.AbortLockFail
+						holder := db.Tracker.HolderCells(w.table(), w.key)
+						falseConflict = engine.IsFalseConflict(w.cells, holder)
+					}
+					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 				}
 				ri++
 			}
@@ -377,6 +376,7 @@ func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, boo
 			if ver != w.readVer {
 				conflicting |= db.Tracker.ChangedSince(w.table(), w.key, w.readVer)
 			}
+			db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 			return engine.AbortValidation, engine.IsFalseConflict(w.cells, conflicting)
 		}
 	}
@@ -406,6 +406,7 @@ func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
 			Swap:    0,
 		})
 		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
+		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 		w.locked = false
 	}
 	if len(batches) == 0 {
@@ -511,6 +512,7 @@ func (c *Coordinator) install(p *sim.Proc, ws []*work, ts uint64) {
 		}
 		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
 		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 		w.locked = false
 	}
 }

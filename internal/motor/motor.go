@@ -33,6 +33,7 @@ import (
 	"crest/internal/memnode"
 	"crest/internal/rdma"
 	"crest/internal/sim"
+	"crest/internal/trace"
 )
 
 const (
@@ -163,16 +164,7 @@ func (w *work) table() layout.TableID { return w.lay.Schema.ID }
 // Execute runs one attempt of t.
 func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
-	var a engine.Attempt
-	verbs0 := db.Fabric.Stats()
-	start := p.Now()
-	finish := func(reason engine.AbortReason, falseConflict bool) engine.Attempt {
-		a.Committed = reason == engine.AbortNone
-		a.Reason = reason
-		a.FalseConflict = falseConflict
-		a.Verbs = db.Fabric.Stats().Sub(verbs0)
-		return a
-	}
+	at := engine.BeginAttempt(db, p, c.gid, t)
 
 	var snapshot uint64
 	if t.ReadOnly {
@@ -185,10 +177,15 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 		blk := &t.Blocks[bi]
 		newWork := c.prepareBlock(p, t, blk, byRec)
 		ws = append(ws, newWork...)
-		if abort, falseC := c.fetchBlock(p, newWork, t.ReadOnly, snapshot); abort != engine.AbortNone {
+		at.Phase(trace.PhaseLock)
+		abort, falseC := c.fetchBlock(p, newWork, t.ReadOnly, snapshot)
+		at.Phase(trace.PhaseExec)
+		if abort != engine.AbortNone {
+			// Release before Fail: Motor has always charged abort-time
+			// lock release to the phase that failed.
 			c.releaseLocks(p, ws)
-			a.Exec = p.Now().Sub(start)
-			return finish(abort, falseC)
+			at.Fail(abort, falseC)
+			return at.Done()
 		}
 		for oi := range blk.Ops {
 			op := &blk.Ops[oi]
@@ -196,29 +193,27 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 			c.applyOp(p, t, op, w)
 		}
 	}
-	execEnd := p.Now()
-	a.Exec = execEnd.Sub(start)
 
 	if t.ReadOnly {
 		// Snapshot reads commit without validation (§ package doc).
 		c.record(t, ws, db.TSO.Next(), true, snapshot)
-		return finish(engine.AbortNone, false)
+		return at.Done()
 	}
 
+	at.Phase(trace.PhaseValidate)
 	if abort, falseC := c.validate(p, ws); abort != engine.AbortNone {
 		c.releaseLocks(p, ws)
-		a.Validate = p.Now().Sub(execEnd)
-		return finish(abort, falseC)
+		at.Fail(abort, falseC)
+		return at.Done()
 	}
-	valEnd := p.Now()
-	a.Validate = valEnd.Sub(execEnd)
 
+	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
 	c.writeLog(p, ws, ts)
+	at.Phase(trace.PhaseApply)
 	c.install(p, ws, ts)
 	c.record(t, ws, ts, false, 0)
-	a.Commit = p.Now().Sub(valEnd)
-	return finish(engine.AbortNone, false)
+	return at.Done()
 }
 
 // prepareBlock resolves keys into work entries, ordered by (table,
@@ -315,10 +310,12 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work, snapshotRead bool, sna
 				if results[bi][s.casIdx].OK {
 					w.locked = true
 					db.Tracker.OnLock(w.table(), w.key, w.cells)
+					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 				} else {
 					lockFailed = true
 					conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 					myMask |= w.cells
+					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 					continue
 				}
 			}
@@ -328,6 +325,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work, snapshotRead bool, sna
 				again = append(again, w)
 				conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 				myMask |= w.cells
+				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 				continue
 			}
 			slot, victim, newest, found := chooseSlots(rec, w.lay, snapshotRead, snapshot)
@@ -469,6 +467,7 @@ func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, boo
 			if newest != w.readVer {
 				conflicting |= db.Tracker.ChangedSince(w.table(), w.key, w.readVer)
 			}
+			db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 			return engine.AbortValidation, engine.IsFalseConflict(w.cells, conflicting)
 		}
 	}
@@ -494,6 +493,7 @@ func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
 			Kind: rdma.OpCAS, Off: w.off + layout.BOffLock, Compare: c.gid, Swap: 0,
 		})
 		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
+		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 		w.locked = false
 	}
 	if len(batches) == 0 {
@@ -587,6 +587,7 @@ func (c *Coordinator) install(p *sim.Proc, ws []*work, ts uint64) {
 		}
 		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
 		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 		w.locked = false
 	}
 }

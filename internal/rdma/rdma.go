@@ -25,6 +25,7 @@ import (
 	"fmt"
 
 	"crest/internal/sim"
+	"crest/internal/trace"
 )
 
 // Params configures the latency model of a fabric.
@@ -40,7 +41,9 @@ type Params struct {
 	// per-WQE work).
 	PerOp sim.Duration
 	// JitterPct, if positive, widens each round-trip by a uniformly
-	// random factor in [0, JitterPct/100]. Jitter keeps coordinators
+	// random factor in the half-open interval [0, JitterPct/100): the
+	// factor is Rand.Float64()*JitterPct/100, so the lower bound is
+	// attainable and the upper bound is not. Jitter keeps coordinators
 	// from running in lockstep; it is drawn from the environment's
 	// seeded source, so runs stay reproducible.
 	JitterPct float64
@@ -155,7 +158,14 @@ type Fabric struct {
 	params  Params
 	regions []*Region
 	stats   Stats
+	nextQP  int
+	rec     *trace.Recorder
 }
+
+// SetRecorder attaches a trace recorder; every subsequent verb emits
+// issue/complete events and every batch an RTT event. A nil recorder
+// disables emission.
+func (f *Fabric) SetRecorder(rec *trace.Recorder) { f.rec = rec }
 
 // NewFabric creates a fabric on env with the given latency parameters.
 func NewFabric(env *sim.Env, params Params) *Fabric {
@@ -220,6 +230,7 @@ func (r *Region) Bytes() []byte { return r.buf }
 type QP struct {
 	fabric *Fabric
 	region *Region
+	id     int
 }
 
 // Connect creates a queue pair targeting region r.
@@ -227,11 +238,15 @@ func (f *Fabric) Connect(r *Region) *QP {
 	if r.fabric != f {
 		panic("rdma: Connect across fabrics")
 	}
-	return &QP{fabric: f, region: r}
+	f.nextQP++
+	return &QP{fabric: f, region: r, id: f.nextQP}
 }
 
 // Region returns the queue pair's target region.
 func (qp *QP) Region() *Region { return qp.region }
+
+// ID returns the queue pair's connection index (1-based, per fabric).
+func (qp *QP) ID() int { return qp.id }
 
 // latency returns the virtual time one batch costs.
 func (f *Fabric) latency(payload int, ops int) sim.Duration {
@@ -244,6 +259,37 @@ func (f *Fabric) latency(payload int, ops int) sim.Duration {
 		d += sim.Duration(f.env.Rand().Float64() * f.params.JitterPct / 100 * float64(d))
 	}
 	return d
+}
+
+// opBytes returns the payload bytes one verb is charged for.
+func opBytes(op *Op) int {
+	switch op.Kind {
+	case OpRead:
+		return op.Len
+	case OpWrite:
+		return len(op.Data)
+	}
+	return 8
+}
+
+// emitIssue records per-verb issue events for one batch. Callers guard
+// with f.rec != nil so a disabled recorder costs one pointer check.
+func (f *Fabric) emitIssue(p *sim.Proc, qp *QP, ops []Op) {
+	s := trace.SpanOf(p)
+	for i := range ops {
+		f.rec.VerbIssue(p.Now(), s, ops[i].Kind.String(), qp.id, qp.region.id, opBytes(&ops[i]))
+	}
+}
+
+// emitComplete records the batch's round-trip and per-verb completions,
+// each charged the whole batch latency (doorbell batching amortizes the
+// round-trip across the verbs, not the other way around).
+func (f *Fabric) emitComplete(p *sim.Proc, qp *QP, ops []Op, lat sim.Duration) {
+	s := trace.SpanOf(p)
+	f.rec.RTT(p.Now(), s, qp.id, qp.region.id, len(ops), batchPayload(ops), lat)
+	for i := range ops {
+		f.rec.VerbComplete(p.Now(), s, ops[i].Kind.String(), qp.id, qp.region.id, opBytes(&ops[i]), lat)
+	}
 }
 
 func batchPayload(ops []Op) int {
@@ -270,6 +316,9 @@ func (qp *QP) Post(p *sim.Proc, ops []Op) ([]Result, error) {
 	}
 	f := qp.fabric
 	lat := f.latency(batchPayload(ops), len(ops))
+	if f.rec != nil {
+		f.emitIssue(p, qp, ops)
+	}
 	// Request propagation: the verbs land on the memory node halfway
 	// through the round-trip, so other coordinators can interleave
 	// before and after.
@@ -277,6 +326,9 @@ func (qp *QP) Post(p *sim.Proc, ops []Op) ([]Result, error) {
 	res, err := qp.region.apply(ops, &f.stats)
 	f.stats.RTTs++
 	p.Sleep(lat - lat/2)
+	if f.rec != nil {
+		f.emitComplete(p, qp, ops, lat)
+	}
 	return res, err
 }
 
@@ -406,6 +458,11 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 			maxLat = lat
 		}
 	}
+	if f.rec != nil {
+		for _, b := range batches {
+			f.emitIssue(p, b.QP, b.Ops)
+		}
+	}
 	p.Sleep(maxLat / 2)
 	out := make([][]Result, len(batches))
 	var firstErr error
@@ -418,6 +475,11 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 		out[i] = res
 	}
 	p.Sleep(maxLat - maxLat/2)
+	if f.rec != nil {
+		for _, b := range batches {
+			f.emitComplete(p, b.QP, b.Ops, maxLat)
+		}
+	}
 	return out, firstErr
 }
 

@@ -355,3 +355,56 @@ func BenchmarkVerbRoundTrip(b *testing.B) {
 		b.Fatal(err)
 	}
 }
+
+// TestJitterStaysWithinHalfOpenBound pins the documented jitter
+// contract: each round-trip is widened by a uniformly random factor in
+// the half-open interval [0, JitterPct/100), so the no-jitter latency
+// is attainable and the full widening is not.
+func TestJitterStaysWithinHalfOpenBound(t *testing.T) {
+	const payload = 256
+
+	// The deterministic base latency of one single-verb read.
+	var base sim.Duration
+	runOne(t, noJitter(), func(p *sim.Proc, f *Fabric) {
+		qp := f.Connect(f.Register("mn0", 1024))
+		start := p.Now()
+		if _, err := qp.Read(p, 0, payload); err != nil {
+			t.Fatal(err)
+		}
+		base = p.Now().Sub(start)
+	})
+
+	params := noJitter()
+	params.JitterPct = 20
+	limit := base + sim.Duration(params.JitterPct/100*float64(base))
+	var min, max sim.Duration
+	runOne(t, params, func(p *sim.Proc, f *Fabric) {
+		qp := f.Connect(f.Register("mn0", 1024))
+		for i := 0; i < 2000; i++ {
+			start := p.Now()
+			if _, err := qp.Read(p, 0, payload); err != nil {
+				t.Fatal(err)
+			}
+			d := p.Now().Sub(start)
+			if d < base {
+				t.Fatalf("draw %d: latency %v below the no-jitter base %v", i, d, base)
+			}
+			if d >= limit {
+				t.Fatalf("draw %d: latency %v reached the open upper bound %v", i, d, limit)
+			}
+			if min == 0 || d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+		}
+	})
+	if max == min {
+		t.Fatalf("jitter had no effect: every draw took %v", min)
+	}
+	// The draws should roam over most of the allowed interval.
+	if spread := max - min; spread < (limit-base)/2 {
+		t.Fatalf("jitter spread %v covers too little of [%v, %v)", spread, base, limit)
+	}
+}

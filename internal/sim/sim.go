@@ -81,6 +81,17 @@ func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
 func (h *eventHeap) push(e event) { heap.Push(h, e) }
 func (h eventHeap) empty() bool   { return len(h) == 0 }
 
+// Observer receives scheduler lifecycle callbacks: process spawn,
+// parking on a wait queue, wakeup, and exit. Observers must not touch
+// the environment (no Spawn, no clock access beyond the at argument) —
+// they exist for tracing, and tracing must not perturb the schedule.
+type Observer interface {
+	ProcSpawn(name string, at Time)
+	ProcBlock(name, queue string, at Time)
+	ProcWake(name string, at Time)
+	ProcFinish(name string, at Time)
+}
+
 // Env is a simulation environment: a virtual clock, an event queue and
 // a set of cooperative processes.
 type Env struct {
@@ -94,7 +105,12 @@ type Env struct {
 	waiters map[*Proc]string
 	stopped bool
 	failure error
+	obs     Observer
 }
+
+// SetObserver installs obs to receive scheduler lifecycle events. A
+// nil obs disables observation.
+func (e *Env) SetObserver(obs Observer) { e.obs = obs }
 
 // NewEnv returns an empty environment whose random source is seeded
 // with seed.
@@ -130,7 +146,19 @@ type Proc struct {
 	resume chan struct{}
 	done   bool
 	fn     func(*Proc)
+
+	// traceCtx carries an opaque per-process tracing context (the
+	// current transaction span). It lives here so lower layers (the
+	// fabric) can attribute work to the span without importing the
+	// tracing package or the engine.
+	traceCtx any
 }
+
+// TraceCtx returns the process's tracing context, or nil.
+func (p *Proc) TraceCtx() any { return p.traceCtx }
+
+// SetTraceCtx attaches a tracing context to the process.
+func (p *Proc) SetTraceCtx(ctx any) { p.traceCtx = ctx }
 
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
@@ -152,6 +180,9 @@ func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
 	e.live++
 	e.schedule(p, e.now)
+	if e.obs != nil {
+		e.obs.ProcSpawn(name, e.now)
+	}
 	go p.run()
 	return p
 }
@@ -165,6 +196,9 @@ func (e *Env) SpawnAt(name string, at Time, fn func(*Proc)) *Proc {
 	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
 	e.live++
 	e.schedule(p, at)
+	if e.obs != nil {
+		e.obs.ProcSpawn(name, at)
+	}
 	go p.run()
 	return p
 }
@@ -184,6 +218,9 @@ func (p *Proc) run() {
 		}
 		p.done = true
 		p.env.live--
+		if p.env.obs != nil {
+			p.env.obs.ProcFinish(p.name, p.env.now)
+		}
 		p.env.ack <- struct{}{}
 	}()
 	p.fn(p)
@@ -292,6 +329,9 @@ func (q *WaitQueue) Wait(p *Proc) {
 	q.ps = append(q.ps, p)
 	p.env.waiting++
 	p.env.waiters[p] = q.name
+	if p.env.obs != nil {
+		p.env.obs.ProcBlock(p.name, q.name, p.env.now)
+	}
 	p.park()
 }
 
@@ -307,6 +347,9 @@ func (q *WaitQueue) Wake(n int) int {
 		p.env.waiting--
 		delete(p.env.waiters, p)
 		p.env.schedule(p, p.env.now)
+		if p.env.obs != nil {
+			p.env.obs.ProcWake(p.name, p.env.now)
+		}
 	}
 	q.ps = q.ps[:copy(q.ps, q.ps[n:])]
 	return n

@@ -1,0 +1,168 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"crest/internal/sim"
+)
+
+// Chrome trace_event export (the JSON array format understood by
+// Perfetto and chrome://tracing). Each coordinator becomes a thread of
+// one "cluster" process; transaction attempts, phase slices and RDMA
+// round-trips become nested "X" (complete) events; conflicts, lock
+// traffic, aborts and EN overflows become "i" (instant) events.
+// Timestamps are virtual microseconds, so the timeline shows exactly
+// what the simulator charged, with zero probe distortion.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  uint64         `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+const (
+	pidCluster = 1 // coordinator threads
+	pidSim     = 2 // simulator scheduling events (opt-in)
+)
+
+func usTime(t sim.Time) float64    { return float64(t) / 1e3 }
+func usDur(d sim.Duration) float64 { return float64(d) / 1e3 }
+func maskArg(mask uint64) string   { return fmt.Sprintf("0x%x", mask) }
+func cellKey(e *Event) map[string]any {
+	return map[string]any{"table": int(e.Table), "key": uint64(e.Key), "mask": maskArg(e.Mask)}
+}
+
+// WriteChromeTrace renders the snapshot as Chrome trace_event JSON.
+// Output is deterministic: same snapshot, same bytes.
+func WriteChromeTrace(w io.Writer, s *Snapshot) error {
+	var evs []chromeEvent
+
+	evs = append(evs, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: pidCluster,
+		Args: map[string]any{"name": "crest cluster"},
+	})
+
+	spans := s.Spans()
+
+	// Thread metadata: one named row per coordinator, sorted by id.
+	coords := map[uint64]bool{}
+	for i := range spans {
+		coords[spans[i].Coord] = true
+	}
+	ids := make([]uint64, 0, len(coords))
+	for id := range coords {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		evs = append(evs, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: pidCluster, Tid: id,
+			Args: map[string]any{"name": fmt.Sprintf("coordinator %d", id)},
+		})
+	}
+
+	// Transaction attempts and their phase slices.
+	for i := range spans {
+		sv := &spans[i]
+		for j := range sv.Attempts {
+			a := &sv.Attempts[j]
+			end := a.End
+			for _, ps := range a.Slices {
+				if ps.End > end {
+					end = ps.End // abort cleanup extends past the measured end
+				}
+			}
+			outcome := "commit"
+			if !a.Committed {
+				outcome = "abort:" + a.Reason
+			}
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("%s #%d", sv.Label, a.N), Cat: "txn", Ph: "X",
+				Ts: usTime(a.Start), Dur: usDur(end.Sub(a.Start)), Pid: pidCluster, Tid: sv.Coord,
+				Args: map[string]any{
+					"span": sv.ID, "txn": sv.Txn, "attempt": a.N,
+					"outcome": outcome, "falseConflict": a.False, "rtts": a.TotalRTTs(),
+				},
+			})
+			for _, ps := range a.Slices {
+				if ps.Dur() == 0 {
+					continue
+				}
+				evs = append(evs, chromeEvent{
+					Name: ps.Phase.String(), Cat: "phase", Ph: "X",
+					Ts: usTime(ps.Start), Dur: usDur(ps.Dur()), Pid: pidCluster, Tid: sv.Coord,
+					Args: map[string]any{"span": sv.ID, "attempt": a.N},
+				})
+			}
+		}
+	}
+
+	// Raw stream: round-trips as nested slices, CC events as instants.
+	for i := range s.Events {
+		e := &s.Events[i]
+		switch e.Kind {
+		case KindRTT:
+			evs = append(evs, chromeEvent{
+				Name: fmt.Sprintf("RTT x%d", e.Ops), Cat: "rdma", Ph: "X",
+				Ts: usTime(e.At) - usDur(e.Latency), Dur: usDur(e.Latency),
+				Pid: pidCluster, Tid: e.Coord,
+				Args: map[string]any{
+					"span": e.Span, "attempt": e.Attempt, "phase": e.Phase.String(),
+					"qp": e.QP, "region": e.Region, "ops": e.Ops, "bytes": e.Bytes,
+				},
+			})
+		case KindConflict:
+			args := cellKey(e)
+			args["span"] = e.Span
+			evs = append(evs, chromeEvent{
+				Name: "conflict", Cat: "cc", Ph: "i", S: "t",
+				Ts: usTime(e.At), Pid: pidCluster, Tid: e.Coord, Args: args,
+			})
+		case KindLockAcquire, KindLockPiggyback, KindLockRelease:
+			args := cellKey(e)
+			args["span"] = e.Span
+			evs = append(evs, chromeEvent{
+				Name: e.Kind.String(), Cat: "lock", Ph: "i", S: "t",
+				Ts: usTime(e.At), Pid: pidCluster, Tid: e.Coord, Args: args,
+			})
+		case KindENOverflow:
+			evs = append(evs, chromeEvent{
+				Name: "en-overflow", Cat: "cc", Ph: "i", S: "t",
+				Ts: usTime(e.At), Pid: pidCluster, Tid: e.Coord,
+				Args: map[string]any{"table": int(e.Table), "key": uint64(e.Key), "cell": e.Cell, "span": e.Span},
+			})
+		case KindTxnAbort:
+			evs = append(evs, chromeEvent{
+				Name: "abort:" + e.Reason, Cat: "txn", Ph: "i", S: "t",
+				Ts: usTime(e.At), Pid: pidCluster, Tid: e.Coord,
+				Args: map[string]any{"span": e.Span, "attempt": e.Attempt, "falseConflict": e.False},
+			})
+		case KindProcSpawn, KindProcBlock, KindProcWake, KindProcFinish:
+			args := map[string]any{"proc": e.Label}
+			if e.Reason != "" {
+				args["queue"] = e.Reason
+			}
+			evs = append(evs, chromeEvent{
+				Name: e.Kind.String(), Cat: "sim", Ph: "i", S: "t",
+				Ts: usTime(e.At), Pid: pidSim, Args: args,
+			})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&chromeTrace{TraceEvents: evs, DisplayTimeUnit: "ms"})
+}
