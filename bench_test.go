@@ -43,14 +43,14 @@ func benchProfile() bench.Profile {
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
 	p := benchProfile()
-	fn := bench.Experiments[id]
-	if fn == nil {
+	exp, ok := bench.Experiments[id]
+	if !ok {
 		b.Fatalf("unknown experiment %q", id)
 	}
 	var tables []bench.Table
 	for i := 0; i < b.N; i++ {
 		var err error
-		tables, err = fn(p)
+		tables, err = exp.Run(p)
 		if err != nil {
 			b.Fatal(err)
 		}

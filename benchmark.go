@@ -2,6 +2,7 @@ package crest
 
 import (
 	"fmt"
+	"io"
 	"time"
 
 	"crest/internal/bench"
@@ -34,8 +35,13 @@ type BenchmarkConfig struct {
 	WriteRatio   float64
 	RecordsPerTx int
 
-	MemoryNodes         int
-	ComputeNodes        int
+	MemoryNodes  int
+	ComputeNodes int
+	// Coordinators is the total coordinator count across compute
+	// nodes; totals that do not divide the node count are spread by
+	// giving the first nodes one extra coordinator, so exactly this
+	// many run. It takes precedence over CoordinatorsPerNode.
+	Coordinators        int
 	CoordinatorsPerNode int
 	Replicas            int
 	Seed                int64
@@ -93,24 +99,22 @@ func (r BenchmarkResult) String() string {
 
 // RunBenchmark executes one measured run and returns its metrics.
 func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
-	profile := bench.Full()
-	if cfg.Quick {
-		profile = bench.Quick()
-	}
+	profile := benchProfileFor(cfg.Quick)
 	gen, name, err := benchWorkload(cfg, profile)
 	if err != nil {
 		return BenchmarkResult{}, err
 	}
 	bc := bench.Config{
-		System:      bench.SystemKind(withDefault(string(cfg.System), string(SystemCREST))),
-		Workload:    gen,
-		MemNodes:    cfg.MemoryNodes,
-		CompNodes:   cfg.ComputeNodes,
-		CoordsPerCN: cfg.CoordinatorsPerNode,
-		Replicas:    cfg.Replicas,
-		Seed:        cfg.Seed,
-		Duration:    sim.Duration(cfg.Duration),
-		Warmup:      sim.Duration(cfg.Warmup),
+		System:       bench.SystemKind(withDefault(string(cfg.System), string(SystemCREST))),
+		Workload:     gen,
+		MemNodes:     cfg.MemoryNodes,
+		CompNodes:    cfg.ComputeNodes,
+		Coordinators: cfg.Coordinators,
+		CoordsPerCN:  cfg.CoordinatorsPerNode,
+		Replicas:     cfg.Replicas,
+		Seed:         cfg.Seed,
+		Duration:     sim.Duration(cfg.Duration),
+		Warmup:       sim.Duration(cfg.Warmup),
 	}
 	var rec *trace.Recorder
 	if cfg.Trace {
@@ -194,17 +198,65 @@ func ExperimentIDs() []string { return bench.ExperimentIDs() }
 
 // RunExperiment regenerates one paper artifact. quick selects the
 // CI-sized profile; otherwise the near-paper-scale profile runs (see
-// EXPERIMENTS.md for expected output and timings).
+// EXPERIMENTS.md for expected output and timings). The experiment's
+// runs execute in parallel; use RunMatrix to share runs across
+// several experiments and to collect machine-readable records.
 func RunExperiment(id string, quick bool) ([]ExperimentTable, error) {
-	fn, ok := bench.Experiments[id]
+	exp, ok := bench.Experiments[id]
 	if !ok {
 		return nil, fmt.Errorf("crest: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}
-	profile := bench.Full()
+	return exp.Run(benchProfileFor(quick))
+}
+
+func benchProfileFor(quick bool) bench.Profile {
 	if quick {
-		profile = bench.Quick()
+		return bench.Quick()
 	}
-	return fn(profile)
+	return bench.Full()
+}
+
+// The experiment-matrix surface: a RunSpec canonically identifies one
+// deterministic run, a RunRecord is its schema-versioned outcome, and
+// RunMatrix executes the deduplicated spec set of many experiments on
+// a worker pool. See internal/bench's matrix runner for semantics.
+type (
+	// RunSpec canonically identifies one deterministic benchmark run.
+	RunSpec = bench.RunSpec
+	// RunRecord is one run's durable, machine-readable outcome.
+	RunRecord = bench.RunRecord
+	// MatrixOptions configure parallelism and the on-disk result cache.
+	MatrixOptions = bench.MatrixOptions
+	// MatrixResult is a matrix invocation's tables plus per-run records.
+	MatrixResult = bench.MatrixResult
+	// BenchResultSet is the schema-versioned JSON document of a matrix
+	// invocation's unique runs.
+	BenchResultSet = bench.ResultSet
+)
+
+// BenchSchemaVersion identifies the JSON layout of RunRecord /
+// BenchResultSet (the BENCH_*.json artifacts).
+const BenchSchemaVersion = bench.SchemaVersion
+
+// RunMatrix regenerates the named experiments (all of them when ids is
+// empty) over one shared result store: every unique RunSpec executes
+// exactly once — in parallel on opt.Workers simulations (GOMAXPROCS
+// when ≤ 0), reusing opt.CacheDir across invocations when set — and
+// the rendered tables are byte-identical for any worker count.
+func RunMatrix(ids []string, quick bool, opt MatrixOptions) (*MatrixResult, error) {
+	return bench.RunMatrix(ids, benchProfileFor(quick), opt)
+}
+
+// WriteBenchJSON emits a matrix invocation's per-run records as
+// deterministic, schema-versioned JSON (the BENCH_*.json format).
+func WriteBenchJSON(w io.Writer, m *MatrixResult) error {
+	return m.ResultSet().Encode(w)
+}
+
+// ReadBenchJSON parses a document written by WriteBenchJSON and
+// verifies its schema version.
+func ReadBenchJSON(r io.Reader) (*BenchResultSet, error) {
+	return bench.DecodeResultSet(r)
 }
 
 // Workload generator re-exports for custom harnesses.

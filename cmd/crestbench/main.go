@@ -1,10 +1,17 @@
 // Command crestbench regenerates the paper's tables and figures and
 // runs ad-hoc benchmark configurations.
 //
-// Regenerate one artifact (ids: fig2 fig3 fig4 table1 table2 exp1..exp8):
+// Regenerate artifacts (ids: fig2 fig3 fig4 table1 table2 exp1..exp8):
 //
 //	crestbench -exp exp1
-//	crestbench -exp all -profile quick
+//	crestbench -exp all -profile quick -j 8
+//	crestbench -exp all -profile quick -json BENCH_quick.json -cache .benchcache
+//
+// The experiments run as one deduplicated matrix: every unique
+// configuration simulates exactly once, -j configurations in parallel
+// (default GOMAXPROCS), with byte-identical output for any -j. -json
+// writes every unique run as schema-versioned records; -cache reuses
+// results across invocations.
 //
 // Run a single configuration:
 //
@@ -28,6 +35,9 @@ func main() {
 	var (
 		expID    = flag.String("exp", "", "experiment id to regenerate, or 'all'")
 		profile  = flag.String("profile", "full", "experiment profile: quick or full")
+		jobs     = flag.Int("j", 0, "parallel simulations for -exp (default GOMAXPROCS)")
+		jsonOut  = flag.String("json", "", "with -exp: write per-run JSON records to this file")
+		cacheDir = flag.String("cache", "", "with -exp: on-disk result cache directory for incremental re-runs")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		runOne   = flag.Bool("run", false, "run a single benchmark configuration")
 		system   = flag.String("system", "crest", "system: crest, crest-cell, crest-base, ford, motor")
@@ -51,39 +61,57 @@ func main() {
 			fmt.Println(id)
 		}
 	case *expID != "":
-		ids := []string{*expID}
-		if *expID == "all" {
-			ids = crest.ExperimentIDs()
+		var ids []string
+		if *expID != "all" {
+			ids = []string{*expID}
 		}
 		quickProfile := *profile == "quick"
 		if !quickProfile && *profile != "full" {
 			fatalf("unknown profile %q (quick or full)", *profile)
 		}
-		for _, id := range ids {
-			start := time.Now()
-			tables, err := crest.RunExperiment(id, quickProfile)
-			if err != nil {
-				fatalf("%s: %v", id, err)
-			}
-			for _, tab := range tables {
+		start := time.Now()
+		m, err := crest.RunMatrix(ids, quickProfile, crest.MatrixOptions{
+			Workers:  *jobs,
+			CacheDir: *cacheDir,
+		})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, exp := range m.Experiments {
+			for _, tab := range exp.Tables {
 				fmt.Println(tab.Format())
 			}
-			fmt.Fprintf(os.Stderr, "[%s: %s profile, %v wall time]\n\n", id, *profile, time.Since(start).Round(time.Millisecond))
 		}
+		if *jsonOut != "" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := crest.WriteBenchJSON(f, m); err != nil {
+				fatalf("writing %s: %v", *jsonOut, err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "[json: %d run records -> %s]\n", len(m.Records), *jsonOut)
+		}
+		fmt.Fprintf(os.Stderr, "[%d experiment(s), %d unique runs (%d simulated, %d cached), %s profile, %v wall time]\n",
+			len(m.Experiments), len(m.Records), m.Simulated, m.CacheHits, *profile,
+			time.Since(start).Round(time.Millisecond))
 	case *runOne:
 		res, err := crest.RunBenchmark(crest.BenchmarkConfig{
-			System:              crest.System(strings.ToLower(*system)),
-			Workload:            strings.ToLower(*workload),
-			Warehouses:          *wh,
-			Theta:               *theta,
-			WriteRatio:          *writes,
-			RecordsPerTx:        *perTxn,
-			CoordinatorsPerNode: *coords / 3,
-			Duration:            *duration,
-			Warmup:              *warmup,
-			Seed:                *seed,
-			Quick:               *quick,
-			Trace:               *traceOut != "",
+			System:       crest.System(strings.ToLower(*system)),
+			Workload:     strings.ToLower(*workload),
+			Warehouses:   *wh,
+			Theta:        *theta,
+			WriteRatio:   *writes,
+			RecordsPerTx: *perTxn,
+			Coordinators: *coords,
+			Duration:     *duration,
+			Warmup:       *warmup,
+			Seed:         *seed,
+			Quick:        *quick,
+			Trace:        *traceOut != "",
 		})
 		if err != nil {
 			fatalf("%v", err)

@@ -46,8 +46,14 @@ type Config struct {
 	// CoordsPerCN is the number of coordinators per compute node; the
 	// paper sweeps the total (CompNodes × CoordsPerCN) from 24 to 240.
 	CoordsPerCN int
-	Replicas    int // f backups per record
-	Seed        int64
+	// Coordinators, when non-zero, is the total coordinator count
+	// across all compute nodes and takes precedence over CoordsPerCN.
+	// A total that does not divide CompNodes is spread by giving the
+	// first (total mod CompNodes) nodes one extra coordinator, so the
+	// run uses exactly the requested count.
+	Coordinators int
+	Replicas     int // f backups per record
+	Seed         int64
 	// Duration is the measured window of virtual time. Coordinators
 	// run transactions back to back until it elapses, then drain.
 	Duration sim.Duration
@@ -78,7 +84,7 @@ func (c Config) WithDefaults() Config {
 	if c.CompNodes == 0 {
 		c.CompNodes = 3
 	}
-	if c.CoordsPerCN == 0 {
+	if c.CoordsPerCN == 0 && c.Coordinators == 0 {
 		c.CoordsPerCN = 80
 	}
 	if c.Duration == 0 {
@@ -94,6 +100,26 @@ func (c Config) WithDefaults() Config {
 		c.Seed = 1
 	}
 	return c
+}
+
+// TotalCoordinators is the number of coordinators the run drives:
+// Coordinators when set, CompNodes × CoordsPerCN otherwise.
+func (c Config) TotalCoordinators() int {
+	if c.Coordinators > 0 {
+		return c.Coordinators
+	}
+	return c.CompNodes * c.CoordsPerCN
+}
+
+// coordsOnNode is cn's share of the total: an even split, with the
+// remainder spread one-per-node from the front.
+func (c Config) coordsOnNode(cn int) int {
+	total := c.TotalCoordinators()
+	n := total / c.CompNodes
+	if cn < total%c.CompNodes {
+		n++
+	}
+	return n
 }
 
 // Result is one run's aggregated outcome.
@@ -191,9 +217,10 @@ func Run(cfg Config) (Result, error) {
 	gen := cfg.Workload()
 	defs := gen.Tables()
 
+	totalCoords := cfg.TotalCoordinators()
 	env := sim.NewEnv(cfg.Seed)
 	fabric := rdma.NewFabric(env, cfg.Params)
-	pool := memnode.NewPool(fabric, cfg.MemNodes, PoolBytes(defs, cfg.CompNodes*cfg.CoordsPerCN), cfg.Replicas)
+	pool := memnode.NewPool(fabric, cfg.MemNodes, PoolBytes(defs, totalCoords), cfg.Replicas)
 	db := engine.NewDB(pool)
 	if cfg.Trace != nil {
 		env.SetObserver(cfg.Trace)
@@ -219,17 +246,19 @@ func Run(cfg Config) (Result, error) {
 		Run:          stats.NewRun(),
 		System:       cfg.System,
 		Workload:     gen.Name(),
-		Coordinators: cfg.CompNodes * cfg.CoordsPerCN,
+		Coordinators: totalCoords,
 	}
 	retry := engine.DefaultRetryPolicy()
 	stop := false
 	verbs0 := fabric.Stats()
 
+	coordID := 0
 	for cn := 0; cn < cfg.CompNodes; cn++ {
 		node := sys.NewComputeNode(cn)
 		node.WarmCache()
-		for i := 0; i < cfg.CoordsPerCN; i++ {
-			coord := node.NewCoordinator(cn*cfg.CoordsPerCN + i)
+		for i := 0; i < cfg.coordsOnNode(cn); i++ {
+			coord := node.NewCoordinator(coordID)
+			coordID++
 			env.Spawn(fmt.Sprintf("cn%d/coord%d", cn, i), func(p *sim.Proc) {
 				for !stop {
 					txn := gen.Next(p.Rand())

@@ -105,23 +105,6 @@ func (p Profile) YCSB(theta, writeRatio float64, n int) func() workload.Generato
 	}
 }
 
-// config assembles a run configuration at a given total coordinator
-// count (spread over three compute nodes, as in the paper).
-func (p Profile) config(system SystemKind, wl func() workload.Generator, totalCoords int) Config {
-	cns := 3
-	return Config{
-		System:      system,
-		Workload:    wl,
-		MemNodes:    2,
-		CompNodes:   cns,
-		CoordsPerCN: totalCoords / cns,
-		Replicas:    p.Replicas,
-		Seed:        p.Seed,
-		Duration:    p.Duration,
-		Warmup:      p.Warmup,
-	}
-}
-
 // Table is one regenerated artifact (a paper table or figure series).
 type Table struct {
 	ID     string
@@ -148,7 +131,11 @@ func (t *Table) Format() string {
 	}
 	line := func(cells []string) {
 		for i, cell := range cells {
-			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+			w := 0
+			if i < len(widths) {
+				w = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s", w+2, cell)
 		}
 		b.WriteByte('\n')
 	}
@@ -169,9 +156,44 @@ func pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
 // systems under comparison in the main experiments.
 var mainSystems = []SystemKind{CREST, FORD, Motor}
 
+// Experiment is one regenerable artifact: an id plus a renderer that
+// asks the Getter for every run it needs and formats the tables. The
+// spec list is derived from the renderer itself (see Specs), so the
+// declared matrix and the rendered cells cannot drift apart.
+type Experiment struct {
+	ID     string
+	Render func(Profile, Getter) ([]Table, error)
+}
+
+// Specs enumerates every run the experiment needs, by dry-running the
+// renderer with a probe getter that records specs and returns empty
+// records.
+func (e Experiment) Specs(p Profile) []RunSpec {
+	var specs []RunSpec
+	probe := func(s RunSpec) (*RunRecord, error) {
+		specs = append(specs, s)
+		return &RunRecord{Key: s.Key(), Spec: s}, nil
+	}
+	// The probe never fails, and renderers only format the records'
+	// numeric fields, so a dry render cannot error.
+	_, _ = e.Render(p, probe)
+	return specs
+}
+
+// Run regenerates the experiment standalone over a private runner
+// (parallel across that experiment's own specs). RunMatrix shares one
+// runner across many experiments instead.
+func (e Experiment) Run(p Profile) ([]Table, error) {
+	runner := NewRunner(p, MatrixOptions{})
+	if err := runner.Prime(e.Specs(p)); err != nil {
+		return nil, err
+	}
+	return e.Render(p, runner.Get)
+}
+
 // Fig2 reproduces the motivating experiment: FORD and Motor throughput
 // versus contention level (§2.3).
-func Fig2(p Profile) ([]Table, error) {
+func Fig2(p Profile, get Getter) ([]Table, error) {
 	warehouseSweep := []int{80, 60, 40, 20}
 	thetaSweep := []float64{0.1, 0.5, 0.9, 0.99, 1.22}
 	tpccTab := Table{ID: "fig2a", Title: "FORD/Motor throughput (KOPS) vs TPC-C warehouses",
@@ -179,11 +201,11 @@ func Fig2(p Profile) ([]Table, error) {
 	for _, wh := range warehouseSweep {
 		row := []string{fmt.Sprint(wh)}
 		for _, system := range []SystemKind{FORD, Motor} {
-			res, err := Run(p.config(system, p.TPCC(wh), p.MaxCoords/2*2))
+			rec, err := get(p.Spec(system, TPCCSpec(wh), p.MaxCoords/2*2))
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, f1(res.ThroughputKOPS()))
+			row = append(row, f1(rec.KOPS))
 		}
 		tpccTab.Rows = append(tpccTab.Rows, row)
 	}
@@ -192,11 +214,11 @@ func Fig2(p Profile) ([]Table, error) {
 	for _, theta := range thetaSweep {
 		row := []string{f2(theta)}
 		for _, system := range []SystemKind{FORD, Motor} {
-			res, err := Run(p.config(system, p.SmallBank(theta), p.MaxCoords/2*2))
+			rec, err := get(p.Spec(system, SmallBankSpec(theta), p.MaxCoords/2*2))
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, f1(res.ThroughputKOPS()))
+			row = append(row, f1(rec.KOPS))
 		}
 		sbTab.Rows = append(sbTab.Rows, row)
 	}
@@ -205,17 +227,17 @@ func Fig2(p Profile) ([]Table, error) {
 
 // Fig3 reproduces the abort-rate analysis: total abort rate and the
 // fraction caused by false conflicts, under TPC-C.
-func Fig3(p Profile) ([]Table, error) {
+func Fig3(p Profile, get Getter) ([]Table, error) {
 	tab := Table{ID: "fig3", Title: "Abort rate and false-abort rate vs TPC-C warehouses",
 		Header: []string{"warehouses", "FORD abort", "FORD false", "Motor abort", "Motor false"}}
 	for _, wh := range []int{80, 60, 40, 20} {
 		row := []string{fmt.Sprint(wh)}
 		for _, system := range []SystemKind{FORD, Motor} {
-			res, err := Run(p.config(system, p.TPCC(wh), p.MaxCoords))
+			rec, err := get(p.Spec(system, TPCCSpec(wh), p.MaxCoords))
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, pct(res.AbortRate()), pct(res.FalseAbortRate()))
+			row = append(row, pct(rec.AbortRate), pct(rec.FalseAbortRate))
 		}
 		tab.Rows = append(tab.Rows, row)
 	}
@@ -225,33 +247,34 @@ func Fig3(p Profile) ([]Table, error) {
 }
 
 // Fig4 reproduces Motor's latency breakdown under varying contention.
-func Fig4(p Profile) ([]Table, error) {
+func Fig4(p Profile, get Getter) ([]Table, error) {
 	tpccTab := Table{ID: "fig4a", Title: "Motor latency breakdown (µs) vs TPC-C warehouses",
 		Header: []string{"warehouses", "execution", "validation", "commit"}}
 	for _, wh := range []int{80, 40, 20} {
-		res, err := Run(p.config(Motor, p.TPCC(wh), p.MaxCoords))
+		rec, err := get(p.Spec(Motor, TPCCSpec(wh), p.MaxCoords))
 		if err != nil {
 			return nil, err
 		}
 		tpccTab.Rows = append(tpccTab.Rows, []string{fmt.Sprint(wh),
-			f1(res.Phases.AvgExec()), f1(res.Phases.AvgValidate()), f1(res.Phases.AvgCommit())})
+			f1(rec.Phases.Exec), f1(rec.Phases.Validate), f1(rec.Phases.Commit)})
 	}
 	sbTab := Table{ID: "fig4b", Title: "Motor latency breakdown (µs) vs SmallBank skew",
 		Header: []string{"theta", "execution", "validation", "commit"}}
 	for _, theta := range []float64{0.1, 0.99, 1.22} {
-		res, err := Run(p.config(Motor, p.SmallBank(theta), p.MaxCoords))
+		rec, err := get(p.Spec(Motor, SmallBankSpec(theta), p.MaxCoords))
 		if err != nil {
 			return nil, err
 		}
 		sbTab.Rows = append(sbTab.Rows, []string{f2(theta),
-			f1(res.Phases.AvgExec()), f1(res.Phases.AvgValidate()), f1(res.Phases.AvgCommit())})
+			f1(rec.Phases.Exec), f1(rec.Phases.Validate), f1(rec.Phases.Commit)})
 	}
 	return []Table{tpccTab, sbTab}, nil
 }
 
 // Table1 reproduces the space-overhead analysis from the workload
-// schemas, weighting each table by its record count.
-func Table1(p Profile) ([]Table, error) {
+// schemas, weighting each table by its record count. It runs no
+// simulations — the numbers are pure layout arithmetic.
+func Table1(p Profile, _ Getter) ([]Table, error) {
 	workloads := []struct {
 		name string
 		defs []workload.TableDef
@@ -325,20 +348,20 @@ func (twoRecordGen) Next(_ *rand.Rand) *engine.Txn {
 // Table2 reproduces the per-transaction verb profile: one uncontended
 // transaction (one read-write record + one read-only record) per
 // system.
-func Table2(p Profile) ([]Table, error) {
+func Table2(p Profile, get Getter) ([]Table, error) {
 	tab := Table{ID: "table2", Title: "RDMA verbs for one uncontended txn (1 RW + 1 RO record)",
 		Header: []string{"system", "READ", "WRITE", "CAS", "masked-CAS", "round-trips"}}
 	for _, system := range []SystemKind{FORD, Motor, CREST} {
-		cfg := p.config(system, func() workload.Generator { return twoRecordGen{} }, 3)
-		cfg.CoordsPerCN = 1
-		cfg.CompNodes = 1
-		verbs, err := oneTxnVerbs(cfg)
+		spec := p.Spec(system, TwoRecordSpec(), 1)
+		spec.CompNodes = 1
+		spec.OneTxn = true
+		rec, err := get(spec)
 		if err != nil {
 			return nil, err
 		}
 		tab.Rows = append(tab.Rows, []string{string(system),
-			fmt.Sprint(verbs.Reads), fmt.Sprint(verbs.Writes),
-			fmt.Sprint(verbs.CASes), fmt.Sprint(verbs.MaskedCASes), fmt.Sprint(verbs.RTTs)})
+			fmt.Sprint(rec.Verbs.Reads), fmt.Sprint(rec.Verbs.Writes),
+			fmt.Sprint(rec.Verbs.CASes), fmt.Sprint(rec.Verbs.MaskedCASes), fmt.Sprint(rec.Verbs.RTTs)})
 	}
 	tab.Notes = append(tab.Notes,
 		"paper Table 2: FORD/Motor use CAS+READ / READ / WRITE+CAS; CREST masked-CAS+READ / READ / WRITE+masked-CAS",
@@ -347,20 +370,22 @@ func Table2(p Profile) ([]Table, error) {
 }
 
 // Exp1 is Fig 11: throughput versus coordinator count.
-func Exp1(p Profile) ([]Table, error) {
-	return sweepCoords(p, "exp1", "Throughput (KOPS) vs coordinators",
-		func(res Result) string { return f1(res.ThroughputKOPS()) })
+func Exp1(p Profile, get Getter) ([]Table, error) {
+	return sweepCoords(p, get, "exp1", "Throughput (KOPS) vs coordinators",
+		func(rec *RunRecord) string { return f1(rec.KOPS) })
 }
 
 // Exp2 is Fig 12: average and median latency versus coordinator count.
-func Exp2(p Profile) ([]Table, error) {
-	avg, err := sweepCoords(p, "exp2-avg", "Average latency (µs) vs coordinators",
-		func(res Result) string { return f1(res.Lat.Avg()) })
+// Its sweep is the exact spec set Exp1 runs, so under a shared runner
+// it re-renders Exp1's records without a single new simulation.
+func Exp2(p Profile, get Getter) ([]Table, error) {
+	avg, err := sweepCoords(p, get, "exp2-avg", "Average latency (µs) vs coordinators",
+		func(rec *RunRecord) string { return f1(rec.Latency.Avg) })
 	if err != nil {
 		return nil, err
 	}
-	med, err := sweepCoords(p, "exp2-p50", "Median latency (µs) vs coordinators",
-		func(res Result) string { return f1(res.Lat.P50()) })
+	med, err := sweepCoords(p, get, "exp2-p50", "Median latency (µs) vs coordinators",
+		func(rec *RunRecord) string { return f1(rec.Latency.P50) })
 	if err != nil {
 		return nil, err
 	}
@@ -370,19 +395,19 @@ func Exp2(p Profile) ([]Table, error) {
 // workloadsUnderTest are the three benchmark configurations of §8.3.
 func workloadsUnderTest(p Profile) []struct {
 	name string
-	gen  func() workload.Generator
+	wl   WorkloadSpec
 } {
 	return []struct {
 		name string
-		gen  func() workload.Generator
+		wl   WorkloadSpec
 	}{
-		{"tpcc", p.TPCC(40)},
-		{"smallbank", p.SmallBank(0.99)},
-		{"ycsb", p.YCSB(0.99, 0.5, 4)},
+		{"tpcc", TPCCSpec(40)},
+		{"smallbank", SmallBankSpec(0.99)},
+		{"ycsb", YCSBSpec(0.99, 0.5, 4)},
 	}
 }
 
-func sweepCoords(p Profile, id, title string, metric func(Result) string) ([]Table, error) {
+func sweepCoords(p Profile, get Getter, id, title string, metric func(*RunRecord) string) ([]Table, error) {
 	var out []Table
 	for _, wl := range workloadsUnderTest(p) {
 		tab := Table{ID: id + "-" + wl.name, Title: title + " — " + wl.name,
@@ -390,11 +415,11 @@ func sweepCoords(p Profile, id, title string, metric func(Result) string) ([]Tab
 		for _, coords := range p.CoordSweep {
 			row := []string{fmt.Sprint(coords)}
 			for _, system := range mainSystems {
-				res, err := Run(p.config(system, wl.gen, coords))
+				rec, err := get(p.Spec(system, wl.wl, coords))
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, metric(res))
+				row = append(row, metric(rec))
 			}
 			tab.Rows = append(tab.Rows, row)
 		}
@@ -404,86 +429,79 @@ func sweepCoords(p Profile, id, title string, metric func(Result) string) ([]Tab
 }
 
 // Exp3 is Fig 13: tail latencies at the maximum coordinator count.
-func Exp3(p Profile) ([]Table, error) {
+func Exp3(p Profile, get Getter) ([]Table, error) {
 	var out []Table
 	for _, wl := range workloadsUnderTest(p) {
 		tab := Table{ID: "exp3-" + wl.name, Title: fmt.Sprintf("Tail latency (µs) at %d coordinators — %s", p.MaxCoords, wl.name),
 			Header: []string{"system", "P99", "P999"}}
 		for _, system := range mainSystems {
-			res, err := Run(p.config(system, wl.gen, p.MaxCoords))
+			rec, err := get(p.Spec(system, wl.wl, p.MaxCoords))
 			if err != nil {
 				return nil, err
 			}
-			tab.Rows = append(tab.Rows, []string{string(system), f1(res.Lat.P99()), f1(res.Lat.P999())})
+			tab.Rows = append(tab.Rows, []string{string(system), f1(rec.Latency.P99), f1(rec.Latency.P999)})
 		}
 		out = append(out, tab)
 	}
 	return out, nil
 }
 
-// skewSettings reproduce §8.4's high/low skew pairs.
+// skewSettings reproduce §8.4's high/low skew pairs. The id keys the
+// table ids structurally — spec-level deduplication makes any repeat
+// of a setting share its runs, so no display-level dedupe is needed.
 func skewSettings(p Profile) []struct {
+	id   string
 	name string
-	gen  func() workload.Generator
+	wl   WorkloadSpec
 } {
 	return []struct {
+		id   string
 		name string
-		gen  func() workload.Generator
+		wl   WorkloadSpec
 	}{
-		{"tpcc-high (40wh)", p.TPCC(40)},
-		{"tpcc-low (100wh)", p.TPCC(100)},
-		{"smallbank-high (θ.99)", p.SmallBank(0.99)},
-		{"smallbank-low (θ.1)", p.SmallBank(0.1)},
-		{"ycsb-high (θ.99)", p.YCSB(0.99, 0.5, 4)},
-		{"ycsb-low (θ.1)", p.YCSB(0.1, 0.5, 4)},
+		{"tpcc-high", "tpcc-high (40wh)", TPCCSpec(40)},
+		{"tpcc-low", "tpcc-low (100wh)", TPCCSpec(100)},
+		{"smallbank-high", "smallbank-high (θ.99)", SmallBankSpec(0.99)},
+		{"smallbank-low", "smallbank-low (θ.1)", SmallBankSpec(0.1)},
+		{"ycsb-high", "ycsb-high (θ.99)", YCSBSpec(0.99, 0.5, 4)},
+		{"ycsb-low", "ycsb-low (θ.1)", YCSBSpec(0.1, 0.5, 4)},
 	}
 }
 
 // Exp4 is Fig 14: per-phase latency breakdown for all three systems
 // under high and low skew.
-func Exp4(p Profile) ([]Table, error) {
+func Exp4(p Profile, get Getter) ([]Table, error) {
 	var out []Table
 	for _, setting := range skewSettings(p) {
-		tab := Table{ID: "exp4-" + strings.Fields(setting.name)[0], Title: "Latency breakdown (µs) — " + setting.name,
+		tab := Table{ID: "exp4-" + setting.id, Title: "Latency breakdown (µs) — " + setting.name,
 			Header: []string{"system", "execution", "validation", "commit"}}
 		for _, system := range mainSystems {
-			res, err := Run(p.config(system, setting.gen, p.MaxCoords))
+			rec, err := get(p.Spec(system, setting.wl, p.MaxCoords))
 			if err != nil {
 				return nil, err
 			}
 			tab.Rows = append(tab.Rows, []string{string(system),
-				f1(res.Phases.AvgExec()), f1(res.Phases.AvgValidate()), f1(res.Phases.AvgCommit())})
+				f1(rec.Phases.Exec), f1(rec.Phases.Validate), f1(rec.Phases.Commit)})
 		}
 		out = append(out, tab)
 	}
-	return dedupeTables(out), nil
-}
-
-func dedupeTables(in []Table) []Table {
-	seen := map[string]int{}
-	for i := range in {
-		seen[in[i].ID]++
-		if seen[in[i].ID] > 1 {
-			in[i].ID = fmt.Sprintf("%s-%d", in[i].ID, seen[in[i].ID])
-		}
-	}
-	return in
+	return out, nil
 }
 
 // Exp5 is Fig 15: factor analysis — Base, +cell-level CC, then full
 // CREST (localized execution + parallel commits), normalized to Base.
-func Exp5(p Profile) ([]Table, error) {
+func Exp5(p Profile, get Getter) ([]Table, error) {
 	var out []Table
 	for _, setting := range skewSettings(p) {
-		tab := Table{ID: "exp5-" + strings.Fields(setting.name)[0], Title: "Factor analysis (normalized throughput) — " + setting.name,
+		tab := Table{ID: "exp5-" + setting.id, Title: "Factor analysis (normalized throughput) — " + setting.name,
 			Header: []string{"variant", "KOPS", "vs Base"}}
 		var base float64
 		for _, system := range []SystemKind{CRESTBase, CRESTCell, CREST} {
-			res, err := Run(p.config(system, setting.gen, p.MaxCoords))
+			rec, err := get(p.Spec(system, setting.wl, p.MaxCoords))
 			if err != nil {
 				return nil, err
 			}
-			k := res.ThroughputKOPS()
+			k := rec.KOPS
 			if system == CRESTBase {
 				base = k
 			}
@@ -495,42 +513,42 @@ func Exp5(p Profile) ([]Table, error) {
 		}
 		out = append(out, tab)
 	}
-	return dedupeTables(out), nil
+	return out, nil
 }
 
 // Exp6 is Fig 16: throughput versus skewness for all three systems.
-func Exp6(p Profile) ([]Table, error) {
+func Exp6(p Profile, get Getter) ([]Table, error) {
 	tpccTab := Table{ID: "exp6-tpcc", Title: "Throughput (KOPS) vs TPC-C warehouses",
 		Header: []string{"warehouses", "CREST", "FORD", "Motor"}}
 	for _, wh := range []int{100, 80, 60, 40, 20} {
 		row := []string{fmt.Sprint(wh)}
 		for _, system := range mainSystems {
-			res, err := Run(p.config(system, p.TPCC(wh), p.MaxCoords))
+			rec, err := get(p.Spec(system, TPCCSpec(wh), p.MaxCoords))
 			if err != nil {
 				return nil, err
 			}
-			row = append(row, f1(res.ThroughputKOPS()))
+			row = append(row, f1(rec.KOPS))
 		}
 		tpccTab.Rows = append(tpccTab.Rows, row)
 	}
 	out := []Table{tpccTab}
 	for _, wl := range []struct {
 		name string
-		gen  func(theta float64) func() workload.Generator
+		spec func(theta float64) WorkloadSpec
 	}{
-		{"smallbank", p.SmallBank},
-		{"ycsb", func(theta float64) func() workload.Generator { return p.YCSB(theta, 0.5, 4) }},
+		{"smallbank", SmallBankSpec},
+		{"ycsb", func(theta float64) WorkloadSpec { return YCSBSpec(theta, 0.5, 4) }},
 	} {
 		tab := Table{ID: "exp6-" + wl.name, Title: "Throughput (KOPS) vs Zipf theta — " + wl.name,
 			Header: []string{"theta", "CREST", "FORD", "Motor"}}
 		for _, theta := range []float64{0.1, 0.5, 0.9, 0.99, 1.11} {
 			row := []string{f2(theta)}
 			for _, system := range mainSystems {
-				res, err := Run(p.config(system, wl.gen(theta), p.MaxCoords))
+				rec, err := get(p.Spec(system, wl.spec(theta), p.MaxCoords))
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, f1(res.ThroughputKOPS()))
+				row = append(row, f1(rec.KOPS))
 			}
 			tab.Rows = append(tab.Rows, row)
 		}
@@ -541,7 +559,7 @@ func Exp6(p Profile) ([]Table, error) {
 
 // Exp7 is Fig 17: YCSB throughput and average latency versus the
 // number of records accessed per transaction.
-func Exp7(p Profile) ([]Table, error) {
+func Exp7(p Profile, get Getter) ([]Table, error) {
 	var out []Table
 	for _, theta := range []float64{0.99, 0.1} {
 		tput := Table{ID: fmt.Sprintf("exp7-tput-θ%.2f", theta),
@@ -554,12 +572,12 @@ func Exp7(p Profile) ([]Table, error) {
 			trow := []string{fmt.Sprint(n)}
 			lrow := []string{fmt.Sprint(n)}
 			for _, system := range mainSystems {
-				res, err := Run(p.config(system, p.YCSB(theta, 0.5, n), p.MaxCoords))
+				rec, err := get(p.Spec(system, YCSBSpec(theta, 0.5, n), p.MaxCoords))
 				if err != nil {
 					return nil, err
 				}
-				trow = append(trow, f1(res.ThroughputKOPS()))
-				lrow = append(lrow, f1(res.Lat.Avg()))
+				trow = append(trow, f1(rec.KOPS))
+				lrow = append(lrow, f1(rec.Latency.Avg))
 			}
 			tput.Rows = append(tput.Rows, trow)
 			lat.Rows = append(lat.Rows, lrow)
@@ -570,7 +588,7 @@ func Exp7(p Profile) ([]Table, error) {
 }
 
 // Exp8 is Fig 18: YCSB throughput versus write ratio.
-func Exp8(p Profile) ([]Table, error) {
+func Exp8(p Profile, get Getter) ([]Table, error) {
 	var out []Table
 	for _, theta := range []float64{0.99, 0.1} {
 		tab := Table{ID: fmt.Sprintf("exp8-θ%.2f", theta),
@@ -579,11 +597,11 @@ func Exp8(p Profile) ([]Table, error) {
 		for _, ratio := range []float64{1.0, 0.75, 0.5, 0.25, 0.0} {
 			row := []string{fmt.Sprintf("%.0f", 100*ratio)}
 			for _, system := range mainSystems {
-				res, err := Run(p.config(system, p.YCSB(theta, ratio, 4), p.MaxCoords))
+				rec, err := get(p.Spec(system, YCSBSpec(theta, ratio, 4), p.MaxCoords))
 				if err != nil {
 					return nil, err
 				}
-				row = append(row, f1(res.ThroughputKOPS()))
+				row = append(row, f1(rec.KOPS))
 			}
 			tab.Rows = append(tab.Rows, row)
 		}
@@ -594,20 +612,20 @@ func Exp8(p Profile) ([]Table, error) {
 
 // Experiments is the registry mapping experiment ids to their
 // implementations, in the paper's order.
-var Experiments = map[string]func(Profile) ([]Table, error){
-	"fig2":   Fig2,
-	"fig3":   Fig3,
-	"fig4":   Fig4,
-	"table1": Table1,
-	"table2": Table2,
-	"exp1":   Exp1,
-	"exp2":   Exp2,
-	"exp3":   Exp3,
-	"exp4":   Exp4,
-	"exp5":   Exp5,
-	"exp6":   Exp6,
-	"exp7":   Exp7,
-	"exp8":   Exp8,
+var Experiments = map[string]Experiment{
+	"fig2":   {ID: "fig2", Render: Fig2},
+	"fig3":   {ID: "fig3", Render: Fig3},
+	"fig4":   {ID: "fig4", Render: Fig4},
+	"table1": {ID: "table1", Render: Table1},
+	"table2": {ID: "table2", Render: Table2},
+	"exp1":   {ID: "exp1", Render: Exp1},
+	"exp2":   {ID: "exp2", Render: Exp2},
+	"exp3":   {ID: "exp3", Render: Exp3},
+	"exp4":   {ID: "exp4", Render: Exp4},
+	"exp5":   {ID: "exp5", Render: Exp5},
+	"exp6":   {ID: "exp6", Render: Exp6},
+	"exp7":   {ID: "exp7", Render: Exp7},
+	"exp8":   {ID: "exp8", Render: Exp8},
 }
 
 // ExperimentIDs lists the registry in canonical order.

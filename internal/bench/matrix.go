@@ -1,0 +1,564 @@
+// The experiment matrix runner. The paper's evaluation is a matrix of
+// (system × workload × coordinators × skew) cells; this file gives
+// that matrix a first-class representation. A RunSpec is a canonical
+// value that fully determines one deterministic DES run; experiments
+// declare the specs they need and a Runner executes the deduplicated
+// set — in parallel on a bounded worker pool, memoized in process and
+// optionally on disk — then renders tables from the shared result
+// store. Because every run is an independent single-scheduler
+// simulation keyed by its spec, parallel execution is byte-identical
+// to sequential execution.
+package bench
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+
+	"crest/internal/rdma"
+	"crest/internal/sim"
+	"crest/internal/workload"
+)
+
+// SchemaVersion identifies the JSON record layout emitted by
+// ResultSet.Encode and accepted by DecodeResultSet and the on-disk
+// cache. Bump it whenever RunRecord changes incompatibly; stale cache
+// entries are then ignored rather than misread.
+const SchemaVersion = "crest-bench/v1"
+
+// Workload kinds a WorkloadSpec can name.
+const (
+	WLTPCC      = "tpcc"
+	WLSmallBank = "smallbank"
+	WLYCSB      = "ycsb"
+	WLTwoRecord = "two-record" // Table 2's micro-workload
+)
+
+// WorkloadSpec is the declarative form of a workload: a kind plus the
+// knobs the paper sweeps. Table cardinalities come from the Profile
+// (recorded in RunSpec.Profile), so the same spec scales from quick to
+// full runs.
+type WorkloadSpec struct {
+	Kind string `json:"kind"`
+	// Warehouses is the TPC-C contention knob.
+	Warehouses int `json:"warehouses,omitempty"`
+	// Theta is the Zipfian constant (SmallBank, YCSB).
+	Theta float64 `json:"theta,omitempty"`
+	// WriteRatio and RecordsPerTx are the YCSB mix knobs.
+	WriteRatio   float64 `json:"write_ratio,omitempty"`
+	RecordsPerTx int     `json:"records_per_tx,omitempty"`
+}
+
+// TPCCSpec declares a TPC-C workload at a warehouse count.
+func TPCCSpec(warehouses int) WorkloadSpec {
+	return WorkloadSpec{Kind: WLTPCC, Warehouses: warehouses}
+}
+
+// SmallBankSpec declares a SmallBank workload at a skew.
+func SmallBankSpec(theta float64) WorkloadSpec {
+	return WorkloadSpec{Kind: WLSmallBank, Theta: theta}
+}
+
+// YCSBSpec declares a YCSB workload.
+func YCSBSpec(theta, writeRatio float64, recordsPerTx int) WorkloadSpec {
+	return WorkloadSpec{Kind: WLYCSB, Theta: theta, WriteRatio: writeRatio, RecordsPerTx: recordsPerTx}
+}
+
+// TwoRecordSpec declares the Table 2 micro-workload (one read-write
+// plus one read-only record per transaction).
+func TwoRecordSpec() WorkloadSpec { return WorkloadSpec{Kind: WLTwoRecord} }
+
+// key renders only the fields that matter for the kind, so two specs
+// that run the same generator always collide.
+func (w WorkloadSpec) key() string {
+	switch w.Kind {
+	case WLTPCC:
+		return fmt.Sprintf("tpcc(wh=%d)", w.Warehouses)
+	case WLSmallBank:
+		return fmt.Sprintf("smallbank(theta=%.4f)", w.Theta)
+	case WLYCSB:
+		return fmt.Sprintf("ycsb(theta=%.4f,write=%.4f,n=%d)", w.Theta, w.WriteRatio, w.RecordsPerTx)
+	default:
+		return w.Kind
+	}
+}
+
+// generator materializes the factory under a profile's table scales.
+func (w WorkloadSpec) generator(p Profile) (func() workload.Generator, error) {
+	switch w.Kind {
+	case WLTPCC:
+		return p.TPCC(w.Warehouses), nil
+	case WLSmallBank:
+		return p.SmallBank(w.Theta), nil
+	case WLYCSB:
+		return p.YCSB(w.Theta, w.WriteRatio, w.RecordsPerTx), nil
+	case WLTwoRecord:
+		return func() workload.Generator { return twoRecordGen{} }, nil
+	}
+	return nil, fmt.Errorf("bench: unknown workload kind %q", w.Kind)
+}
+
+// RunSpec canonically identifies one deterministic run: everything
+// that influences the schedule is in here, so equal keys mean equal
+// results and a result may be reused wherever its spec reappears.
+type RunSpec struct {
+	System   SystemKind   `json:"system"`
+	Workload WorkloadSpec `json:"workload"`
+	// Coordinators is the total across compute nodes.
+	Coordinators int          `json:"coordinators"`
+	MemNodes     int          `json:"mem_nodes"`
+	CompNodes    int          `json:"comp_nodes"`
+	Replicas     int          `json:"replicas"`
+	Duration     sim.Duration `json:"duration_ns"`
+	Warmup       sim.Duration `json:"warmup_ns"`
+	Seed         int64        `json:"seed"`
+	// Profile names the table-scale profile (quick, full) the run
+	// resolves cardinalities from.
+	Profile string `json:"profile"`
+	// OneTxn selects the Table 2 measurement mode: load, execute
+	// exactly one uncontended transaction, report its verbs.
+	OneTxn bool `json:"one_txn,omitempty"`
+}
+
+// Key is the canonical identity of the run; it is the memoization and
+// cache key, and two specs with equal keys are interchangeable.
+func (s RunSpec) Key() string {
+	return fmt.Sprintf("%s|%s|c%d|mn%d|cn%d|r%d|d%d|w%d|s%d|p%s|once%t",
+		s.System, s.Workload.key(), s.Coordinators, s.MemNodes, s.CompNodes,
+		s.Replicas, int64(s.Duration), int64(s.Warmup), s.Seed, s.Profile, s.OneTxn)
+}
+
+// Spec assembles a run spec at a total coordinator count under the
+// paper's testbed shape (two memory nodes, three compute nodes), with
+// the profile's duration, warmup, replication and seed.
+func (p Profile) Spec(system SystemKind, wl WorkloadSpec, totalCoords int) RunSpec {
+	return RunSpec{
+		System:       system,
+		Workload:     wl,
+		Coordinators: totalCoords,
+		MemNodes:     2,
+		CompNodes:    3,
+		Replicas:     p.Replicas,
+		Duration:     p.Duration,
+		Warmup:       p.Warmup,
+		Seed:         p.Seed,
+		Profile:      p.Name,
+	}
+}
+
+// config materializes the bench.Config the spec describes.
+func (s RunSpec) config(p Profile) (Config, error) {
+	gen, err := s.Workload.generator(p)
+	if err != nil {
+		return Config{}, err
+	}
+	return Config{
+		System:       s.System,
+		Workload:     gen,
+		MemNodes:     s.MemNodes,
+		CompNodes:    s.CompNodes,
+		Coordinators: s.Coordinators,
+		Replicas:     s.Replicas,
+		Seed:         s.Seed,
+		Duration:     s.Duration,
+		Warmup:       s.Warmup,
+	}, nil
+}
+
+// LatencySummaryUs is a run's latency digest in microseconds.
+type LatencySummaryUs struct {
+	Avg  float64 `json:"avg"`
+	P50  float64 `json:"p50"`
+	P99  float64 `json:"p99"`
+	P999 float64 `json:"p999"`
+}
+
+// PhaseSummaryUs is the per-phase average latency of committed
+// transactions in microseconds.
+type PhaseSummaryUs struct {
+	Exec     float64 `json:"exec"`
+	Validate float64 `json:"validate"`
+	Commit   float64 `json:"commit"`
+}
+
+// RunRecord is the durable, machine-readable outcome of one run: the
+// spec that produced it plus every metric the paper's tables report.
+// It is what the in-process store memoizes, what the on-disk cache
+// persists, and what -json emits, so cached and fresh runs render
+// byte-identical tables.
+type RunRecord struct {
+	Key  string  `json:"key"`
+	Spec RunSpec `json:"spec"`
+
+	KOPS           float64 `json:"kops"`
+	Committed      uint64  `json:"committed"`
+	Aborted        uint64  `json:"aborted"`
+	FalseAborts    uint64  `json:"false_aborts"`
+	AbortRate      float64 `json:"abort_rate"`
+	FalseAbortRate float64 `json:"false_abort_rate"`
+
+	Latency LatencySummaryUs `json:"latency_us"`
+	Phases  PhaseSummaryUs   `json:"phases_us"`
+
+	Verbs     rdma.Stats `json:"verbs"`
+	ElapsedUs float64    `json:"elapsed_us"`
+}
+
+// newRunRecord digests a Result into its durable record.
+func newRunRecord(spec RunSpec, res Result) *RunRecord {
+	return &RunRecord{
+		Key:            spec.Key(),
+		Spec:           spec,
+		KOPS:           res.ThroughputKOPS(),
+		Committed:      res.Committed,
+		Aborted:        res.Aborted,
+		FalseAborts:    res.FalseAborts,
+		AbortRate:      res.AbortRate(),
+		FalseAbortRate: res.FalseAbortRate(),
+		Latency: LatencySummaryUs{
+			Avg: res.Lat.Avg(), P50: res.Lat.P50(), P99: res.Lat.P99(), P999: res.Lat.P999(),
+		},
+		Phases: PhaseSummaryUs{
+			Exec: res.Phases.AvgExec(), Validate: res.Phases.AvgValidate(), Commit: res.Phases.AvgCommit(),
+		},
+		Verbs:     res.Verbs,
+		ElapsedUs: res.Elapsed.Micros(),
+	}
+}
+
+// Getter resolves one spec to its record; experiment renderers are
+// written against it so they never trigger or order simulations
+// themselves.
+type Getter func(RunSpec) (*RunRecord, error)
+
+// MatrixOptions configure a Runner.
+type MatrixOptions struct {
+	// Workers bounds concurrent simulations; ≤ 0 means GOMAXPROCS.
+	Workers int
+	// CacheDir, when non-empty, persists records as JSON files keyed
+	// by spec so later invocations skip already-simulated cells.
+	CacheDir string
+}
+
+// Runner executes run specs at most once each, keyed by RunSpec.Key,
+// and serves the memoized records.
+type Runner struct {
+	profile Profile
+	workers int
+	cache   string
+
+	mu        sync.Mutex
+	store     map[string]*RunRecord
+	simulated int
+	cacheHits int
+}
+
+// NewRunner returns an empty runner over a profile.
+func NewRunner(p Profile, opt MatrixOptions) *Runner {
+	w := opt.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{profile: p, workers: w, cache: opt.CacheDir, store: map[string]*RunRecord{}}
+}
+
+// Get returns the record for spec, executing the run if it is not
+// memoized (and not in the disk cache).
+func (r *Runner) Get(spec RunSpec) (*RunRecord, error) {
+	key := spec.Key()
+	r.mu.Lock()
+	rec := r.store[key]
+	r.mu.Unlock()
+	if rec != nil {
+		return rec, nil
+	}
+	if rec := r.loadCached(spec, key); rec != nil {
+		return rec, nil
+	}
+	rec, err := r.execute(spec)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	r.store[key] = rec
+	r.simulated++
+	r.mu.Unlock()
+	r.saveCached(key, rec)
+	return rec, nil
+}
+
+// Prime deduplicates specs by key and executes the not-yet-memoized
+// remainder on the worker pool. It is the fan-out step of RunMatrix;
+// after it returns, renderers hit only the in-process store.
+func (r *Runner) Prime(specs []RunSpec) error {
+	var todo []RunSpec
+	seen := map[string]bool{}
+	for _, spec := range specs {
+		key := spec.Key()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		r.mu.Lock()
+		_, have := r.store[key]
+		r.mu.Unlock()
+		if have {
+			continue
+		}
+		if rec := r.loadCached(spec, key); rec != nil {
+			continue
+		}
+		todo = append(todo, spec)
+	}
+	if len(todo) == 0 {
+		return nil
+	}
+
+	workers := r.workers
+	if workers > len(todo) {
+		workers = len(todo)
+	}
+	errs := make([]error, len(todo))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				spec := todo[i]
+				rec, err := r.execute(spec)
+				if err != nil {
+					errs[i] = fmt.Errorf("%s: %w", spec.Key(), err)
+					continue
+				}
+				r.mu.Lock()
+				r.store[spec.Key()] = rec
+				r.simulated++
+				r.mu.Unlock()
+				r.saveCached(spec.Key(), rec)
+			}
+		}()
+	}
+	for i := range todo {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// execute runs one simulation (no memoization).
+func (r *Runner) execute(spec RunSpec) (*RunRecord, error) {
+	cfg, err := spec.config(r.profile)
+	if err != nil {
+		return nil, err
+	}
+	if spec.OneTxn {
+		verbs, err := oneTxnVerbs(cfg)
+		if err != nil {
+			return nil, err
+		}
+		return &RunRecord{Key: spec.Key(), Spec: spec, Verbs: verbs}, nil
+	}
+	res, err := Run(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return newRunRecord(spec, res), nil
+}
+
+// Records returns every memoized record sorted by key — the canonical
+// order the JSON output uses, independent of execution order.
+func (r *Runner) Records() []*RunRecord {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	recs := make([]*RunRecord, 0, len(r.store))
+	for _, rec := range r.store {
+		recs = append(recs, rec)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Key < recs[j].Key })
+	return recs
+}
+
+// Simulated reports how many simulations this runner actually
+// executed (memoization and cache hits excluded).
+func (r *Runner) Simulated() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.simulated
+}
+
+// CacheHits reports how many records were served from the disk cache.
+func (r *Runner) CacheHits() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cacheHits
+}
+
+// cacheEntry is the on-disk envelope; the embedded schema version and
+// key guard against stale or colliding files.
+type cacheEntry struct {
+	Schema string     `json:"schema"`
+	Record *RunRecord `json:"record"`
+}
+
+func (r *Runner) cachePath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(r.cache, hex.EncodeToString(sum[:12])+".json")
+}
+
+// loadCached consults the disk cache; on a hit the record is memoized
+// and counted. Unreadable or mismatched entries are treated as misses.
+func (r *Runner) loadCached(spec RunSpec, key string) *RunRecord {
+	if r.cache == "" {
+		return nil
+	}
+	data, err := os.ReadFile(r.cachePath(key))
+	if err != nil {
+		return nil
+	}
+	var ent cacheEntry
+	if json.Unmarshal(data, &ent) != nil || ent.Schema != SchemaVersion ||
+		ent.Record == nil || ent.Record.Key != key {
+		return nil
+	}
+	r.mu.Lock()
+	r.store[key] = ent.Record
+	r.cacheHits++
+	r.mu.Unlock()
+	return ent.Record
+}
+
+// saveCached persists one record; cache write failures are ignored
+// (the cache is an optimization, not a store of record).
+func (r *Runner) saveCached(key string, rec *RunRecord) {
+	if r.cache == "" {
+		return
+	}
+	if err := os.MkdirAll(r.cache, 0o755); err != nil {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Schema: SchemaVersion, Record: rec})
+	if err != nil {
+		return
+	}
+	tmp := r.cachePath(key) + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, r.cachePath(key))
+}
+
+// ResultSet is the schema-versioned JSON document -json emits: every
+// unique run of a matrix invocation, in canonical (key) order.
+type ResultSet struct {
+	Schema  string       `json:"schema"`
+	Profile string       `json:"profile"`
+	Runs    []*RunRecord `json:"runs"`
+}
+
+// Encode writes the set as deterministic, indented JSON.
+func (s *ResultSet) Encode(w io.Writer) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// DecodeResultSet parses a document produced by Encode and verifies
+// its schema version.
+func DecodeResultSet(r io.Reader) (*ResultSet, error) {
+	var s ResultSet
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		return nil, err
+	}
+	if s.Schema != SchemaVersion {
+		return nil, fmt.Errorf("bench: result set schema %q, want %q", s.Schema, SchemaVersion)
+	}
+	return &s, nil
+}
+
+// ExperimentResult pairs an experiment id with its rendered tables.
+type ExperimentResult struct {
+	ID     string
+	Tables []Table
+}
+
+// MatrixResult is one matrix invocation's full outcome.
+type MatrixResult struct {
+	Profile     string
+	Experiments []ExperimentResult
+	// Records are the unique runs behind the tables, in key order.
+	Records []*RunRecord
+	// Simulated counts runs actually executed; CacheHits counts runs
+	// served from the disk cache.
+	Simulated int
+	CacheHits int
+}
+
+// ResultSet packages the records for JSON output.
+func (m *MatrixResult) ResultSet() *ResultSet {
+	return &ResultSet{Schema: SchemaVersion, Profile: m.Profile, Runs: m.Records}
+}
+
+// FormatTables renders every table in experiment order — the exact
+// stdout of crestbench -exp, used by the byte-identity tests.
+func (m *MatrixResult) FormatTables() string {
+	var out []byte
+	for _, er := range m.Experiments {
+		for _, tab := range er.Tables {
+			out = append(out, tab.Format()...)
+			out = append(out, '\n')
+		}
+	}
+	return string(out)
+}
+
+// RunMatrix regenerates the named experiments (all of them when ids is
+// empty) over one shared, deduplicated result store: it collects every
+// spec the experiments declare, executes the unique set on the worker
+// pool, and renders each experiment's tables from the memoized
+// records. Output is byte-identical for any worker count.
+func RunMatrix(ids []string, p Profile, opt MatrixOptions) (*MatrixResult, error) {
+	if len(ids) == 0 {
+		ids = ExperimentIDs()
+	}
+	exps := make([]Experiment, 0, len(ids))
+	var specs []RunSpec
+	for _, id := range ids {
+		exp, ok := Experiments[id]
+		if !ok {
+			return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
+		}
+		exps = append(exps, exp)
+		specs = append(specs, exp.Specs(p)...)
+	}
+	runner := NewRunner(p, opt)
+	if err := runner.Prime(specs); err != nil {
+		return nil, err
+	}
+	out := &MatrixResult{Profile: p.Name}
+	for _, exp := range exps {
+		tables, err := exp.Render(p, runner.Get)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", exp.ID, err)
+		}
+		out.Experiments = append(out.Experiments, ExperimentResult{ID: exp.ID, Tables: tables})
+	}
+	out.Records = runner.Records()
+	out.Simulated = runner.Simulated()
+	out.CacheHits = runner.CacheHits()
+	return out, nil
+}

@@ -39,6 +39,29 @@ func TestTableFormatAligns(t *testing.T) {
 	}
 }
 
+func TestTableFormatEdgeCases(t *testing.T) {
+	// A row wider than the header must not panic or drop cells, and
+	// formatting is a pure function of the table value.
+	tab := Table{
+		ID:     "edge",
+		Title:  "ragged",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2", "extra"}, {"3"}},
+	}
+	out := tab.Format()
+	if !strings.Contains(out, "extra") {
+		t.Fatalf("dropped overflow cell: %q", out)
+	}
+	if again := tab.Format(); again != out {
+		t.Fatal("Format is not deterministic")
+	}
+	empty := Table{ID: "e", Title: "no rows", Header: []string{"x"}}
+	lines := strings.Split(strings.TrimRight(empty.Format(), "\n"), "\n")
+	if len(lines) != 2 { // title + header, no rows
+		t.Fatalf("empty table rendered %d lines: %q", len(lines), empty.Format())
+	}
+}
+
 func TestProfilesProduceWorkloads(t *testing.T) {
 	for _, p := range []Profile{Quick(), Full()} {
 		for name, gen := range map[string]func() workload.Generator{
@@ -72,8 +95,12 @@ func TestExperimentIDsOrdered(t *testing.T) {
 		}
 	}
 	for _, id := range ids {
-		if Experiments[id] == nil {
+		exp, ok := Experiments[id]
+		if !ok || exp.Render == nil {
 			t.Fatalf("experiment %s unregistered", id)
+		}
+		if exp.ID != id {
+			t.Fatalf("experiment %s registered under id %s", exp.ID, id)
 		}
 	}
 }
