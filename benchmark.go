@@ -84,6 +84,15 @@ type BenchmarkResult struct {
 	ValidateUs float64
 	CommitUs   float64
 
+	// Events is the number of scheduler dispatches the run consumed
+	// (deterministic: same config, same count). WallMS is the real
+	// time the event loop took and EventsPerSec the resulting
+	// simulator speed — both nondeterministic measurements of the
+	// simulator itself, not of the simulated system.
+	Events       uint64
+	WallMS       float64
+	EventsPerSec float64
+
 	// Trace is the run's event trace when BenchmarkConfig.Trace was
 	// set (render with WriteChromeTrace / WriteSpanSummary /
 	// WriteHotKeys), nil otherwise.
@@ -146,7 +155,17 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		ExecUs:         res.Phases.AvgExec(),
 		ValidateUs:     res.Phases.AvgValidate(),
 		CommitUs:       res.Phases.AvgCommit(),
+		Events:         res.Events,
+		WallMS:         res.WallMS,
+		EventsPerSec:   eventsPerSec(res.Events, res.WallMS),
 	}, nil
+}
+
+func eventsPerSec(events uint64, wallMS float64) float64 {
+	if wallMS <= 0 {
+		return 0
+	}
+	return float64(events) / (wallMS / 1e3)
 }
 
 func withDefault(v, d string) string {
@@ -232,6 +251,9 @@ type (
 	// BenchResultSet is the schema-versioned JSON document of a matrix
 	// invocation's unique runs.
 	BenchResultSet = bench.ResultSet
+	// BenchPerf is an invocation's simulator wall-clock summary (the
+	// nondeterministic "perf" object of a measured BenchResultSet).
+	BenchPerf = bench.BenchPerf
 )
 
 // BenchSchemaVersion identifies the JSON layout of RunRecord /
@@ -248,9 +270,13 @@ func RunMatrix(ids []string, quick bool, opt MatrixOptions) (*MatrixResult, erro
 }
 
 // WriteBenchJSON emits a matrix invocation's per-run records as
-// deterministic, schema-versioned JSON (the BENCH_*.json format).
+// schema-versioned JSON (the BENCH_*.json format). The records are
+// deterministic; the optional top-level "perf" object carries the
+// invocation's wall-clock simulator measurements and is the one
+// nondeterministic part — strip it (or compare ResultSet().Encode
+// output) when diffing artifacts.
 func WriteBenchJSON(w io.Writer, m *MatrixResult) error {
-	return m.ResultSet().Encode(w)
+	return m.MeasuredResultSet().Encode(w)
 }
 
 // ReadBenchJSON parses a document written by WriteBenchJSON and

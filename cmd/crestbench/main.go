@@ -25,6 +25,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
+	"runtime/pprof"
+	rttrace "runtime/trace"
 	"strings"
 	"time"
 
@@ -52,8 +55,64 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		quick    = flag.Bool("quick", false, "use CI-scale table sizes")
 		traceOut = flag.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
+		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+		rtTrace  = flag.String("runtimetrace", "", "write a Go runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	// The simulator's steady state allocates little, so the default GC
+	// pacing spends its time rescanning a near-constant heap. Relax it
+	// unless the operator set GOGC themselves. Virtual-time results are
+	// unaffected; only wall-clock speed changes.
+	if os.Getenv("GOGC") == "" {
+		debug.SetGCPercent(400)
+	}
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatalf("starting CPU profile: %v", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+	}
+	if *rtTrace != "" {
+		f, err := os.Create(*rtTrace)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if err := rttrace.Start(f); err != nil {
+			fatalf("starting runtime trace: %v", err)
+		}
+		defer func() {
+			rttrace.Stop()
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+				fatalf("writing heap profile: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				fatalf("%v", err)
+			}
+		}()
+	}
 
 	switch {
 	case *list:
@@ -98,6 +157,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "[%d experiment(s), %d unique runs (%d simulated, %d cached), %s profile, %v wall time]\n",
 			len(m.Experiments), len(m.Records), m.Simulated, m.CacheHits, *profile,
 			time.Since(start).Round(time.Millisecond))
+		if p := m.Perf; p != nil {
+			fmt.Fprintf(os.Stderr, "[sim: %d events in %.0f ms event-loop time, %.2fM events/sec]\n",
+				p.Events, p.SimWallMS, p.EventsPerSec/1e6)
+		}
 	case *runOne:
 		res, err := crest.RunBenchmark(crest.BenchmarkConfig{
 			System:       crest.System(strings.ToLower(*system)),
@@ -134,6 +197,11 @@ func main() {
 		fmt.Printf("  latency µs: avg=%.1f p50=%.1f p99=%.1f p999=%.1f\n",
 			res.AvgLatencyUs, res.P50LatencyUs, res.P99LatencyUs, res.P999LatencyUs)
 		fmt.Printf("  phases µs: exec=%.1f validate=%.1f commit=%.1f\n", res.ExecUs, res.ValidateUs, res.CommitUs)
+		if res.WallMS > 0 {
+			virtualMS := float64(*duration) / float64(time.Millisecond)
+			fmt.Fprintf(os.Stderr, "[sim: %.1f ms virtual in %.1f ms wall (%.2fx real time), %d events, %.2fM events/sec]\n",
+				virtualMS, res.WallMS, virtualMS/res.WallMS, res.Events, res.EventsPerSec/1e6)
+		}
 	default:
 		flag.Usage()
 		os.Exit(2)

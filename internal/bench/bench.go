@@ -11,6 +11,7 @@ package bench
 
 import (
 	"fmt"
+	"time"
 
 	"crest/internal/core"
 	"crest/internal/engine"
@@ -132,6 +133,15 @@ type Result struct {
 	// History is the recorded cell-level history when CheckHistory
 	// was set (diagnostics).
 	History *engine.History
+	// Events is the number of scheduler dispatches the run consumed —
+	// a deterministic measure of simulation size (same spec, same
+	// count).
+	Events uint64
+	// WallMS is the real time the event loop took, in milliseconds.
+	// Unlike every other field it is nondeterministic: it measures the
+	// simulator, not the simulated system, and never feeds canonical
+	// output.
+	WallMS float64
 }
 
 // System is the engine-facing surface the three implementations share.
@@ -295,6 +305,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	deadline := sim.Time(cfg.Duration)
+	wallStart := time.Now()
 	if err := env.RunUntil(deadline); err != nil {
 		return res, err
 	}
@@ -302,6 +313,8 @@ func Run(cfg Config) (Result, error) {
 	if err := env.Run(); err != nil { // drain in-flight transactions
 		return res, err
 	}
+	res.WallMS = float64(time.Since(wallStart)) / float64(time.Millisecond)
+	res.Events = env.Dispatched()
 	res.Elapsed = cfg.Duration - cfg.Warmup
 	res.Verbs = fabric.Stats().Sub(verbs0)
 	if cfg.CheckHistory {

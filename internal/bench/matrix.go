@@ -32,7 +32,10 @@ import (
 // ResultSet.Encode and accepted by DecodeResultSet and the on-disk
 // cache. Bump it whenever RunRecord changes incompatibly; stale cache
 // entries are then ignored rather than misread.
-const SchemaVersion = "crest-bench/v1"
+//
+// v2 added RunRecord.Events; v1 entries would decode with a zero
+// count, which is a misread, not a miss.
+const SchemaVersion = "crest-bench/v2"
 
 // Workload kinds a WorkloadSpec can name.
 const (
@@ -210,6 +213,12 @@ type RunRecord struct {
 
 	Verbs     rdma.Stats `json:"verbs"`
 	ElapsedUs float64    `json:"elapsed_us"`
+
+	// Events is the number of scheduler dispatches the run consumed.
+	// It is as deterministic as every other field — same spec, same
+	// count — so it caches and reproduces bit-for-bit; wall-clock
+	// measurements, which do not, live in BenchPerf instead.
+	Events uint64 `json:"events,omitempty"`
 }
 
 // newRunRecord digests a Result into its durable record.
@@ -231,6 +240,7 @@ func newRunRecord(spec RunSpec, res Result) *RunRecord {
 		},
 		Verbs:     res.Verbs,
 		ElapsedUs: res.Elapsed.Micros(),
+		Events:    res.Events,
 	}
 }
 
@@ -259,6 +269,10 @@ type Runner struct {
 	store     map[string]*RunRecord
 	simulated int
 	cacheHits int
+	// Wall-clock cost of the runs this runner actually simulated
+	// (cache hits excluded); nondeterministic, reported via BenchPerf.
+	simWallMS float64
+	simEvents uint64
 }
 
 // NewRunner returns an empty runner over a profile.
@@ -373,6 +387,10 @@ func (r *Runner) execute(spec RunSpec) (*RunRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	r.mu.Lock()
+	r.simWallMS += res.WallMS
+	r.simEvents += res.Events
+	r.mu.Unlock()
 	return newRunRecord(spec, res), nil
 }
 
@@ -402,6 +420,25 @@ func (r *Runner) CacheHits() int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.cacheHits
+}
+
+// Perf reports the wall-clock cost of the simulations this runner
+// actually executed, or nil if everything came from memo or cache.
+func (r *Runner) Perf() *BenchPerf {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.simulated == 0 {
+		return nil
+	}
+	p := &BenchPerf{
+		SimWallMS: r.simWallMS,
+		Events:    r.simEvents,
+		Simulated: r.simulated,
+	}
+	if r.simWallMS > 0 {
+		p.EventsPerSec = float64(r.simEvents) / (r.simWallMS / 1e3)
+	}
+	return p
 }
 
 // cacheEntry is the on-disk envelope; the embedded schema version and
@@ -458,12 +495,33 @@ func (r *Runner) saveCached(key string, rec *RunRecord) {
 	_ = os.Rename(tmp, r.cachePath(key))
 }
 
+// BenchPerf is the simulator's own wall-clock performance over one
+// matrix invocation's executed runs. Unlike everything else in a
+// ResultSet it is nondeterministic (it measures the machine, not the
+// simulated system), so it rides only in the measured encoding — never
+// in cache entries, and byte-identity tests use the canonical
+// encoding without it.
+type BenchPerf struct {
+	// SimWallMS is the summed event-loop wall time of the executed
+	// runs, in milliseconds.
+	SimWallMS float64 `json:"sim_wall_ms"`
+	// Events is the summed scheduler dispatch count of those runs.
+	Events uint64 `json:"events"`
+	// EventsPerSec is Events over SimWallMS.
+	EventsPerSec float64 `json:"events_per_sec"`
+	// Simulated counts the executed runs (cache hits excluded).
+	Simulated int `json:"simulated"`
+}
+
 // ResultSet is the schema-versioned JSON document -json emits: every
 // unique run of a matrix invocation, in canonical (key) order.
 type ResultSet struct {
 	Schema  string       `json:"schema"`
 	Profile string       `json:"profile"`
 	Runs    []*RunRecord `json:"runs"`
+	// Perf carries the invocation's simulator wall-clock measurements
+	// when present (see MatrixResult.MeasuredResultSet).
+	Perf *BenchPerf `json:"perf,omitempty"`
 }
 
 // Encode writes the set as deterministic, indented JSON.
@@ -506,11 +564,25 @@ type MatrixResult struct {
 	// served from the disk cache.
 	Simulated int
 	CacheHits int
+	// Perf is the simulator's wall-clock cost over the executed runs,
+	// nil when every record came from memo or cache.
+	Perf *BenchPerf
 }
 
-// ResultSet packages the records for JSON output.
+// ResultSet packages the records for JSON output in canonical form:
+// fully deterministic, byte-identical across worker counts and cache
+// states.
 func (m *MatrixResult) ResultSet() *ResultSet {
 	return &ResultSet{Schema: SchemaVersion, Profile: m.Profile, Runs: m.Records}
+}
+
+// MeasuredResultSet additionally attaches the invocation's simulator
+// wall-clock performance (nondeterministic; compare canonical
+// encodings, not measured ones).
+func (m *MatrixResult) MeasuredResultSet() *ResultSet {
+	s := m.ResultSet()
+	s.Perf = m.Perf
+	return s
 }
 
 // FormatTables renders every table in experiment order — the exact
@@ -560,5 +632,6 @@ func RunMatrix(ids []string, p Profile, opt MatrixOptions) (*MatrixResult, error
 	out.Records = runner.Records()
 	out.Simulated = runner.Simulated()
 	out.CacheHits = runner.CacheHits()
+	out.Perf = runner.Perf()
 	return out, nil
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"crest/internal/engine"
 	"crest/internal/layout"
@@ -20,6 +19,8 @@ type Coordinator struct {
 	qps  *engine.QPCache
 	log  *memnode.LogSegment
 	logN []*memnode.Node
+	// scFree recycles attempt scratch (see execScratch).
+	scFree []*execScratch
 }
 
 // NewCoordinator creates coordinator id (globally unique across
@@ -81,19 +82,20 @@ type access struct {
 	checks        []valCheck
 }
 
-// depSet is an insertion-ordered set of transactions to wait on.
+// depSet is an insertion-ordered set of transactions to wait on. The
+// handful of dependencies a transaction collects makes a linear scan
+// cheaper than a map.
 type depSet struct {
-	seen map[*txnState]bool
 	list []*txnState
 }
 
-func newDepSet() *depSet { return &depSet{seen: map[*txnState]bool{}} }
-
 func (d *depSet) add(t *txnState) {
-	if !d.seen[t] {
-		d.seen[t] = true
-		d.list = append(d.list, t)
+	for _, s := range d.list {
+		if s == t {
+			return
+		}
 	}
+	d.list = append(d.list, t)
 }
 
 // Execute runs one attempt of t; the caller owns retry and backoff.
@@ -109,32 +111,31 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
 	at := engine.BeginAttempt(db, p, c.gid, t)
+	sc := c.getScratch()
+	defer c.putScratch(sc)
 
 	me := &txnState{id: c.cn.sys.nextTxn()}
 	at.Span().SetTxn(me.id)
-	var accs []*access
-	byRec := map[recKey]*access{}
 	// deps are the creators of versions this transaction read or
 	// overwrote (§5.1): it commits only after they commit, and aborts
 	// with them.
-	deps := newDepSet()
+	deps := &sc.deps
 
 	abortTxn := func(reason engine.AbortReason, falseC bool) engine.Attempt {
 		at.Fail(reason, falseC)
 		me.resolve(txnAborted, 0)
-		c.applyRelease(p, accs)
+		c.applyRelease(p, sc, sc.accs)
 		return at.Done()
 	}
 
 	// --- Execution phase: pipelined blocks (§5.2). ---
 	for bi := range t.Blocks {
 		blk := &t.Blocks[bi]
-		blockAccs, gated := c.prepare(p, t, blk, byRec, &accs)
-		if gated {
+		if gated := c.prepare(p, t, blk, sc); gated {
 			return abortTxn(engine.AbortWait, false)
 		}
 		at.Phase(trace.PhaseLock)
-		admitReason, admitFalse := c.admit(p, blockAccs)
+		admitReason, admitFalse := c.admit(p, sc, sc.blockAccs)
 		at.Phase(trace.PhaseExec)
 		if admitReason != engine.AbortNone {
 			return abortTxn(admitReason, admitFalse)
@@ -152,7 +153,8 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 		// Inner-block 2PL: local locks in (TableID, Key) order. The
 		// critical section itself is pure bookkeeping (zero virtual
 		// time), so the locks only order concurrent accessors.
-		locked := append([]*access(nil), blockAccs...)
+		locked := append(sc.lockOrder[:0], sc.blockAccs...)
+		sc.lockOrder = locked
 		sortAccs(locked)
 		for _, acc := range locked {
 			acc.obj.mu.Lock(p)
@@ -165,7 +167,7 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 		reason := engine.AbortNone
 		for oi := range blk.Ops {
 			op := &blk.Ops[oi]
-			acc := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
+			acc := findAcc(sc.accs, recKey{op.Table, op.ResolveKey(t.State)})
 			if reason = c.execOp(p, t, me, acc, deps); reason != engine.AbortNone {
 				break
 			}
@@ -189,10 +191,10 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 			return abortTxn(engine.AbortDependency, false)
 		}
 	}
-	if reason, falseC := c.validateRemote(p, accs, at.Start()); reason != engine.AbortNone {
+	if reason, falseC := c.validateRemote(p, sc, sc.accs, at.Start()); reason != engine.AbortNone {
 		return abortTxn(reason, falseC)
 	}
-	if !c.validateLocal(accs) {
+	if !c.validateLocal(sc.accs) {
 		return abortTxn(engine.AbortValidation, false)
 	}
 
@@ -200,38 +202,38 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
 	me.tsAssigned = ts
-	c.writeRedoLog(p, me, ts, accs, deps)
+	c.writeRedoLog(p, sc, me, ts, sc.accs, deps)
 	me.resolve(txnCommitted, ts)
 	at.Phase(trace.PhaseApply)
-	c.applyRelease(p, accs)
-	c.recordHistory(t, accs, ts)
+	c.applyRelease(p, sc, sc.accs)
+	c.recordHistory(t, sc.accs, ts)
 	return at.Done()
 }
 
-// prepare resolves the block's keys into accesses, creating local
-// objects, sitting out any pending release windows, and pinning the
-// objects with reference counts. A writer reference registered while a
-// drain is pending would itself keep `writers` above zero and stall
-// the drain, so gating happens strictly before registration.
-func (c *Coordinator) prepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*access, accs *[]*access) (blockAccs []*access, gated bool) {
+// prepare resolves the block's keys into accesses (sc.blockAccs),
+// creating local objects, sitting out any pending release windows, and
+// pinning the objects with reference counts. A writer reference
+// registered while a drain is pending would itself keep `writers`
+// above zero and stall the drain, so gating happens strictly before
+// registration.
+func (c *Coordinator) prepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, sc *execScratch) (gated bool) {
 	// Pass 1: resolve keys and local objects; no references yet.
+	sc.blockAccs = sc.blockAccs[:0]
 	for oi := range blk.Ops {
 		op := &blk.Ops[oi]
 		key := op.ResolveKey(t.State)
 		rk := recKey{op.Table, key}
-		if _, dup := byRec[rk]; dup {
+		if findAcc(sc.accs, rk) != nil || findAcc(sc.blockAccs, rk) != nil {
 			panic(fmt.Sprintf("core: record %v accessed by two ops of one transaction", rk))
 		}
-		acc := &access{
-			op:          op,
-			key:         key,
-			rk:          rk,
-			lay:         c.cn.sys.layouts[op.Table],
-			intentWrite: op.IsWrite(),
-		}
+		acc := sc.newAccess()
+		acc.op = op
+		acc.key = key
+		acc.rk = rk
+		acc.lay = c.cn.sys.layouts[op.Table]
+		acc.intentWrite = op.IsWrite()
 		acc.obj = c.getOrCreate(p, rk, acc.lay)
-		byRec[rk] = acc
-		blockAccs = append(blockAccs, acc)
+		sc.blockAccs = append(sc.blockAccs, acc)
 	}
 	// Pass 2: sit out release windows on every write target. Waiting
 	// is only safe while this transaction holds nothing (its first
@@ -239,16 +241,13 @@ func (c *Coordinator) prepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, byR
 	// against each other, so later blocks abort instead and retry.
 	for {
 		waited := false
-		for _, acc := range blockAccs {
+		for _, acc := range sc.blockAccs {
 			obj := acc.obj
 			if !acc.intentWrite || (!obj.drainPending && obj.drainUntil <= p.Now()) {
 				continue
 			}
-			if len(*accs) > 0 {
-				for _, a := range blockAccs {
-					delete(byRec, a.rk)
-				}
-				return nil, true
+			if len(sc.accs) > 0 {
+				return true
 			}
 			waited = true
 			if obj.drainPending {
@@ -262,25 +261,39 @@ func (c *Coordinator) prepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, byR
 		}
 	}
 	// Pass 3: register the reference counts (§5.1).
-	for _, acc := range blockAccs {
+	for _, acc := range sc.blockAccs {
 		if acc.intentWrite {
 			acc.obj.writers++
 		} else {
 			acc.obj.readers++
 		}
 		acc.registered = true
-		*accs = append(*accs, acc)
+		sc.accs = append(sc.accs, acc)
 	}
-	return blockAccs, false
+	return false
 }
 
+// sortAccs orders accesses by (TableID, Key). The order is total
+// (duplicate records panic in prepare), so a plain insertion sort is
+// equivalent to the previous sort.Slice and avoids its closure and
+// interface boxing on a path taken once per block.
 func sortAccs(accs []*access) {
-	sort.Slice(accs, func(i, j int) bool {
-		if accs[i].rk.table != accs[j].rk.table {
-			return accs[i].rk.table < accs[j].rk.table
+	for i := 1; i < len(accs); i++ {
+		a := accs[i]
+		j := i - 1
+		for j >= 0 && accLess(a, accs[j]) {
+			accs[j+1] = accs[j]
+			j--
 		}
-		return accs[i].rk.key < accs[j].rk.key
-	})
+		accs[j+1] = a
+	}
+}
+
+func accLess(a, b *access) bool {
+	if a.rk.table != b.rk.table {
+		return a.rk.table < b.rk.table
+	}
+	return a.rk.key < b.rk.key
 }
 
 // getOrCreate returns the record's local object, creating it (and
@@ -304,13 +317,13 @@ func (c *Coordinator) getOrCreate(p *sim.Proc, rk recKey, lay *layout.Record) *o
 // fetches uncached records and acquires the missing remote cell locks,
 // batching everything per memory node into one round-trip. Only one
 // coordinator admits a given record at a time; others wait.
-func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReason, bool) {
+func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (engine.AbortReason, bool) {
 	db := c.cn.sys.db
 	opts := c.cn.sys.opts
 	tries := 0
 	for {
 		var waitObj *object
-		var fetches, locks []*access
+		sc.fetches, sc.locks = sc.fetches[:0], sc.locks[:0]
 		for _, acc := range blockAccs {
 			obj := acc.obj
 			if obj.flushing || obj.releaseReq > 0 {
@@ -337,10 +350,10 @@ func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReaso
 				return engine.AbortWait, false
 			}
 			if !obj.admitted {
-				fetches = append(fetches, acc)
+				sc.fetches = append(sc.fetches, acc)
 			}
 			if want := c.cn.sys.lockMaskFor(acc.lay, acc.op) &^ obj.remoteLocks; acc.intentWrite && want != 0 {
-				locks = append(locks, acc)
+				sc.locks = append(sc.locks, acc)
 			}
 		}
 		if waitObj != nil {
@@ -349,7 +362,7 @@ func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReaso
 			waitObj.stateQ.Wait(p)
 			continue
 		}
-		if len(fetches) == 0 && len(locks) == 0 {
+		if len(sc.fetches) == 0 && len(sc.locks) == 0 {
 			// Everything cached and locked; register conflict-tracker
 			// coverage for the write intents that piggybacked, and
 			// count the piggyback streaks that gate lock retention.
@@ -378,72 +391,57 @@ func (c *Coordinator) admit(p *sim.Proc, blockAccs []*access) (engine.AbortReaso
 		// read refreshes the base values of the cells that were not
 		// locked until now — their cached values may predate another
 		// compute node's commits, and locked cells skip validation.
-		type pending struct {
-			acc      *access
-			casIdx   int // index into the node batch, -1 if none
-			readIdx  int
-			bits     uint64
-			preLocks uint64 // lock bits held before this admission
-		}
-		var batches []rdma.Batch
-		perNode := map[int]int{}
-		pend := map[*object]*pending{}
-		order := []*object{}
-		add := func(acc *access) *pending {
+		sc.pend = sc.pend[:0]
+		sc.bat.Begin()
+		add := func(acc *access) int {
 			obj := acc.obj
-			pd := pend[obj]
-			if pd == nil {
-				pd = &pending{acc: acc, casIdx: -1, readIdx: -1}
-				pend[obj] = pd
-				order = append(order, obj)
-				obj.admitting = true
+			for i := range sc.pend {
+				if sc.pend[i].obj == obj {
+					return i
+				}
 			}
-			return pd
+			sc.pend = append(sc.pend, admitPend{obj: obj, acc: acc, casIdx: -1, readIdx: -1})
+			obj.admitting = true
+			return len(sc.pend) - 1
 		}
-		nodeBatch := func(obj *object) int {
-			bi, ok := perNode[obj.primary.Region.ID()]
-			if !ok {
-				bi = len(batches)
-				perNode[obj.primary.Region.ID()] = bi
-				batches = append(batches, rdma.Batch{QP: c.qps.Get(obj.primary.Region)})
-			}
-			return bi
-		}
-		for _, acc := range locks {
-			pd := add(acc)
-			pd.preLocks = acc.obj.remoteLocks
-			pd.bits = c.cn.sys.lockMaskFor(acc.lay, acc.op) &^ acc.obj.remoteLocks
-			bi := nodeBatch(acc.obj)
-			pd.casIdx = len(batches[bi].Ops)
-			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		for _, acc := range sc.locks {
+			pi := add(acc)
+			obj := acc.obj
+			bits := c.cn.sys.lockMaskFor(acc.lay, acc.op) &^ obj.remoteLocks
+			bi := sc.bat.Batch(obj.primary.Region)
+			ci := sc.bat.Append(bi, rdma.Op{
 				Kind: rdma.OpMaskedCAS,
-				Off:  acc.obj.off + layout.OffLock,
-				Swap: pd.bits, Mask: pd.bits,
+				Off:  obj.off + layout.OffLock,
+				Swap: bits, Mask: bits,
 			})
+			pd := &sc.pend[pi]
+			pd.preLocks = obj.remoteLocks
+			pd.bits = bits
+			pd.casIdx = ci
 		}
-		for _, acc := range fetches {
-			pd := add(acc)
-			pd.preLocks = acc.obj.remoteLocks
+		for _, acc := range sc.fetches {
+			pi := add(acc)
+			sc.pend[pi].preLocks = acc.obj.remoteLocks
 		}
-		for _, obj := range order {
-			pd := pend[obj]
-			bi := nodeBatch(obj)
-			pd.readIdx = len(batches[bi].Ops)
-			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		for i := range sc.pend {
+			pd := &sc.pend[i]
+			bi := sc.bat.Batch(pd.obj.primary.Region)
+			pd.readIdx = sc.bat.Append(bi, rdma.Op{
 				Kind: rdma.OpRead,
-				Off:  obj.off,
+				Off:  pd.obj.off,
 				Len:  pd.acc.lay.Size(),
 			})
 		}
-		results, err := rdma.PostMulti(p, batches)
+		results, err := rdma.PostMulti(p, sc.bat.Batches())
 		if err != nil {
 			panic(err)
 		}
 		var conflictMask uint64
 		conflict := false
-		for _, obj := range order {
-			pd := pend[obj]
-			bi := perNode[obj.primary.Region.ID()]
+		for i := range sc.pend {
+			pd := &sc.pend[i]
+			obj := pd.obj
+			bi := sc.bat.Lookup(obj.primary.Region)
 			if pd.casIdx >= 0 {
 				if results[bi][pd.casIdx].OK {
 					obj.remoteLocks |= pd.bits
@@ -534,8 +532,8 @@ func (c *Coordinator) execOp(p *sim.Proc, t *engine.Txn, me *txnState, acc *acce
 	op := acc.op
 
 	myLocks := c.cn.sys.lockMaskFor(acc.lay, op)
-	read := make([][]byte, len(op.ReadCells))
-	for i, cell := range op.ReadCells {
+	read := acc.readVals[:0]
+	for _, cell := range op.ReadCells {
 		v, val := obj.latest(cell)
 		cs := &obj.cells[cell]
 		if v != nil && v.txn != me {
@@ -559,14 +557,14 @@ func (c *Coordinator) execOp(p *sim.Proc, t *engine.Txn, me *txnState, acc *acce
 		if me.tsExec > cs.maxReadTS {
 			cs.maxReadTS = me.tsExec
 		}
-		read[i] = val
+		read = append(read, val)
 	}
+	acc.readVals = read
 
 	written := op.Hook(t.State, read)
 	if len(written) != len(op.WriteCells) {
 		panic(fmt.Sprintf("core: hook returned %d values for %d write cells", len(written), len(op.WriteCells)))
 	}
-	acc.readVals = read
 	acc.writeVals = written
 
 	for i, cell := range op.WriteCells {
@@ -667,31 +665,30 @@ func (c *Coordinator) validateLocal(accs []*access) bool {
 // the memory pool: one header READ per record, batched per node. Past
 // the EN threshold it reads whole records and compares commit
 // timestamps instead (§4.2).
-func (c *Coordinator) validateRemote(p *sim.Proc, accs []*access, attemptStart sim.Time) (engine.AbortReason, bool) {
+func (c *Coordinator) validateRemote(p *sim.Proc, sc *execScratch, accs []*access, attemptStart sim.Time) (engine.AbortReason, bool) {
 	db := c.cn.sys.db
 	fallback := p.Now().Sub(attemptStart) > c.cn.sys.opts.ENThreshold
-	var batches []rdma.Batch
-	var batchAccs [][]*access
-	perNode := map[int]int{}
+	sc.bat.Begin()
+	for i := range sc.batchAccs {
+		sc.batchAccs[i] = sc.batchAccs[i][:0]
+	}
 	for _, acc := range accs {
 		if len(acc.checks) == 0 {
 			continue
 		}
 		obj := acc.obj
-		bi, ok := perNode[obj.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[obj.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(obj.primary.Region)})
-			batchAccs = append(batchAccs, nil)
+		bi := sc.bat.Batch(obj.primary.Region)
+		for bi >= len(sc.batchAccs) {
+			sc.batchAccs = append(sc.batchAccs, nil)
 		}
 		n := layout.HeaderSize
 		if fallback {
 			n = acc.lay.Size()
 		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: obj.off, Len: n})
-		batchAccs[bi] = append(batchAccs[bi], acc)
+		sc.bat.Append(bi, rdma.Op{Kind: rdma.OpRead, Off: obj.off, Len: n})
+		sc.batchAccs[bi] = append(sc.batchAccs[bi], acc)
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return engine.AbortNone, false
 	}
@@ -700,7 +697,7 @@ func (c *Coordinator) validateRemote(p *sim.Proc, accs []*access, attemptStart s
 		panic(err)
 	}
 	for bi := range batches {
-		for ri, acc := range batchAccs[bi] {
+		for ri, acc := range sc.batchAccs[bi] {
 			data := results[bi][ri].Data
 			h := layout.DecodeHeader(data)
 			obj := acc.obj
@@ -747,42 +744,69 @@ func (c *Coordinator) validateRemote(p *sim.Proc, accs []*access, attemptStart s
 // writeRedoLog persists the dependency-tracking redo-log entry to the
 // coordinator's log replicas in one round-trip (§6). Transactions that
 // wrote nothing skip the log.
-func (c *Coordinator) writeRedoLog(p *sim.Proc, me *txnState, ts uint64, accs []*access, deps *depSet) {
-	var recs []logRecord
+func (c *Coordinator) writeRedoLog(p *sim.Proc, sc *execScratch, me *txnState, ts uint64, accs []*access, deps *depSet) {
+	nr := 0
 	for _, acc := range accs {
 		if len(acc.op.WriteCells) == 0 {
 			continue
 		}
-		r := logRecord{Table: acc.rk.table, Key: acc.key, Mask: layout.LockMask(acc.op.WriteCells)}
-		// Values must be in ascending cell order to match the mask.
-		idx := make([]int, len(acc.op.WriteCells))
-		for i := range idx {
-			idx[i] = i
+		if nr == len(sc.recs) {
+			sc.recs = append(sc.recs, logRecord{})
 		}
-		sort.Slice(idx, func(a, b int) bool { return acc.op.WriteCells[idx[a]] < acc.op.WriteCells[idx[b]] })
-		for _, i := range idx {
+		r := &sc.recs[nr]
+		nr++
+		r.Table, r.Key, r.Mask = acc.rk.table, acc.key, layout.LockMask(acc.op.WriteCells)
+		r.Vals = r.Vals[:0]
+		// Values must be in ascending cell order to match the mask.
+		sc.idx = sc.idx[:0]
+		for i := range acc.op.WriteCells {
+			sc.idx = append(sc.idx, i)
+		}
+		sortByCell(sc.idx, acc.op.WriteCells)
+		for _, i := range sc.idx {
 			r.Vals = append(r.Vals, acc.writeVals[i])
 		}
-		recs = append(recs, r)
 	}
-	if len(recs) == 0 {
+	if nr == 0 {
 		return
 	}
-	var depIDs []uint64
+	sc.depIDs = sc.depIDs[:0]
 	for _, d := range deps.list {
-		depIDs = append(depIDs, d.id)
+		sc.depIDs = append(sc.depIDs, d.id)
 	}
-	entry := encodeLogEntry(me.id, ts, depIDs, recs)
+	entry := appendLogEntry(sc.logBuf[:0], me.id, ts, sc.depIDs, sc.recs[:nr])
+	sc.logBuf = entry
 	off := c.log.Reserve(len(entry))
-	batches := make([]rdma.Batch, 0, len(c.logN))
-	for _, n := range c.logN {
-		batches = append(batches, rdma.Batch{
-			QP:  c.qps.Get(n.Region),
-			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: entry}},
-		})
+	c.postLog(p, sc, off, entry)
+}
+
+// postLog writes one encoded entry to every log replica in one
+// round-trip, through the scratch's persistent batch slice.
+func (c *Coordinator) postLog(p *sim.Proc, sc *execScratch, off uint64, entry []byte) {
+	if cap(sc.logBatches) < len(c.logN) {
+		sc.logBatches = make([]rdma.Batch, len(c.logN))
 	}
-	if _, err := rdma.PostMulti(p, batches); err != nil {
+	sc.logBatches = sc.logBatches[:len(c.logN)]
+	for i, n := range c.logN {
+		sc.logBatches[i].QP = c.qps.Get(n.Region)
+		sc.logBatches[i].Ops = append(sc.logBatches[i].Ops[:0], rdma.Op{Kind: rdma.OpWrite, Off: off, Data: entry})
+	}
+	if _, err := rdma.PostMulti(p, sc.logBatches); err != nil {
 		panic(err)
+	}
+}
+
+// sortByCell insertion-sorts idx so cells[idx] ascends; cell lists
+// are tiny and duplicate-free.
+func sortByCell(idx []int, cells []int) {
+	for i := 1; i < len(idx); i++ {
+		x := idx[i]
+		j := i - 1
+		for j >= 0 && cells[x] < cells[idx[j]] {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = x
 	}
 }
 
@@ -790,7 +814,7 @@ func (c *Coordinator) writeRedoLog(p *sim.Proc, me *txnState, ts uint64, accs []
 // reference counts drop, the last writer of each object writes the
 // newest committed cell values back (last-writer-wins, §6), and the
 // last reference releases the remote locks and destroys the object.
-func (c *Coordinator) applyRelease(p *sim.Proc, accs []*access) {
+func (c *Coordinator) applyRelease(p *sim.Proc, sc *execScratch, accs []*access) {
 	db := c.cn.sys.db
 	for _, acc := range accs {
 		if !acc.registered {
@@ -808,32 +832,21 @@ func (c *Coordinator) applyRelease(p *sim.Proc, accs []*access) {
 		}
 	}
 
-	var fins []*fin
-	var batches []rdma.Batch
-	perNode := map[int]int{}
-	addOps := func(region *rdma.Region, ops ...rdma.Op) {
-		bi, ok := perNode[region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(region)})
-		}
-		batches[bi].Ops = append(batches[bi].Ops, ops...)
-	}
-
-	seen := map[*object]bool{}
-	var objs []*object
+	c.cn.scanGen++
+	g := c.cn.scanGen
+	objs := sc.objs[:0]
 	for _, acc := range accs {
-		if !seen[acc.obj] {
-			seen[acc.obj] = true
+		if acc.obj.scanGen != g {
+			acc.obj.scanGen = g
 			objs = append(objs, acc.obj)
 		}
 	}
+	sc.objs = objs
 	// Triage: most objects need nothing from this transaction (a later
 	// writer will flush, or the object is unlocked and still
 	// referenced) and must not wait behind hot-object admission
 	// traffic — that tax would serialize the whole read path.
-	var work []*object
+	work := sc.work[:0]
 	for _, obj := range objs {
 		if obj.writers > 0 {
 			continue // a later writer will flush and release
@@ -846,6 +859,7 @@ func (c *Coordinator) applyRelease(p *sim.Proc, accs []*access) {
 		}
 		work = append(work, obj)
 	}
+	sc.work = work
 	if len(work) == 0 {
 		return
 	}
@@ -882,6 +896,8 @@ func (c *Coordinator) applyRelease(p *sim.Proc, accs []*access) {
 			}
 		}
 	}()
+	sc.bat.Begin()
+	sc.fins = sc.fins[:0]
 	for _, obj := range work {
 		if obj.writers > 0 {
 			continue // a later writer registered meanwhile; it flushes
@@ -898,16 +914,16 @@ func (c *Coordinator) applyRelease(p *sim.Proc, accs []*access) {
 		// releases the locks, even while readers remain — their reads
 		// validate against the epoch numbers at commit.
 		obj.flushing = true
-		f := &fin{obj: obj, plans: obj.collectFlush(), release: true, unlock: obj.remoteLocks}
-		fins = append(fins, f)
-		c.buildFlushOps(f, addOps)
+		sc.fins = append(sc.fins, fin{obj: obj, plans: obj.collectFlush(), release: true, unlock: obj.remoteLocks})
+		c.buildFlushOps(sc, &sc.fins[len(sc.fins)-1])
 	}
-	if len(batches) > 0 {
+	if batches := sc.bat.Batches(); len(batches) > 0 {
 		if _, err := rdma.PostMulti(p, batches); err != nil {
 			panic(err)
 		}
 	}
-	for _, f := range fins {
+	for i := range sc.fins {
+		f := &sc.fins[i]
 		obj := f.obj
 		for _, plan := range f.plans {
 			db.Tracker.OnUpdate(obj.table, obj.key, plan.ts, 1<<uint(plan.cell))
@@ -944,39 +960,37 @@ type fin struct {
 	unlock  uint64
 }
 
-// buildFlushOps emits the last-writer write-back for one object: each
-// committed cell's version word + value, its header epoch number, and
-// (when the object is quiescent) the unlock masked-CAS, ordered within
-// the round-trip. Backup replicas receive the data writes; the lock
-// lives on the primary.
-func (c *Coordinator) buildFlushOps(f *fin, addOps func(*rdma.Region, ...rdma.Op)) {
+// buildFlushOps emits the last-writer write-back for one object into
+// the scratch batcher: each committed cell's version word + value, its
+// header epoch number, and (when the object is quiescent) the unlock
+// masked-CAS, ordered within the round-trip. Backup replicas receive
+// the data writes; the lock lives on the primary.
+func (c *Coordinator) buildFlushOps(sc *execScratch, f *fin) {
 	obj := f.obj
 	db := c.cn.sys.db
 	for _, n := range db.Pool.ReplicaNodes(obj.table, obj.key) {
-		var ops []rdma.Op
-		for _, plan := range f.plans {
-			slot := make([]byte, layout.CellVersionSize+len(plan.value))
-			layout.PutCellVersion(slot, layout.CellVersion{EN: plan.en, TS: plan.ts})
-			copy(slot[layout.CellVersionSize:], plan.value)
-			enb := make([]byte, 2)
-			enb[0] = byte(plan.en)
-			enb[1] = byte(plan.en >> 8)
-			ops = append(ops,
-				rdma.Op{Kind: rdma.OpWrite, Off: obj.off + uint64(obj.lay.CellOff(plan.cell)), Data: slot},
-				rdma.Op{Kind: rdma.OpWrite, Off: obj.off + uint64(obj.lay.ENOff(plan.cell)), Data: enb},
-			)
-		}
-		if f.release && n == obj.primary && f.unlock != 0 {
-			ops = append(ops, rdma.Op{
-				Kind:    rdma.OpMaskedCAS,
-				Off:     obj.off + layout.OffLock,
-				Compare: f.unlock,
-				Swap:    0,
-				Mask:    f.unlock,
-			})
-		}
-		if len(ops) > 0 {
-			addOps(n.Region, ops...)
+		release := f.release && n == obj.primary && f.unlock != 0
+		if len(f.plans) > 0 || release {
+			bi := sc.bat.Batch(n.Region)
+			for _, plan := range f.plans {
+				slot := sc.bytes(layout.CellVersionSize + len(plan.value))
+				layout.PutCellVersion(slot, layout.CellVersion{EN: plan.en, TS: plan.ts})
+				copy(slot[layout.CellVersionSize:], plan.value)
+				enb := sc.bytes(2)
+				enb[0] = byte(plan.en)
+				enb[1] = byte(plan.en >> 8)
+				sc.bat.Append(bi, rdma.Op{Kind: rdma.OpWrite, Off: obj.off + uint64(obj.lay.CellOff(plan.cell)), Data: slot})
+				sc.bat.Append(bi, rdma.Op{Kind: rdma.OpWrite, Off: obj.off + uint64(obj.lay.ENOff(plan.cell)), Data: enb})
+			}
+			if release {
+				sc.bat.Append(bi, rdma.Op{
+					Kind:    rdma.OpMaskedCAS,
+					Off:     obj.off + layout.OffLock,
+					Compare: f.unlock,
+					Swap:    0,
+					Mask:    f.unlock,
+				})
+			}
 		}
 		if len(f.plans) == 0 {
 			// Pure unlock: nothing to write on backups.

@@ -195,6 +195,9 @@ type ComputeNode struct {
 	cache     *hashindex.AddrCache
 	objs      map[recKey]*object
 	tsExecCtr uint64
+	// scanGen stamps objects during applyRelease's dedup scan,
+	// replacing a per-attempt map.
+	scanGen uint64
 }
 
 type recKey struct {
@@ -308,7 +311,15 @@ type logRecord struct {
 // new cell values. The leading length word lets recovery walk the
 // segment.
 func encodeLogEntry(txnID, ts uint64, deps []uint64, recs []logRecord) []byte {
-	buf := make([]byte, 4, 128)
+	return appendLogEntry(make([]byte, 0, 128), txnID, ts, deps, recs)
+}
+
+// appendLogEntry is encodeLogEntry appending into a caller-owned
+// buffer, so the commit path can reuse one encoding buffer per
+// attempt.
+func appendLogEntry(buf []byte, txnID, ts uint64, deps []uint64, recs []logRecord) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
 	buf = binary.LittleEndian.AppendUint64(buf, txnID)
 	buf = binary.LittleEndian.AppendUint64(buf, ts)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(deps)))
@@ -325,7 +336,7 @@ func encodeLogEntry(txnID, ts uint64, deps []uint64, recs []logRecord) []byte {
 			buf = append(buf, v...)
 		}
 	}
-	binary.LittleEndian.PutUint32(buf, uint32(len(buf)))
+	binary.LittleEndian.PutUint32(buf[start:], uint32(len(buf)-start))
 	return buf
 }
 

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"crest/internal/engine"
 	"crest/internal/layout"
@@ -20,43 +19,43 @@ import (
 func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
 	at := engine.BeginAttempt(db, p, c.gid, t)
+	sc := c.getScratch()
+	defer c.putScratch(sc)
 
-	var ws []*dwork
-	byRec := map[recKey]*dwork{}
 	for bi := range t.Blocks {
 		blk := &t.Blocks[bi]
-		blockWs := c.dPrepare(p, t, blk, byRec)
-		ws = append(ws, blockWs...)
+		blockWs := c.dPrepare(p, t, blk, sc)
+		sc.dWs = append(sc.dWs, blockWs...)
 		at.Phase(trace.PhaseLock)
-		reason, falseC := c.dFetch(p, blockWs)
+		reason, falseC := c.dFetch(p, sc, blockWs)
 		at.Phase(trace.PhaseExec)
 		if reason != engine.AbortNone {
 			// Release before Fail: the strict path has always charged
 			// abort-time lock release to the phase that failed.
-			c.dRelease(p, ws)
+			c.dRelease(p, sc, sc.dWs)
 			at.Fail(reason, falseC)
 			return at.Done()
 		}
 		for oi := range blk.Ops {
 			op := &blk.Ops[oi]
-			w := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
+			w := findDwork(sc.dWs, recKey{op.Table, op.ResolveKey(t.State)})
 			c.dApplyOp(p, t, op, w)
 		}
 	}
 
 	at.Phase(trace.PhaseValidate)
-	if reason, falseC := c.dValidate(p, ws, at.Start()); reason != engine.AbortNone {
-		c.dRelease(p, ws)
+	if reason, falseC := c.dValidate(p, sc, sc.dWs, at.Start()); reason != engine.AbortNone {
+		c.dRelease(p, sc, sc.dWs)
 		at.Fail(reason, falseC)
 		return at.Done()
 	}
 
 	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
-	c.dWriteLog(p, ws, ts)
+	c.dWriteLog(p, sc, sc.dWs, ts)
 	at.Phase(trace.PhaseApply)
-	c.dInstall(p, ws, ts)
-	c.dRecord(t, ws, ts)
+	c.dInstall(p, sc, sc.dWs, ts)
+	c.dRecord(t, sc.dWs, ts)
 	return at.Done()
 }
 
@@ -64,6 +63,7 @@ func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
 type dwork struct {
 	op        *engine.Op
 	key       layout.Key
+	rk        recKey
 	off       uint64
 	lay       *layout.Record
 	primary   *memnode.Node
@@ -79,14 +79,14 @@ type dwork struct {
 
 func (w *dwork) table() layout.TableID { return w.lay.Schema.ID }
 
-func (c *Coordinator) dPrepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*dwork) []*dwork {
+func (c *Coordinator) dPrepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, sc *execScratch) []*dwork {
 	db := c.cn.sys.db
-	var out []*dwork
+	sc.dBlock = sc.dBlock[:0]
 	for oi := range blk.Ops {
 		op := &blk.Ops[oi]
 		key := op.ResolveKey(t.State)
 		rk := recKey{op.Table, key}
-		if _, dup := byRec[rk]; dup {
+		if findDwork(sc.dWs, rk) != nil || findDwork(sc.dBlock, rk) != nil {
 			panic(fmt.Sprintf("core: record %v accessed by two ops of one transaction", rk))
 		}
 		lay := c.cn.sys.layouts[op.Table]
@@ -95,73 +95,78 @@ func (c *Coordinator) dPrepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, by
 		if err != nil {
 			panic(err)
 		}
-		w := &dwork{op: op, key: key, off: off, lay: lay, primary: primary}
-		byRec[rk] = w
-		out = append(out, w)
+		w := sc.newDwork()
+		w.op, w.key, w.rk, w.off, w.lay, w.primary = op, key, rk, off, lay, primary
+		sc.dBlock = append(sc.dBlock, w)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].table() != out[j].table() {
-			return out[i].table() < out[j].table()
+	sortDworks(sc.dBlock)
+	return sc.dBlock
+}
+
+// sortDworks orders records by (TableID, Key); the order is total
+// (duplicates panic in dPrepare), so the insertion sort matches the
+// previous sort.Slice byte for byte.
+func sortDworks(ws []*dwork) {
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && dworkLess(w, ws[j]) {
+			ws[j+1] = ws[j]
+			j--
 		}
-		return out[i].key < out[j].key
-	})
-	return out
+		ws[j+1] = w
+	}
+}
+
+func dworkLess(a, b *dwork) bool {
+	if a.table() != b.table() {
+		return a.table() < b.table()
+	}
+	return a.key < b.key
 }
 
 // dFetch locks and reads the block's records: masked-CAS + READ per
 // read-write record, READ per read-only record, all batched per node
 // into one round-trip. Inconsistent snapshots and foreign locks on
 // read cells trigger bounded refetches (§4.3).
-func (c *Coordinator) dFetch(p *sim.Proc, ws []*dwork) (engine.AbortReason, bool) {
+func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.AbortReason, bool) {
 	if len(ws) == 0 {
 		return engine.AbortNone, false
 	}
 	db := c.cn.sys.db
 	opts := c.cn.sys.opts
-	todo := append([]*dwork(nil), ws...)
+	todo := append(sc.dTodo[:0], ws...)
 	for tries := 0; ; tries++ {
-		var batches []rdma.Batch
-		perNode := map[int]int{}
-		type slot struct {
-			w      *dwork
-			casIdx int
-			rdIdx  int
-		}
-		var slots []*slot
+		sc.bat.Begin()
+		sc.dSlots = sc.dSlots[:0]
 		for _, w := range todo {
-			bi, ok := perNode[w.primary.Region.ID()]
-			if !ok {
-				bi = len(batches)
-				perNode[w.primary.Region.ID()] = bi
-				batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-			}
-			s := &slot{w: w, casIdx: -1}
+			bi := sc.bat.Batch(w.primary.Region)
+			sc.dSlots = append(sc.dSlots, dslot{w: w, casIdx: -1})
+			s := &sc.dSlots[len(sc.dSlots)-1]
 			if want := c.cn.sys.lockMaskFor(w.lay, w.op) &^ w.lockBits; want != 0 {
-				s.casIdx = len(batches[bi].Ops)
-				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				s.casIdx = sc.bat.Append(bi, rdma.Op{
 					Kind: rdma.OpMaskedCAS,
 					Off:  w.off + layout.OffLock,
 					Swap: want, Mask: want,
 				})
 			}
-			s.rdIdx = len(batches[bi].Ops)
-			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: w.lay.Size()})
-			slots = append(slots, s)
+			s.rdIdx = sc.bat.Append(bi, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: w.lay.Size()})
 		}
-		results, err := rdma.PostMulti(p, batches)
+		results, err := rdma.PostMulti(p, sc.bat.Batches())
 		if err != nil {
 			panic(err)
 		}
-		var retry []*dwork
+		retry := sc.dRetry[:0]
 		var conflictMask, myMask uint64
 		lockFailed := false
-		for _, s := range slots {
+		for i := range sc.dSlots {
 			// Every result must be processed before any abort return:
 			// a sibling CAS in the same batch may have succeeded and
 			// its lock bits must be recorded so the abort path can
 			// release them.
+			s := &sc.dSlots[i]
 			w := s.w
-			bi := perNode[w.primary.Region.ID()]
+			bi := sc.bat.Lookup(w.primary.Region)
 			if s.casIdx >= 0 {
 				if results[bi][s.casIdx].OK {
 					want := c.cn.sys.lockMaskFor(w.lay, w.op) &^ w.lockBits
@@ -204,6 +209,9 @@ func (c *Coordinator) dFetch(p *sim.Proc, ws []*dwork) (engine.AbortReason, bool
 		if tries >= opts.LockRetries {
 			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
 		}
+		// Ping-pong the two scratch lists so the next round's retry
+		// collection reuses this round's todo backing.
+		sc.dTodo, sc.dRetry = retry, todo[:0]
 		todo = retry
 		p.Sleep(opts.LockBackoff + sim.Duration(p.Rand().Int63n(int64(opts.LockBackoff))))
 	}
@@ -211,10 +219,11 @@ func (c *Coordinator) dFetch(p *sim.Proc, ws []*dwork) (engine.AbortReason, bool
 
 func (c *Coordinator) dApplyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *dwork) {
 	db := c.cn.sys.db
-	read := make([][]byte, len(op.ReadCells))
-	for i, cell := range op.ReadCells {
-		read[i] = append([]byte(nil), w.vals[cell]...)
+	read := w.readVals[:0]
+	for _, cell := range op.ReadCells {
+		read = append(read, append([]byte(nil), w.vals[cell]...))
 	}
+	w.readVals = read
 	p.Sleep(db.Cost.OpCost(len(op.ReadCells) + len(op.WriteCells)))
 	written := op.Hook(t.State, read)
 	if len(written) != len(op.WriteCells) {
@@ -226,36 +235,34 @@ func (c *Coordinator) dApplyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *dwo
 		}
 		w.vals[cell] = written[i]
 	}
-	w.readVals = read
 	w.writeVals = written
 }
 
 // dValidate re-reads record headers and compares epoch numbers (or
 // full records and commit timestamps past the EN threshold).
-func (c *Coordinator) dValidate(p *sim.Proc, ws []*dwork, attemptStart sim.Time) (engine.AbortReason, bool) {
+func (c *Coordinator) dValidate(p *sim.Proc, sc *execScratch, ws []*dwork, attemptStart sim.Time) (engine.AbortReason, bool) {
 	db := c.cn.sys.db
 	fallback := p.Now().Sub(attemptStart) > c.cn.sys.opts.ENThreshold
-	var batches []rdma.Batch
-	var batchWs [][]*dwork
-	perNode := map[int]int{}
+	sc.bat.Begin()
+	for i := range sc.dBatchW {
+		sc.dBatchW[i] = sc.dBatchW[i][:0]
+	}
 	for _, w := range ws {
 		if len(w.checks) == 0 {
 			continue
 		}
-		bi, ok := perNode[w.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[w.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-			batchWs = append(batchWs, nil)
+		bi := sc.bat.Batch(w.primary.Region)
+		for bi >= len(sc.dBatchW) {
+			sc.dBatchW = append(sc.dBatchW, nil)
 		}
 		n := layout.HeaderSize
 		if fallback {
 			n = w.lay.Size()
 		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: n})
-		batchWs[bi] = append(batchWs[bi], w)
+		sc.bat.Append(bi, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: n})
+		sc.dBatchW[bi] = append(sc.dBatchW[bi], w)
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return engine.AbortNone, false
 	}
@@ -264,7 +271,7 @@ func (c *Coordinator) dValidate(p *sim.Proc, ws []*dwork, attemptStart sim.Time)
 		panic(err)
 	}
 	for bi := range batches {
-		for ri, w := range batchWs[bi] {
+		for ri, w := range sc.dBatchW[bi] {
 			data := results[bi][ri].Data
 			h := layout.DecodeHeader(data)
 			otherLocks := h.Lock &^ w.lockBits &^ layout.DeleteMask
@@ -294,21 +301,15 @@ func (c *Coordinator) dValidate(p *sim.Proc, ws []*dwork, attemptStart sim.Time)
 }
 
 // dRelease frees held locks (abort path), batched per node.
-func (c *Coordinator) dRelease(p *sim.Proc, ws []*dwork) {
+func (c *Coordinator) dRelease(p *sim.Proc, sc *execScratch, ws []*dwork) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	perNode := map[int]int{}
+	sc.bat.Begin()
 	for _, w := range ws {
 		if w.lockBits == 0 {
 			continue
 		}
-		bi, ok := perNode[w.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[w.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		bi := sc.bat.Batch(w.primary.Region)
+		sc.bat.Append(bi, rdma.Op{
 			Kind:    rdma.OpMaskedCAS,
 			Off:     w.off + layout.OffLock,
 			Compare: w.lockBits,
@@ -322,6 +323,7 @@ func (c *Coordinator) dRelease(p *sim.Proc, ws []*dwork) {
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.lockBits)
 		w.lockBits = 0
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return
 	}
@@ -332,69 +334,64 @@ func (c *Coordinator) dRelease(p *sim.Proc, ws []*dwork) {
 
 // dWriteLog persists the redo-log entry (no local dependencies on the
 // direct path).
-func (c *Coordinator) dWriteLog(p *sim.Proc, ws []*dwork, ts uint64) {
-	var recs []logRecord
+func (c *Coordinator) dWriteLog(p *sim.Proc, sc *execScratch, ws []*dwork, ts uint64) {
+	nr := 0
 	for _, w := range ws {
 		if len(w.op.WriteCells) == 0 {
 			continue
 		}
-		r := logRecord{Table: w.table(), Key: w.key, Mask: layout.LockMask(w.op.WriteCells)}
-		cells := append([]int(nil), w.op.WriteCells...)
-		sort.Ints(cells)
-		for _, cell := range cells {
-			r.Vals = append(r.Vals, w.vals[cell])
+		if nr == len(sc.recs) {
+			sc.recs = append(sc.recs, logRecord{})
 		}
-		recs = append(recs, r)
+		r := &sc.recs[nr]
+		nr++
+		r.Table, r.Key, r.Mask = w.table(), w.key, layout.LockMask(w.op.WriteCells)
+		r.Vals = r.Vals[:0]
+		sc.idx = sc.idx[:0]
+		for i := range w.op.WriteCells {
+			sc.idx = append(sc.idx, i)
+		}
+		sortByCell(sc.idx, w.op.WriteCells)
+		for _, i := range sc.idx {
+			r.Vals = append(r.Vals, w.vals[w.op.WriteCells[i]])
+		}
 	}
-	if len(recs) == 0 {
+	if nr == 0 {
 		return
 	}
-	entry := encodeLogEntry(c.gid<<32, ts, nil, recs)
+	entry := appendLogEntry(sc.logBuf[:0], c.gid<<32, ts, nil, sc.recs[:nr])
+	sc.logBuf = entry
 	off := c.log.Reserve(len(entry))
-	batches := make([]rdma.Batch, 0, len(c.logN))
-	for _, n := range c.logN {
-		batches = append(batches, rdma.Batch{
-			QP:  c.qps.Get(n.Region),
-			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: entry}},
-		})
-	}
-	if _, err := rdma.PostMulti(p, batches); err != nil {
-		panic(err)
-	}
+	c.postLog(p, sc, off, entry)
 }
 
 // dInstall writes updated cells, bumps their epoch numbers and unlocks
 // on every replica, ordered within one round-trip.
-func (c *Coordinator) dInstall(p *sim.Proc, ws []*dwork, ts uint64) {
+func (c *Coordinator) dInstall(p *sim.Proc, sc *execScratch, ws []*dwork, ts uint64) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	perNode := map[int]int{}
+	sc.bat.Begin()
 	for _, w := range ws {
 		if w.lockBits == 0 {
 			continue
 		}
 		for _, n := range db.Pool.ReplicaNodes(w.table(), w.key) {
-			bi, ok := perNode[n.Region.ID()]
-			if !ok {
-				bi = len(batches)
-				perNode[n.Region.ID()] = bi
-				batches = append(batches, rdma.Batch{QP: c.qps.Get(n.Region)})
-			}
+			bi := sc.bat.Batch(n.Region)
 			for _, cell := range w.op.WriteCells {
 				en := w.hdr.EN[cell] + 1
 				if en == 0 { // 16-bit epoch wrapped
 					db.Trace.ENOverflow(p.Now(), trace.SpanOf(p), w.table(), w.key, cell)
 				}
-				slot := make([]byte, layout.CellVersionSize+len(w.vals[cell]))
+				slot := sc.bytes(layout.CellVersionSize + len(w.vals[cell]))
 				layout.PutCellVersion(slot, layout.CellVersion{EN: en, TS: ts})
 				copy(slot[layout.CellVersionSize:], w.vals[cell])
-				batches[bi].Ops = append(batches[bi].Ops,
-					rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.CellOff(cell)), Data: slot},
-					rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.ENOff(cell)), Data: []byte{byte(en), byte(en >> 8)}},
-				)
+				enb := sc.bytes(2)
+				enb[0] = byte(en)
+				enb[1] = byte(en >> 8)
+				sc.bat.Append(bi, rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.CellOff(cell)), Data: slot})
+				sc.bat.Append(bi, rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.ENOff(cell)), Data: enb})
 			}
 			if n == w.primary {
-				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				sc.bat.Append(bi, rdma.Op{
 					Kind:    rdma.OpMaskedCAS,
 					Off:     w.off + layout.OffLock,
 					Compare: w.lockBits,
@@ -404,7 +401,7 @@ func (c *Coordinator) dInstall(p *sim.Proc, ws []*dwork, ts uint64) {
 			}
 		}
 	}
-	if len(batches) > 0 {
+	if batches := sc.bat.Batches(); len(batches) > 0 {
 		if _, err := rdma.PostMulti(p, batches); err != nil {
 			panic(err)
 		}

@@ -116,6 +116,9 @@ type object struct {
 	// release instant, starving remote writers).
 	drainUntil sim.Time
 
+	// scanGen is the compute node's dedup stamp (see applyRelease).
+	scanGen uint64
+
 	remoteLocks uint64               // cell lock bits this CN holds in the pool
 	epochs      []uint16             // CN view of the pool's EN array
 	base        [][]byte             // committed cell values (CN view)

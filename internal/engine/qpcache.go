@@ -3,23 +3,30 @@ package engine
 import "crest/internal/rdma"
 
 // QPCache reuses queue pairs per target region, the way a coordinator
-// keeps one QP per memory node.
+// keeps one QP per memory node. Region IDs are small dense fabric
+// registration indices, so the cache is a slice lookup — it sits on
+// the path of every post a coordinator issues.
 type QPCache struct {
 	fabric *rdma.Fabric
-	qps    map[int]*rdma.QP
+	qps    []*rdma.QP // indexed by region ID; nil = not yet connected
 }
 
 // NewQPCache returns an empty cache over fabric.
 func NewQPCache(fabric *rdma.Fabric) *QPCache {
-	return &QPCache{fabric: fabric, qps: map[int]*rdma.QP{}}
+	return &QPCache{fabric: fabric}
 }
 
 // Get returns the cached (or newly connected) QP for region r.
 func (c *QPCache) Get(r *rdma.Region) *rdma.QP {
-	if qp, ok := c.qps[r.ID()]; ok {
-		return qp
+	id := r.ID()
+	if id < len(c.qps) {
+		if qp := c.qps[id]; qp != nil {
+			return qp
+		}
+	} else {
+		c.qps = append(c.qps, make([]*rdma.QP, id+1-len(c.qps))...)
 	}
 	qp := c.fabric.Connect(r)
-	c.qps[r.ID()] = qp
+	c.qps[id] = qp
 	return qp
 }

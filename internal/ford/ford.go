@@ -18,7 +18,6 @@ package ford
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"crest/internal/engine"
 	"crest/internal/hashindex"
@@ -108,6 +107,8 @@ type Coordinator struct {
 	qps  *engine.QPCache
 	log  *memnode.LogSegment
 	logN []*memnode.Node
+	// scFree recycles attempt scratch (see execScratch).
+	scFree []*execScratch
 }
 
 // NewCoordinator creates coordinator number id on the compute node.
@@ -132,6 +133,7 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 type work struct {
 	op        *engine.Op
 	key       layout.Key
+	rk        recKey
 	off       uint64
 	lay       *layout.FORDRecord
 	primary   *memnode.Node
@@ -150,42 +152,41 @@ func (w *work) table() layout.TableID { return w.lay.Schema.ID }
 func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
 	at := engine.BeginAttempt(db, p, c.gid, t)
-
-	var ws []*work
-	byRec := map[recKey]*work{}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
 
 	// Execution phase: per block, batch CAS+READ / READ per memory
 	// node, then run the hooks locally.
 	for bi := range t.Blocks {
 		blk := &t.Blocks[bi]
-		newWork, err := c.prepareBlock(p, t, blk, byRec)
+		newWork, err := c.prepareBlock(p, t, blk, sc)
 		if err != nil {
 			panic(err) // address resolution errors are programming bugs
 		}
-		ws = append(ws, newWork...)
+		sc.ws = append(sc.ws, newWork...)
 		at.Phase(trace.PhaseLock)
-		abort, falseC := c.fetchBlock(p, newWork)
+		abort, falseC := c.fetchBlock(p, sc, newWork)
 		at.Phase(trace.PhaseExec)
 		if abort != engine.AbortNone {
 			// Release before Fail: FORD has always charged abort-time
 			// lock release to the phase that failed.
-			c.releaseLocks(p, ws)
+			c.releaseLocks(p, sc, sc.ws)
 			at.Fail(abort, falseC)
 			return at.Done()
 		}
 		// Run every op of the block in program order.
 		for oi := range blk.Ops {
 			op := &blk.Ops[oi]
-			w := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
-			c.applyOp(p, t, op, w)
+			w := findWork(sc.ws, recKey{op.Table, op.ResolveKey(t.State)})
+			c.applyOp(p, t, sc, op, w)
 		}
 	}
 
 	// Validation phase: re-read lock+version of every read-only
 	// record.
 	at.Phase(trace.PhaseValidate)
-	if abort, falseC := c.validate(p, ws); abort != engine.AbortNone {
-		c.releaseLocks(p, ws)
+	if abort, falseC := c.validate(p, sc, sc.ws); abort != engine.AbortNone {
+		c.releaseLocks(p, sc, sc.ws)
 		at.Fail(abort, falseC)
 		return at.Done()
 	}
@@ -193,10 +194,10 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	// Commit phase: undo log, then install updates and release locks.
 	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
-	c.writeLog(p, ws, ts)
+	c.writeLog(p, sc, sc.ws, ts)
 	at.Phase(trace.PhaseApply)
-	c.install(p, ws, ts)
-	c.record(t, ws, ts)
+	c.install(p, sc, sc.ws, ts)
+	c.record(t, sc.ws, ts)
 	return at.Done()
 }
 
@@ -207,14 +208,18 @@ type recKey struct {
 
 // prepareBlock resolves keys and builds work entries for records not
 // yet fetched, sorted by (table, key) for deterministic batching.
-func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*work) ([]*work, error) {
+func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, sc *execScratch) ([]*work, error) {
 	db := c.cn.sys.db
-	var out []*work
+	sc.block = sc.block[:0]
 	for oi := range blk.Ops {
 		op := &blk.Ops[oi]
 		key := op.ResolveKey(t.State)
 		rk := recKey{op.Table, key}
-		if prev, ok := byRec[rk]; ok {
+		prev := findWork(sc.ws, rk)
+		if prev == nil {
+			prev = findWork(sc.block, rk)
+		}
+		if prev != nil {
 			if op.IsWrite() && !prev.locked {
 				panic(fmt.Sprintf("ford: record %v written after read-only fetch; declare the write on first access", rk))
 			}
@@ -227,17 +232,34 @@ func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block
 		if err != nil {
 			return nil, err
 		}
-		w := &work{op: op, key: key, off: off, lay: lay, primary: primary, cells: opCellMask(op)}
-		byRec[rk] = w
-		out = append(out, w)
+		w := sc.newWork()
+		w.op, w.key, w.rk, w.off, w.lay, w.primary, w.cells = op, key, rk, off, lay, primary, opCellMask(op)
+		sc.block = append(sc.block, w)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].table() != out[j].table() {
-			return out[i].table() < out[j].table()
+	sortWorks(sc.block)
+	return sc.block, nil
+}
+
+// sortWorks orders records by (TableID, Key). The order is total
+// (duplicate records merge into their first work entry above), so the
+// insertion sort matches the previous sort.Slice byte for byte.
+func sortWorks(ws []*work) {
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && workLess(w, ws[j]) {
+			ws[j+1] = ws[j]
+			j--
 		}
-		return out[i].key < out[j].key
-	})
-	return out, nil
+		ws[j+1] = w
+	}
+}
+
+func workLess(a, b *work) bool {
+	if a.table() != b.table() {
+		return a.table() < b.table()
+	}
+	return a.key < b.key
 }
 
 func opCellMask(op *engine.Op) uint64 {
@@ -246,36 +268,36 @@ func opCellMask(op *engine.Op) uint64 {
 
 // fetchBlock issues the block's CAS+READ / READ batches, one
 // round-trip per memory node, and parses the results.
-func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work) (engine.AbortReason, bool) {
+func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work) (engine.AbortReason, bool) {
 	if len(ws) == 0 {
 		return engine.AbortNone, false
 	}
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	batchWork := make(map[int][]*work) // batch index → works in op order
-	perNode := map[int]int{}           // region id → batch index
+	sc.bat.Begin()
+	for i := range sc.batchW {
+		sc.batchW[i] = sc.batchW[i][:0]
+	}
 	for _, w := range ws {
-		bi, ok := perNode[w.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[w.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
+		bi := sc.bat.Batch(w.primary.Region)
+		for bi >= len(sc.batchW) {
+			sc.batchW = append(sc.batchW, nil)
 		}
 		if w.op.IsWrite() {
-			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			sc.bat.Append(bi, rdma.Op{
 				Kind:    rdma.OpCAS,
 				Off:     w.off + layout.BOffLock,
 				Compare: 0,
 				Swap:    c.gid,
 			})
 		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		sc.bat.Append(bi, rdma.Op{
 			Kind: rdma.OpRead,
 			Off:  w.off,
 			Len:  w.lay.Size(),
 		})
-		batchWork[bi] = append(batchWork[bi], w)
+		sc.batchW[bi] = append(sc.batchW[bi], w)
 	}
+	batches := sc.bat.Batches()
 	results, err := rdma.PostMulti(p, batches)
 	if err != nil {
 		panic(err)
@@ -284,7 +306,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work) (engine.AbortReason, b
 	falseConflict := false
 	for bi := range batches {
 		ri := 0
-		for _, w := range batchWork[bi] {
+		for _, w := range sc.batchW[bi] {
 			if w.op.IsWrite() {
 				if results[bi][ri].OK {
 					w.locked = true
@@ -300,7 +322,10 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work) (engine.AbortReason, b
 				}
 				ri++
 			}
-			w.data = results[bi][ri].Data
+			// The fetched block is retained (and mutated by op hooks)
+			// across later round-trips, while Result.Data is QP scratch
+			// valid only until the next post: take a private copy.
+			w.data = append(w.data[:0], results[bi][ri].Data...)
 			w.readVer = layout.ReadWord(w.data, layout.BOffVersion) & layout.MaxTS48
 			ri++
 		}
@@ -308,12 +333,17 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work) (engine.AbortReason, b
 	return abort, falseConflict
 }
 
-// applyOp runs the op's hook against the working copy.
-func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *work) {
+// applyOp runs the op's hook against the working copy. Read copies
+// live in the attempt arena: hooks may retain them only for the
+// attempt (record consumes them before the scratch is recycled).
+func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, sc *execScratch, op *engine.Op, w *work) {
 	db := c.cn.sys.db
-	read := make([][]byte, len(op.ReadCells))
-	for i, cell := range op.ReadCells {
-		read[i] = append([]byte(nil), w.data[w.lay.CellValueOff(cell):][:w.lay.Schema.CellSizes[cell]]...)
+	read := w.readVals[:0]
+	for _, cell := range op.ReadCells {
+		src := w.data[w.lay.CellValueOff(cell):][:w.lay.Schema.CellSizes[cell]]
+		b := sc.bytes(len(src))
+		copy(b, src)
+		read = append(read, b)
 	}
 	p.Sleep(db.Cost.OpCost(len(op.ReadCells) + len(op.WriteCells)))
 	written := op.Hook(t.State, read)
@@ -332,29 +362,28 @@ func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *work
 
 // validate re-reads lock+version of every read-only record, batched
 // per memory node in one round-trip.
-func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, bool) {
+func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine.AbortReason, bool) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	var batchWork [][]*work
-	perNode := map[int]int{}
+	sc.bat.Begin()
+	for i := range sc.batchW {
+		sc.batchW[i] = sc.batchW[i][:0]
+	}
 	for _, w := range ws {
 		if w.locked {
 			continue // read-write records are protected by their lock
 		}
-		bi, ok := perNode[w.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[w.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-			batchWork = append(batchWork, nil)
+		bi := sc.bat.Batch(w.primary.Region)
+		for bi >= len(sc.batchW) {
+			sc.batchW = append(sc.batchW, nil)
 		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		sc.bat.Append(bi, rdma.Op{
 			Kind: rdma.OpRead,
 			Off:  w.off + layout.BOffLock,
 			Len:  16, // lock word + version word
 		})
-		batchWork[bi] = append(batchWork[bi], w)
+		sc.batchW[bi] = append(sc.batchW[bi], w)
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return engine.AbortNone, false
 	}
@@ -363,7 +392,7 @@ func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, boo
 		panic(err)
 	}
 	for bi := range batches {
-		for ri, w := range batchWork[bi] {
+		for ri, w := range sc.batchW[bi] {
 			lock := binary.LittleEndian.Uint64(results[bi][ri].Data)
 			ver := binary.LittleEndian.Uint64(results[bi][ri].Data[8:]) & layout.MaxTS48
 			if lock == 0 && ver == w.readVer {
@@ -385,21 +414,15 @@ func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, boo
 
 // releaseLocks clears every lock this attempt holds, batched per node
 // in one round-trip.
-func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
+func (c *Coordinator) releaseLocks(p *sim.Proc, sc *execScratch, ws []*work) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	perNode := map[int]int{}
+	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
 			continue
 		}
-		bi, ok := perNode[w.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[w.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		bi := sc.bat.Batch(w.primary.Region)
+		sc.bat.Append(bi, rdma.Op{
 			Kind:    rdma.OpCAS,
 			Off:     w.off + layout.BOffLock,
 			Compare: c.gid,
@@ -409,6 +432,7 @@ func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 		w.locked = false
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return
 	}
@@ -419,27 +443,32 @@ func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
 
 // writeLog persists the undo images of every written record to the
 // coordinator's log segment replicas in one round-trip.
-func (c *Coordinator) writeLog(p *sim.Proc, ws []*work, ts uint64) {
-	entry := c.encodeLog(ws, ts)
+func (c *Coordinator) writeLog(p *sim.Proc, sc *execScratch, ws []*work, ts uint64) {
+	entry := c.encodeLog(sc, ws, ts)
 	if entry == nil {
 		return
 	}
+	sc.logBuf = entry
 	off := c.log.Reserve(len(entry))
-	batches := make([]rdma.Batch, 0, len(c.logN))
-	for _, n := range c.logN {
-		batches = append(batches, rdma.Batch{
-			QP:  c.qps.Get(n.Region),
-			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: entry}},
-		})
+	// Distinct batches per replica even when log nodes share a region:
+	// merging them would change the fabric's batch count.
+	if cap(sc.logBatches) < len(c.logN) {
+		sc.logBatches = make([]rdma.Batch, len(c.logN))
 	}
-	if _, err := rdma.PostMulti(p, batches); err != nil {
+	sc.logBatches = sc.logBatches[:len(c.logN)]
+	for i, n := range c.logN {
+		sc.logBatches[i].QP = c.qps.Get(n.Region)
+		sc.logBatches[i].Ops = append(sc.logBatches[i].Ops[:0], rdma.Op{Kind: rdma.OpWrite, Off: off, Data: entry})
+	}
+	if _, err := rdma.PostMulti(p, sc.logBatches); err != nil {
 		panic(err)
 	}
 }
 
-// encodeLog builds the undo-log entry: ts, then per written record its
-// table, key and prior image. Returns nil if the txn wrote nothing.
-func (c *Coordinator) encodeLog(ws []*work, ts uint64) []byte {
+// encodeLog builds the undo-log entry into the scratch log buffer: ts,
+// then per written record its table, key and prior image. Returns nil
+// if the txn wrote nothing.
+func (c *Coordinator) encodeLog(sc *execScratch, ws []*work, ts uint64) []byte {
 	n := 0
 	for _, w := range ws {
 		if w.locked {
@@ -449,7 +478,7 @@ func (c *Coordinator) encodeLog(ws []*work, ts uint64) []byte {
 	if n == 0 {
 		return nil
 	}
-	buf := make([]byte, 0, 64)
+	buf := sc.logBuf[:0]
 	buf = binary.LittleEndian.AppendUint64(buf, ts)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
 	for _, w := range ws {
@@ -468,30 +497,26 @@ func (c *Coordinator) encodeLog(ws []*work, ts uint64) []byte {
 // of every written record — one WRITE plus one CAS per record, all in
 // one round-trip (delivery order makes the data visible before the
 // unlock).
-func (c *Coordinator) install(p *sim.Proc, ws []*work, ts uint64) {
+func (c *Coordinator) install(p *sim.Proc, sc *execScratch, ws []*work, ts uint64) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	perNode := map[int]int{}
+	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
 			continue
 		}
 		layout.PutWord(w.data, layout.BOffVersion, ts)
-		payload := append([]byte(nil), w.data[layout.BOffVersion:w.lay.Size()]...)
+		src := w.data[layout.BOffVersion:w.lay.Size()]
+		payload := sc.bytes(len(src))
+		copy(payload, src)
 		for _, n := range db.Pool.ReplicaNodes(w.table(), w.key) {
-			bi, ok := perNode[n.Region.ID()]
-			if !ok {
-				bi = len(batches)
-				perNode[n.Region.ID()] = bi
-				batches = append(batches, rdma.Batch{QP: c.qps.Get(n.Region)})
-			}
-			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+			bi := sc.bat.Batch(n.Region)
+			sc.bat.Append(bi, rdma.Op{
 				Kind: rdma.OpWrite,
 				Off:  w.off + layout.BOffVersion,
 				Data: payload,
 			})
 			if n == w.primary {
-				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				sc.bat.Append(bi, rdma.Op{
 					Kind:    rdma.OpCAS,
 					Off:     w.off + layout.BOffLock,
 					Compare: c.gid,
@@ -500,6 +525,7 @@ func (c *Coordinator) install(p *sim.Proc, ws []*work, ts uint64) {
 			}
 		}
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return
 	}

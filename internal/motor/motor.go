@@ -25,7 +25,6 @@ package motor
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
 
 	"crest/internal/engine"
 	"crest/internal/hashindex"
@@ -118,6 +117,8 @@ type Coordinator struct {
 	qps  *engine.QPCache
 	log  *memnode.LogSegment
 	logN []*memnode.Node
+	// scFree recycles attempt scratch (see execScratch).
+	scFree []*execScratch
 }
 
 // NewCoordinator creates coordinator id (globally unique).
@@ -146,6 +147,7 @@ type recKey struct {
 type work struct {
 	op        *engine.Op
 	key       layout.Key
+	rk        recKey
 	off       uint64
 	lay       *layout.MotorRecord
 	primary   *memnode.Node
@@ -171,61 +173,65 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 		snapshot = db.TSO.Last() // start timestamp for MVCC reads
 	}
 
-	var ws []*work
-	byRec := map[recKey]*work{}
+	sc := c.getScratch()
+	defer c.putScratch(sc)
 	for bi := range t.Blocks {
 		blk := &t.Blocks[bi]
-		newWork := c.prepareBlock(p, t, blk, byRec)
-		ws = append(ws, newWork...)
+		newWork := c.prepareBlock(p, t, blk, sc)
+		sc.ws = append(sc.ws, newWork...)
 		at.Phase(trace.PhaseLock)
-		abort, falseC := c.fetchBlock(p, newWork, t.ReadOnly, snapshot)
+		abort, falseC := c.fetchBlock(p, sc, newWork, t.ReadOnly, snapshot)
 		at.Phase(trace.PhaseExec)
 		if abort != engine.AbortNone {
 			// Release before Fail: Motor has always charged abort-time
 			// lock release to the phase that failed.
-			c.releaseLocks(p, ws)
+			c.releaseLocks(p, sc, sc.ws)
 			at.Fail(abort, falseC)
 			return at.Done()
 		}
 		for oi := range blk.Ops {
 			op := &blk.Ops[oi]
-			w := byRec[recKey{op.Table, op.ResolveKey(t.State)}]
-			c.applyOp(p, t, op, w)
+			w := findWork(sc.ws, recKey{op.Table, op.ResolveKey(t.State)})
+			c.applyOp(p, t, sc, op, w)
 		}
 	}
 
 	if t.ReadOnly {
 		// Snapshot reads commit without validation (§ package doc).
-		c.record(t, ws, db.TSO.Next(), true, snapshot)
+		c.record(t, sc.ws, db.TSO.Next(), true, snapshot)
 		return at.Done()
 	}
 
 	at.Phase(trace.PhaseValidate)
-	if abort, falseC := c.validate(p, ws); abort != engine.AbortNone {
-		c.releaseLocks(p, ws)
+	if abort, falseC := c.validate(p, sc, sc.ws); abort != engine.AbortNone {
+		c.releaseLocks(p, sc, sc.ws)
 		at.Fail(abort, falseC)
 		return at.Done()
 	}
 
 	at.Phase(trace.PhaseLog)
 	ts := db.TSO.Next()
-	c.writeLog(p, ws, ts)
+	c.writeLog(p, sc, sc.ws, ts)
 	at.Phase(trace.PhaseApply)
-	c.install(p, ws, ts)
-	c.record(t, ws, ts, false, 0)
+	c.install(p, sc, sc.ws, ts)
+	c.record(t, sc.ws, ts, false, 0)
 	return at.Done()
 }
 
 // prepareBlock resolves keys into work entries, ordered by (table,
 // key).
-func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, byRec map[recKey]*work) []*work {
+func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, sc *execScratch) []*work {
 	db := c.cn.sys.db
-	var out []*work
+	sc.block = sc.block[:0]
 	for oi := range blk.Ops {
 		op := &blk.Ops[oi]
 		key := op.ResolveKey(t.State)
 		rk := recKey{op.Table, key}
-		if prev, ok := byRec[rk]; ok {
+		prev := findWork(sc.ws, rk)
+		if prev == nil {
+			prev = findWork(sc.block, rk)
+		}
+		if prev != nil {
 			if op.IsWrite() && !prev.locked {
 				panic(fmt.Sprintf("motor: record %v written after read-only fetch", rk))
 			}
@@ -238,17 +244,34 @@ func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block
 		if err != nil {
 			panic(err)
 		}
-		w := &work{op: op, key: key, off: off, lay: lay, primary: primary, cells: opCellMask(op)}
-		byRec[rk] = w
-		out = append(out, w)
+		w := sc.newWork()
+		w.op, w.key, w.rk, w.off, w.lay, w.primary, w.cells = op, key, rk, off, lay, primary, opCellMask(op)
+		sc.block = append(sc.block, w)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].table() != out[j].table() {
-			return out[i].table() < out[j].table()
+	sortWorks(sc.block)
+	return sc.block
+}
+
+// sortWorks orders records by (TableID, Key). The order is total
+// (duplicate records merge into their first work entry above), so the
+// insertion sort matches the previous sort.Slice byte for byte.
+func sortWorks(ws []*work) {
+	for i := 1; i < len(ws); i++ {
+		w := ws[i]
+		j := i - 1
+		for j >= 0 && workLess(w, ws[j]) {
+			ws[j+1] = ws[j]
+			j--
 		}
-		return out[i].key < out[j].key
-	})
-	return out
+		ws[j+1] = w
+	}
+}
+
+func workLess(a, b *work) bool {
+	if a.table() != b.table() {
+		return a.table() < b.table()
+	}
+	return a.key < b.key
 }
 
 func opCellMask(op *engine.Op) uint64 {
@@ -263,49 +286,38 @@ func opCellMask(op *engine.Op) uint64 {
 // the lock CAS to the same batch. Snapshot reads that land on a locked
 // record (a committing writer's install may be in flight) retry
 // briefly.
-func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work, snapshotRead bool, snapshot uint64) (engine.AbortReason, bool) {
+func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work, snapshotRead bool, snapshot uint64) (engine.AbortReason, bool) {
 	if len(ws) == 0 {
 		return engine.AbortNone, false
 	}
 	db := c.cn.sys.db
-	todo := append([]*work(nil), ws...)
+	todo := append(sc.todo[:0], ws...)
+	sc.todo = todo
 	for retry := 0; ; retry++ {
-		var batches []rdma.Batch
-		perNode := map[int]int{}
-		type slotIdx struct {
-			w      *work
-			casIdx int
-			rdIdx  int
-		}
-		var slots []*slotIdx
+		sc.bat.Begin()
+		sc.slots = sc.slots[:0]
 		for _, w := range todo {
-			bi, ok := perNode[w.primary.Region.ID()]
-			if !ok {
-				bi = len(batches)
-				perNode[w.primary.Region.ID()] = bi
-				batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-			}
-			s := &slotIdx{w: w, casIdx: -1}
+			bi := sc.bat.Batch(w.primary.Region)
+			sc.slots = append(sc.slots, mslot{w: w, casIdx: -1})
+			s := &sc.slots[len(sc.slots)-1]
 			if w.op.IsWrite() && !w.locked {
-				s.casIdx = len(batches[bi].Ops)
-				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				s.casIdx = sc.bat.Append(bi, rdma.Op{
 					Kind: rdma.OpCAS, Off: w.off + layout.BOffLock, Compare: 0, Swap: c.gid,
 				})
 			}
-			s.rdIdx = len(batches[bi].Ops)
-			batches[bi].Ops = append(batches[bi].Ops, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: w.lay.Size()})
-			slots = append(slots, s)
+			s.rdIdx = sc.bat.Append(bi, rdma.Op{Kind: rdma.OpRead, Off: w.off, Len: w.lay.Size()})
 		}
-		results, err := rdma.PostMulti(p, batches)
+		results, err := rdma.PostMulti(p, sc.bat.Batches())
 		if err != nil {
 			panic(err)
 		}
-		var again []*work
+		again := sc.retry[:0]
 		lockFailed := false
 		var conflictMask, myMask uint64
-		for _, s := range slots {
+		for si := range sc.slots {
+			s := &sc.slots[si]
 			w := s.w
-			bi := perNode[w.primary.Region.ID()]
+			bi := sc.bat.Lookup(w.primary.Region)
 			if s.casIdx >= 0 {
 				if results[bi][s.casIdx].OK {
 					w.locked = true
@@ -336,8 +348,9 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work, snapshotRead bool, sna
 			}
 			w.slot, w.victim, w.readVer = slot, victim, newest
 			dataLen := w.lay.Schema.DataBytes()
-			w.data = append([]byte(nil), rec[w.lay.SlotDataOff(slot):w.lay.SlotDataOff(slot)+dataLen]...)
+			w.data = append(w.data[:0], rec[w.lay.SlotDataOff(slot):w.lay.SlotDataOff(slot)+dataLen]...)
 		}
+		sc.retry = again
 		if lockFailed {
 			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
 		}
@@ -347,6 +360,9 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, ws []*work, snapshotRead bool, sna
 		if retry >= lockedReadRetries {
 			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
 		}
+		// Ping-pong the two retained backings: the current todo list
+		// becomes the next round's retry accumulator and vice versa.
+		sc.todo, sc.retry = again, todo[:0]
 		todo = again
 		p.Sleep(2 * sim.Microsecond)
 	}
@@ -381,12 +397,17 @@ func chooseSlots(meta []byte, lay *layout.MotorRecord, snapshotRead bool, snapsh
 }
 
 // applyOp runs the op's hook against the working copy of the version
-// data.
-func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *work) {
+// data. Read copies live in the attempt arena: hooks may retain them
+// only for the attempt (record consumes them before the scratch is
+// recycled).
+func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, sc *execScratch, op *engine.Op, w *work) {
 	db := c.cn.sys.db
-	read := make([][]byte, len(op.ReadCells))
-	for i, cell := range op.ReadCells {
-		read[i] = append([]byte(nil), w.data[w.cellOff(cell):][:w.lay.Schema.CellSizes[cell]]...)
+	read := w.readVals[:0]
+	for _, cell := range op.ReadCells {
+		src := w.data[w.cellOff(cell):][:w.lay.Schema.CellSizes[cell]]
+		b := sc.bytes(len(src))
+		copy(b, src)
+		read = append(read, b)
 	}
 	p.Sleep(db.Cost.OpCost(len(op.ReadCells) + len(op.WriteCells)))
 	written := op.Hook(t.State, read)
@@ -415,30 +436,29 @@ func (w *work) cellOff(cell int) int {
 
 // validate re-reads lock+version hint of read-only records, batched
 // per node.
-func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, bool) {
+func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine.AbortReason, bool) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	var batchWork [][]*work
-	perNode := map[int]int{}
+	sc.bat.Begin()
+	for i := range sc.batchW {
+		sc.batchW[i] = sc.batchW[i][:0]
+	}
 	metaLen := layout.MotorSlots * layout.MotorSlotMetaSize
 	for _, w := range ws {
 		if w.locked {
 			continue
 		}
-		bi, ok := perNode[w.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[w.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-			batchWork = append(batchWork, nil)
+		bi := sc.bat.Batch(w.primary.Region)
+		for bi >= len(sc.batchW) {
+			sc.batchW = append(sc.batchW, nil)
 		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		sc.bat.Append(bi, rdma.Op{
 			Kind: rdma.OpRead,
 			Off:  w.off + layout.BOffLock,
 			Len:  8 + 8 + metaLen, // lock + version hint + slot metas
 		})
-		batchWork[bi] = append(batchWork[bi], w)
+		sc.batchW[bi] = append(sc.batchW[bi], w)
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return engine.AbortNone, false
 	}
@@ -447,7 +467,7 @@ func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, boo
 		panic(err)
 	}
 	for bi := range batches {
-		for ri, w := range batchWork[bi] {
+		for ri, w := range sc.batchW[bi] {
 			data := results[bi][ri].Data
 			lock := binary.LittleEndian.Uint64(data)
 			newest := uint64(0)
@@ -475,27 +495,22 @@ func (c *Coordinator) validate(p *sim.Proc, ws []*work) (engine.AbortReason, boo
 }
 
 // releaseLocks frees held locks in one round-trip.
-func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
+func (c *Coordinator) releaseLocks(p *sim.Proc, sc *execScratch, ws []*work) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	perNode := map[int]int{}
+	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
 			continue
 		}
-		bi, ok := perNode[w.primary.Region.ID()]
-		if !ok {
-			bi = len(batches)
-			perNode[w.primary.Region.ID()] = bi
-			batches = append(batches, rdma.Batch{QP: c.qps.Get(w.primary.Region)})
-		}
-		batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+		bi := sc.bat.Batch(w.primary.Region)
+		sc.bat.Append(bi, rdma.Op{
 			Kind: rdma.OpCAS, Off: w.off + layout.BOffLock, Compare: c.gid, Swap: 0,
 		})
 		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
 		w.locked = false
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return
 	}
@@ -506,7 +521,7 @@ func (c *Coordinator) releaseLocks(p *sim.Proc, ws []*work) {
 
 // writeLog persists the redo images (Motor logs new versions; MVCC
 // needs no undo) in one round-trip.
-func (c *Coordinator) writeLog(p *sim.Proc, ws []*work, ts uint64) {
+func (c *Coordinator) writeLog(p *sim.Proc, sc *execScratch, ws []*work, ts uint64) {
 	n := 0
 	for _, w := range ws {
 		if w.locked {
@@ -516,7 +531,7 @@ func (c *Coordinator) writeLog(p *sim.Proc, ws []*work, ts uint64) {
 	if n == 0 {
 		return
 	}
-	buf := make([]byte, 0, 64)
+	buf := sc.logBuf[:0]
 	buf = binary.LittleEndian.AppendUint64(buf, ts)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(n))
 	for _, w := range ws {
@@ -527,15 +542,19 @@ func (c *Coordinator) writeLog(p *sim.Proc, ws []*work, ts uint64) {
 		buf = binary.LittleEndian.AppendUint64(buf, uint64(w.key))
 		buf = append(buf, w.data...)
 	}
+	sc.logBuf = buf
 	off := c.log.Reserve(len(buf))
-	batches := make([]rdma.Batch, 0, len(c.logN))
-	for _, nn := range c.logN {
-		batches = append(batches, rdma.Batch{
-			QP:  c.qps.Get(nn.Region),
-			Ops: []rdma.Op{{Kind: rdma.OpWrite, Off: off, Data: buf}},
-		})
+	// Distinct batches per replica even when log nodes share a region:
+	// merging them would change the fabric's batch count.
+	if cap(sc.logBatches) < len(c.logN) {
+		sc.logBatches = make([]rdma.Batch, len(c.logN))
 	}
-	if _, err := rdma.PostMulti(p, batches); err != nil {
+	sc.logBatches = sc.logBatches[:len(c.logN)]
+	for i, nn := range c.logN {
+		sc.logBatches[i].QP = c.qps.Get(nn.Region)
+		sc.logBatches[i].Ops = append(sc.logBatches[i].Ops[:0], rdma.Op{Kind: rdma.OpWrite, Off: off, Data: buf})
+	}
+	if _, err := rdma.PostMulti(p, sc.logBatches); err != nil {
 		panic(err)
 	}
 }
@@ -544,37 +563,30 @@ func (c *Coordinator) writeLog(p *sim.Proc, ws []*work, ts uint64) {
 // replica and releases the lock, all ordered within one round-trip:
 // data, then the metadata word that makes it visible, then the version
 // hint, then the unlock CAS.
-func (c *Coordinator) install(p *sim.Proc, ws []*work, ts uint64) {
+func (c *Coordinator) install(p *sim.Proc, sc *execScratch, ws []*work, ts uint64) {
 	db := c.cn.sys.db
-	var batches []rdma.Batch
-	perNode := map[int]int{}
+	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
 			continue
 		}
-		metaWord := make([]byte, 8)
+		metaWord := sc.bytes(8)
 		binary.LittleEndian.PutUint64(metaWord, layout.PackSlotMeta(true, ts))
-		verWord := make([]byte, 8)
+		verWord := sc.bytes(8)
 		binary.LittleEndian.PutUint64(verWord, ts)
 		for _, n := range db.Pool.ReplicaNodes(w.table(), w.key) {
-			bi, ok := perNode[n.Region.ID()]
-			if !ok {
-				bi = len(batches)
-				perNode[n.Region.ID()] = bi
-				batches = append(batches, rdma.Batch{QP: c.qps.Get(n.Region)})
-			}
-			batches[bi].Ops = append(batches[bi].Ops,
-				rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.SlotDataOff(w.victim)), Data: w.data},
-				rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.SlotMetaOff(w.victim)), Data: metaWord},
-				rdma.Op{Kind: rdma.OpWrite, Off: w.off + layout.BOffVersion, Data: verWord},
-			)
+			bi := sc.bat.Batch(n.Region)
+			sc.bat.Append(bi, rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.SlotDataOff(w.victim)), Data: w.data})
+			sc.bat.Append(bi, rdma.Op{Kind: rdma.OpWrite, Off: w.off + uint64(w.lay.SlotMetaOff(w.victim)), Data: metaWord})
+			sc.bat.Append(bi, rdma.Op{Kind: rdma.OpWrite, Off: w.off + layout.BOffVersion, Data: verWord})
 			if n == w.primary {
-				batches[bi].Ops = append(batches[bi].Ops, rdma.Op{
+				sc.bat.Append(bi, rdma.Op{
 					Kind: rdma.OpCAS, Off: w.off + layout.BOffLock, Compare: c.gid, Swap: 0,
 				})
 			}
 		}
 	}
+	batches := sc.bat.Batches()
 	if len(batches) == 0 {
 		return
 	}

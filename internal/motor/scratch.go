@@ -1,0 +1,91 @@
+package motor
+
+import (
+	"crest/internal/engine"
+	"crest/internal/rdma"
+)
+
+// execScratch is the attempt-scoped working memory of one Execute
+// call. Coordinators are shared round-robin across transaction
+// processes, so attempts on one coordinator can overlap in virtual
+// time; each attempt checks a scratch out of the coordinator's free
+// list for its whole duration, which keeps the steady-state hot path
+// allocation-free without cross-attempt aliasing. Nothing allocated
+// from a scratch may outlive the attempt.
+type execScratch struct {
+	bat        *engine.Batcher
+	slab       []work
+	n          int
+	ws         []*work
+	block      []*work
+	batchW     [][]*work
+	todo       []*work
+	retry      []*work
+	slots      []mslot
+	logBuf     []byte
+	logBatches []rdma.Batch
+	arena      []byte
+	arenaOff   int
+}
+
+// mslot maps a fetch-batch work entry to its CAS/READ result indexes.
+type mslot struct {
+	w      *work
+	casIdx int
+	rdIdx  int
+}
+
+func (c *Coordinator) getScratch() *execScratch {
+	if n := len(c.scFree); n > 0 {
+		sc := c.scFree[n-1]
+		c.scFree = c.scFree[:n-1]
+		sc.n = 0
+		sc.ws = sc.ws[:0]
+		sc.arenaOff = 0
+		return sc
+	}
+	return &execScratch{bat: engine.NewBatcher(c.qps)}
+}
+
+func (c *Coordinator) putScratch(sc *execScratch) { c.scFree = append(c.scFree, sc) }
+
+// newWork hands out a zeroed work from the slab, keeping the recycled
+// entry's data/readVals backing arrays.
+func (sc *execScratch) newWork() *work {
+	if sc.n == len(sc.slab) {
+		sc.slab = append(sc.slab, work{})
+	}
+	w := &sc.slab[sc.n]
+	sc.n++
+	data, readVals := w.data[:0], w.readVals[:0]
+	*w = work{data: data, readVals: readVals}
+	return w
+}
+
+// bytes carves n bytes out of the attempt arena; slices stay valid
+// until the attempt ends (a full chunk is abandoned to the garbage
+// collector, not reallocated).
+func (sc *execScratch) bytes(n int) []byte {
+	if sc.arenaOff+n > len(sc.arena) {
+		sz := 32 << 10
+		if n > sz {
+			sz = n
+		}
+		sc.arena = make([]byte, sz)
+		sc.arenaOff = 0
+	}
+	b := sc.arena[sc.arenaOff : sc.arenaOff+n : sc.arenaOff+n]
+	sc.arenaOff += n
+	return b
+}
+
+// findWork returns the work covering rk, or nil; transactions touch a
+// handful of records, so the linear scan beats a map.
+func findWork(list []*work, rk recKey) *work {
+	for _, w := range list {
+		if w.rk == rk {
+			return w
+		}
+	}
+	return nil
+}

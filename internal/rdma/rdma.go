@@ -16,6 +16,13 @@
 //   - doorbell batching: a batch of verbs to one node costs a single
 //     round-trip.
 //
+// Each round-trip parks the issuing process exactly once: the verbs
+// apply at the virtual midpoint of the round-trip via a deferred call
+// (sim.Env.CallAt) while the process stays parked until the completion
+// instant. The apply instant, posted order, atomicity and tie-breaking
+// against other processes are identical to parking twice — only the
+// goroutine context switches are halved.
+//
 // Every verb and round-trip is counted, which is how the Table 2
 // experiment (RDMA operations per transaction) is regenerated.
 package rdma
@@ -47,6 +54,14 @@ type Params struct {
 	// from running in lockstep; it is drawn from the environment's
 	// seeded source, so runs stay reproducible.
 	JitterPct float64
+	// CopyResults, if true, makes every READ completion allocate a
+	// private copy of the fetched bytes, the behaviour real verbs give
+	// a caller that owns its receive buffers. When false (the default,
+	// and what every engine in this repository assumes) READ payloads
+	// are served from a reused scratch arena: callers must parse or
+	// copy Result.Data before posting again or parking. Set it for
+	// code that retains fetched buffers across round-trips.
+	CopyResults bool
 }
 
 // DefaultParams matches the paper's testbed figures: 2µs RTT on a
@@ -105,7 +120,11 @@ type Op struct {
 
 // Result is the completion of one Op.
 type Result struct {
-	Data []byte // READ: fetched bytes (a private copy)
+	// Data holds a READ's fetched bytes. Unless Params.CopyResults is
+	// set it aliases a reused scratch arena: it is valid until the
+	// issuing process posts again or parks, so parse or copy it
+	// immediately.
+	Data []byte
 	Old  uint64 // CAS/masked-CAS: the prior word value
 	OK   bool   // CAS/masked-CAS: whether the swap applied
 }
@@ -160,6 +179,7 @@ type Fabric struct {
 	stats   Stats
 	nextQP  int
 	rec     *trace.Recorder
+	free    []*pending // recycled in-flight descriptors
 }
 
 // SetRecorder attaches a trace recorder; every subsequent verb emits
@@ -224,9 +244,11 @@ func (r *Region) Failed() bool { return r.failed }
 // Protocol code must not touch it; it bypasses the fabric.
 func (r *Region) Bytes() []byte { return r.buf }
 
-// QP is a queue pair from one coordinator to one memory region. It is
-// not safe for use by more than one simulated process (as with real
-// verbs, each coordinator owns its QPs).
+// QP is a queue pair from one coordinator to one memory region.
+// Distinct simulated processes may share a QP (the public API
+// round-robins transactions over coordinators), but each in-flight
+// post owns its own descriptor, so sharing is safe as long as every
+// caller consumes its results before posting again or parking.
 type QP struct {
 	fabric *Fabric
 	region *Region
@@ -307,38 +329,155 @@ func batchPayload(ops []Op) int {
 	return n
 }
 
+// pending is one in-flight round-trip: the state its deferred midpoint
+// call needs to apply the verbs and resume the issuing process, plus
+// the scratch that backs the post's results. The descriptor is owned
+// exclusively by one post from issue until completion, so results stay
+// intact even when several processes share a queue pair; they are
+// reused only after the issuer has had a chance to consume them (it
+// must do so before posting again or parking). Descriptors are
+// recycled through Fabric.free — the cooperative scheduler runs one
+// process at a time, so the freelist needs no locking, and fire is
+// bound once so a post allocates no closure.
+type pending struct {
+	f        *Fabric
+	proc     *sim.Proc
+	qp       *QP  // single-batch post (nil for PostMulti)
+	ops      []Op // single-batch post
+	batches  []Batch
+	res      []Result
+	err      error
+	resumeAt sim.Time
+	fire     func() // pre-bound (*pending).run
+
+	op1      [1]Op      // single-verb scratch for the convenience wrappers
+	out      [][]Result // PostMulti result scratch, reused
+	resBuf   []Result   // Result scratch carved by applyInto, reused
+	arena    []byte     // READ payload scratch, reused
+	resLen   int
+	arenaLen int
+}
+
+func (f *Fabric) getPending() *pending {
+	if n := len(f.free); n > 0 {
+		d := f.free[n-1]
+		f.free[n-1] = nil
+		f.free = f.free[:n-1]
+		return d
+	}
+	d := &pending{f: f}
+	d.fire = d.run
+	return d
+}
+
+func (f *Fabric) putPending(d *pending) {
+	d.proc, d.qp, d.ops, d.batches = nil, nil, nil, nil
+	d.res, d.err = nil, nil
+	// The out/resBuf/arena backing arrays are kept for reuse.
+	f.free = append(f.free, d)
+}
+
+// readBytes totals the payload bytes the batch's READs will occupy in
+// the descriptor arena.
+func readBytes(ops []Op) int {
+	n := 0
+	for i := range ops {
+		if ops[i].Kind == OpRead && ops[i].Len > 0 {
+			n += ops[i].Len
+		}
+	}
+	return n
+}
+
+// run executes at the virtual midpoint of the round-trip: it applies
+// the posted verbs against their regions and schedules the issuing
+// process's resume at the completion instant. Scheduling the resume
+// here — not at post time — consumes a sequence number at the midpoint,
+// exactly when the old second Sleep did, so tie-breaking against other
+// processes is bit-identical to the two-sleep implementation.
+func (d *pending) run() {
+	// Size the descriptor scratch once, for the whole post, before any
+	// carving: carved sub-slices must never be moved by a later grow.
+	nops, nbytes := 0, 0
+	if d.qp != nil {
+		nops, nbytes = len(d.ops), readBytes(d.ops)
+	} else {
+		for _, b := range d.batches {
+			nops += len(b.Ops)
+			nbytes += readBytes(b.Ops)
+		}
+	}
+	if cap(d.resBuf) < nops {
+		d.resBuf = make([]Result, nops)
+	}
+	if !d.f.params.CopyResults && cap(d.arena) < nbytes {
+		d.arena = make([]byte, nbytes)
+	}
+	d.resLen, d.arenaLen = 0, 0
+	if d.qp != nil {
+		d.res, d.err = d.qp.applyInto(d.ops, d)
+		d.f.stats.RTTs++
+	} else {
+		for i, b := range d.batches {
+			res, err := b.QP.applyInto(b.Ops, d)
+			d.f.stats.RTTs++
+			if err != nil && d.err == nil {
+				d.err = err
+			}
+			d.out[i] = res
+		}
+	}
+	d.f.env.Resume(d.proc, d.resumeAt)
+}
+
 // Post issues a doorbell batch: all ops execute against the target
 // region in order, atomically at one instant of virtual time, and the
-// whole batch costs one round-trip. It returns one Result per op.
+// whole batch costs one round-trip. It returns one Result per op; see
+// Result.Data for the lifetime of READ payloads.
 func (qp *QP) Post(p *sim.Proc, ops []Op) ([]Result, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
+	return qp.postWith(p, qp.fabric.getPending(), ops)
+}
+
+// postWith runs one single-batch round-trip on descriptor d: the verbs
+// land on the memory node halfway through the round-trip (so other
+// coordinators can interleave before and after the apply instant) and
+// the issuing process parks once, until the completion instant.
+func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	f := qp.fabric
 	lat := f.latency(batchPayload(ops), len(ops))
 	if f.rec != nil {
 		f.emitIssue(p, qp, ops)
 	}
-	// Request propagation: the verbs land on the memory node halfway
-	// through the round-trip, so other coordinators can interleave
-	// before and after.
-	p.Sleep(lat / 2)
-	res, err := qp.region.apply(ops, &f.stats)
-	f.stats.RTTs++
-	p.Sleep(lat - lat/2)
+	d.proc, d.qp, d.ops = p, qp, ops
+	now := p.Now()
+	d.resumeAt = now.Add(lat)
+	f.env.CallAt(now.Add(lat/2), d.fire)
+	p.Suspend()
+	res, err := d.res, d.err
 	if f.rec != nil {
 		f.emitComplete(p, qp, ops, lat)
 	}
+	f.putPending(d)
 	return res, err
 }
 
-// apply executes ops against the region buffer. It runs without
-// yielding, so the batch is atomic in virtual time.
-func (r *Region) apply(ops []Op, st *Stats) ([]Result, error) {
+// applyInto executes ops against the queue pair's region at one
+// instant of virtual time (it runs inside the midpoint call, without
+// yielding, so the batch is atomic), carving Results and READ payloads
+// out of the post's descriptor scratch unless the fabric was
+// configured with CopyResults.
+func (qp *QP) applyInto(ops []Op, d *pending) ([]Result, error) {
+	r := qp.region
 	if r.failed {
 		return nil, fmt.Errorf("rdma: region %q (node %d) unreachable", r.name, r.id)
 	}
-	out := make([]Result, len(ops))
+	f := qp.fabric
+	st := &f.stats
+	out := d.resBuf[d.resLen : d.resLen+len(ops)]
+	d.resLen += len(ops)
 	for i := range ops {
 		op := &ops[i]
 		switch op.Kind {
@@ -346,7 +485,14 @@ func (r *Region) apply(ops []Op, st *Stats) ([]Result, error) {
 			if err := r.check(op.Off, op.Len); err != nil {
 				return nil, err
 			}
-			data := make([]byte, op.Len)
+			var data []byte
+			if f.params.CopyResults {
+				data = make([]byte, op.Len)
+			} else {
+				end := d.arenaLen + op.Len
+				data = d.arena[d.arenaLen:end:end]
+				d.arenaLen = end
+			}
 			copy(data, r.buf[op.Off:])
 			out[i] = Result{Data: data}
 			st.Reads++
@@ -404,9 +550,18 @@ func (r *Region) checkAtomic(off uint64) error {
 	return r.check(off, 8)
 }
 
-// Read fetches n bytes at off in a single round-trip.
+// post1 issues a single-verb batch with the op held in the post's own
+// descriptor, so the convenience wrappers allocate nothing.
+func (qp *QP) post1(p *sim.Proc, op Op) ([]Result, error) {
+	d := qp.fabric.getPending()
+	d.op1[0] = op
+	return qp.postWith(p, d, d.op1[:1])
+}
+
+// Read fetches n bytes at off in a single round-trip. The returned
+// bytes follow Result.Data's lifetime rules.
 func (qp *QP) Read(p *sim.Proc, off uint64, n int) ([]byte, error) {
-	res, err := qp.Post(p, []Op{{Kind: OpRead, Off: off, Len: n}})
+	res, err := qp.post1(p, Op{Kind: OpRead, Off: off, Len: n})
 	if err != nil {
 		return nil, err
 	}
@@ -415,13 +570,13 @@ func (qp *QP) Read(p *sim.Proc, off uint64, n int) ([]byte, error) {
 
 // Write stores data at off in a single round-trip.
 func (qp *QP) Write(p *sim.Proc, off uint64, data []byte) error {
-	_, err := qp.Post(p, []Op{{Kind: OpWrite, Off: off, Data: data}})
+	_, err := qp.post1(p, Op{Kind: OpWrite, Off: off, Data: data})
 	return err
 }
 
 // CAS compares-and-swaps the 8-byte word at off.
 func (qp *QP) CAS(p *sim.Proc, off, compare, swap uint64) (old uint64, ok bool, err error) {
-	res, err := qp.Post(p, []Op{{Kind: OpCAS, Off: off, Compare: compare, Swap: swap}})
+	res, err := qp.post1(p, Op{Kind: OpCAS, Off: off, Compare: compare, Swap: swap})
 	if err != nil {
 		return 0, false, err
 	}
@@ -431,7 +586,7 @@ func (qp *QP) CAS(p *sim.Proc, off, compare, swap uint64) (old uint64, ok bool, 
 // MaskedCAS compares-and-swaps only the bits of mask within the 8-byte
 // word at off.
 func (qp *QP) MaskedCAS(p *sim.Proc, off, compare, swap, mask uint64) (old uint64, ok bool, err error) {
-	res, err := qp.Post(p, []Op{{Kind: OpMaskedCAS, Off: off, Compare: compare, Swap: swap, Mask: mask}})
+	res, err := qp.post1(p, Op{Kind: OpMaskedCAS, Off: off, Compare: compare, Swap: swap, Mask: mask})
 	if err != nil {
 		return 0, false, err
 	}
@@ -444,6 +599,10 @@ func (qp *QP) MaskedCAS(p *sim.Proc, off, compare, swap, mask uint64) (old uint6
 // caller is charged the slowest batch's round-trip, not the sum. This
 // is how synchronous (f+1)-replication writes all replicas in one
 // round-trip of latency.
+//
+// The returned slice (and any READ payloads inside it, unless
+// CopyResults is set) is scratch reused by a later post: consume it
+// before the issuing process posts again or parks.
 func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 	if len(batches) == 0 {
 		return nil, nil
@@ -463,24 +622,24 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 			f.emitIssue(p, b.QP, b.Ops)
 		}
 	}
-	p.Sleep(maxLat / 2)
-	out := make([][]Result, len(batches))
-	var firstErr error
-	for i, b := range batches {
-		res, err := b.QP.region.apply(b.Ops, &f.stats)
-		f.stats.RTTs++
-		if err != nil && firstErr == nil {
-			firstErr = err
-		}
-		out[i] = res
+	d := f.getPending()
+	d.proc, d.batches = p, batches
+	if cap(d.out) < len(batches) {
+		d.out = make([][]Result, len(batches))
 	}
-	p.Sleep(maxLat - maxLat/2)
+	d.out = d.out[:len(batches)]
+	now := p.Now()
+	d.resumeAt = now.Add(maxLat)
+	f.env.CallAt(now.Add(maxLat/2), d.fire)
+	p.Suspend()
+	out, err := d.out, d.err
 	if f.rec != nil {
 		for _, b := range batches {
 			f.emitComplete(p, b.QP, b.Ops, maxLat)
 		}
 	}
-	return out, firstErr
+	f.putPending(d)
+	return out, err
 }
 
 // Batch pairs a queue pair with the ops to post on it, for PostMulti.

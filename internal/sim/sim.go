@@ -8,10 +8,18 @@
 // microseconds of network round-trips; wall-clock goroutine scheduling
 // cannot reproduce that reliably, and virtual time lets tests assert
 // exact round-trip counts and latencies.
+//
+// The scheduler is built for wall-clock speed as much as determinism:
+// the event queue is a hand-rolled non-boxing min-heap (no
+// container/heap interface traffic), wait bookkeeping lives on the
+// Proc itself rather than in side maps, finished Proc shells are
+// pooled for reuse by later Spawns, and deferred calls (CallAt) let
+// I/O models apply side effects at an exact virtual instant without
+// waking the issuing process twice. Dispatched events are counted so
+// harnesses can report events/sec.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -58,28 +66,73 @@ func (t Time) Add(d Duration) Time { return t + Time(d) }
 // Sub returns the Duration between two Times.
 func (t Time) Sub(u Time) Duration { return Duration(t - u) }
 
+// event is one heap entry: either a process wakeup (proc != nil) or a
+// deferred call (fn != nil). Exactly one of the two is set. gen guards
+// against waking a pooled Proc shell that has been reused since the
+// event was queued.
 type event struct {
 	at   Time
 	seq  uint64
 	proc *Proc
+	fn   func()
+	gen  uint32
 }
 
+// eventHeap is a hand-rolled binary min-heap ordered by (at, seq).
+// container/heap would box every event through an interface on push
+// and pop; this is the hottest data structure in the repository, so it
+// stays monomorphic.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any     { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
-func (h eventHeap) peek() event   { return h[0] }
-func (h *eventHeap) pop() event   { return heap.Pop(h).(event) }
-func (h *eventHeap) push(e event) { heap.Push(h, e) }
-func (h eventHeap) empty() bool   { return len(h) == 0 }
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	// Sift up.
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // release proc/fn references
+	s = s[:n]
+	*h = s
+	// Sift down.
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		min := l
+		if r := l + 1; r < n && s.less(r, l) {
+			min = r
+		}
+		if !s.less(min, i) {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
+}
 
 // Observer receives scheduler lifecycle callbacks: process spawn,
 // parking on a wait queue, wakeup, and exit. Observers must not touch
@@ -95,17 +148,33 @@ type Observer interface {
 // Env is a simulation environment: a virtual clock, an event queue and
 // a set of cooperative processes.
 type Env struct {
-	now     Time
-	events  eventHeap
-	seq     uint64
-	ack     chan struct{}
-	rng     *rand.Rand
-	live    int // processes spawned and not yet finished
-	waiting int // processes parked on a WaitQueue (no pending event)
-	waiters map[*Proc]string
-	stopped bool
-	failure error
-	obs     Observer
+	now        Time
+	events     eventHeap
+	seq        uint64
+	ack        chan struct{}
+	rng        *rand.Rand
+	live       int // processes spawned and not yet finished
+	waiting    int // processes parked with no pending wake event
+	stopped    bool
+	failure    error
+	obs        Observer
+	dispatched uint64 // events dispatched across all Run calls
+
+	// procs holds every distinct Proc shell ever spawned (live,
+	// finished, and pooled); it is the lazy scan set for deadlock
+	// reports. free is the pool of finished shells ready for reuse.
+	procs []*Proc
+	free  []*Proc
+
+	// current is the process the scheduler has handed control to, nil
+	// between dispatches; inCall is true while a deferred CallAt
+	// function runs. Together they enforce Stop's contract.
+	current *Proc
+	inCall  bool
+
+	// dispatchHook, when non-nil, observes every dispatched event
+	// (tests use it to assert full-sequence determinism).
+	dispatchHook func(at Time, seq uint64, p *Proc)
 }
 
 // SetObserver installs obs to receive scheduler lifecycle events. A
@@ -116,10 +185,9 @@ func (e *Env) SetObserver(obs Observer) { e.obs = obs }
 // with seed.
 func NewEnv(seed int64) *Env {
 	e := &Env{
-		ack:     make(chan struct{}),
-		rng:     rand.New(rand.NewSource(seed)),
-		waiters: map[*Proc]string{},
-		events:  make(eventHeap, 0, 64),
+		ack:    make(chan struct{}),
+		rng:    rand.New(rand.NewSource(seed)),
+		events: make(eventHeap, 0, 64),
 	}
 	return e
 }
@@ -136,16 +204,34 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // not yet finished.
 func (e *Env) Live() int { return e.live }
 
+// Dispatched reports the total number of events the scheduler has
+// dispatched (process wakeups and deferred calls) across every Run and
+// RunUntil on this environment. It is the denominator-free half of an
+// events/sec measurement.
+func (e *Env) Dispatched() uint64 { return e.dispatched }
+
 // Proc is a simulated process. Its function runs on a dedicated
 // goroutine but only while the scheduler has handed it control;
 // everything it does between two blocking calls is atomic in virtual
 // time.
+//
+// Finished Proc shells (struct and resume channel) are pooled and
+// reused by later Spawns; gen disambiguates incarnations so a stale
+// queued event can never wake a reused shell.
 type Proc struct {
 	env    *Env
 	name   string
 	resume chan struct{}
 	done   bool
 	fn     func(*Proc)
+	gen    uint32
+
+	// waiting/waitQ are the Proc-resident wait bookkeeping: set while
+	// the process is parked on a WaitQueue (or suspended awaiting a
+	// deferred resume), with the queue label for deadlock reports.
+	// Keeping them here avoids a map mutation on every Wait/Wake.
+	waiting bool
+	waitQ   string
 
 	// traceCtx carries an opaque per-process tracing context (the
 	// current transaction span). It lives here so lower layers (the
@@ -173,11 +259,32 @@ func (p *Proc) Now() Time { return p.env.now }
 // environment.
 func (p *Proc) Rand() *rand.Rand { return p.env.rng }
 
+// newProc returns a ready Proc shell: pooled if one is free, freshly
+// allocated otherwise. The caller schedules it and starts its
+// goroutine.
+func (e *Env) newProc(name string, fn func(*Proc)) *Proc {
+	if n := len(e.free); n > 0 {
+		p := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		p.name, p.fn = name, fn
+		p.done = false
+		p.waiting = false
+		p.waitQ = ""
+		p.traceCtx = nil
+		p.gen++
+		return p
+	}
+	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
+	e.procs = append(e.procs, p)
+	return p
+}
+
 // Spawn creates a process and schedules it to start at the current
 // virtual time. It may be called before Run or from inside a running
 // process.
 func (e *Env) Spawn(name string, fn func(*Proc)) *Proc {
-	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
+	p := e.newProc(name, fn)
 	e.live++
 	e.schedule(p, e.now)
 	if e.obs != nil {
@@ -193,7 +300,7 @@ func (e *Env) SpawnAt(name string, at Time, fn func(*Proc)) *Proc {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: SpawnAt(%v) in the past (now %v)", at, e.now))
 	}
-	p := &Proc{env: e, name: name, resume: make(chan struct{}), fn: fn}
+	p := e.newProc(name, fn)
 	e.live++
 	e.schedule(p, at)
 	if e.obs != nil {
@@ -205,7 +312,55 @@ func (e *Env) SpawnAt(name string, at Time, fn func(*Proc)) *Proc {
 
 func (e *Env) schedule(p *Proc, at Time) {
 	e.seq++
-	e.events.push(event{at: at, seq: e.seq, proc: p})
+	e.events.push(event{at: at, seq: e.seq, proc: p, gen: p.gen})
+}
+
+// CallAt schedules fn to run at virtual time at, which must not be in
+// the past. The call executes on the scheduler goroutine, between
+// process dispatches, atomically at its instant: fn may inspect the
+// environment, mutate model state and Resume suspended processes, but
+// it must not block, park, or run for unbounded time. Ties with
+// process wakeups at the same instant are broken by schedule order
+// (seq), exactly as between two wakeups.
+//
+// CallAt exists for I/O models: the RDMA fabric applies a verb batch
+// at the round-trip midpoint via CallAt while the issuing process
+// stays parked until the completion instant, halving the goroutine
+// context switches per round-trip.
+func (e *Env) CallAt(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: CallAt(%v) in the past (now %v)", at, e.now))
+	}
+	e.seq++
+	e.events.push(event{at: at, seq: e.seq, fn: fn})
+}
+
+// Suspend parks the calling process with no scheduled wakeup. A
+// deferred call (CallAt) or another process must later Resume it;
+// until then it counts as waiting in deadlock reports, labelled
+// "suspended". Suspend is the single-park primitive beneath the
+// fabric's round-trip model.
+func (p *Proc) Suspend() {
+	p.waiting = true
+	p.waitQ = "suspended"
+	p.env.waiting++
+	p.park()
+}
+
+// Resume schedules a Suspended process to continue at time at (not in
+// the past). It is the counterpart of Suspend and is typically called
+// from a CallAt function.
+func (e *Env) Resume(p *Proc, at Time) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: Resume(%v) in the past (now %v)", at, e.now))
+	}
+	if !p.waiting {
+		panic(fmt.Sprintf("sim: Resume of process %q that is not suspended", p.name))
+	}
+	p.waiting = false
+	p.waitQ = ""
+	e.waiting--
+	e.schedule(p, at)
 }
 
 func (p *Proc) run() {
@@ -221,6 +376,10 @@ func (p *Proc) run() {
 		if p.env.obs != nil {
 			p.env.obs.ProcFinish(p.name, p.env.now)
 		}
+		// Return the shell to the pool before handing control back:
+		// the scheduler is blocked on ack, so no Spawn can race the
+		// reuse, and this goroutine touches p no further.
+		p.env.free = append(p.env.free, p)
 		p.env.ack <- struct{}{}
 	}()
 	p.fn(p)
@@ -258,20 +417,32 @@ func (e *Env) Run() error { return e.RunUntil(Time(1<<62 - 1)) }
 // event (or the deadline if nothing ran past it).
 func (e *Env) RunUntil(deadline Time) error {
 	e.stopped = false
-	for !e.events.empty() && !e.stopped {
-		if e.events.peek().at > deadline {
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > deadline {
 			e.now = deadline
 			return e.failure
 		}
 		ev := e.events.pop()
-		if ev.proc.done {
-			continue
+		if ev.fn == nil && (ev.proc.done || ev.proc.gen != ev.gen) {
+			continue // stale wakeup for a finished or reused process
 		}
 		if ev.at > e.now {
 			e.now = ev.at
 		}
+		e.dispatched++
+		if e.dispatchHook != nil {
+			e.dispatchHook(ev.at, ev.seq, ev.proc)
+		}
+		if ev.fn != nil {
+			e.inCall = true
+			ev.fn()
+			e.inCall = false
+			continue
+		}
+		e.current = ev.proc
 		ev.proc.resume <- struct{}{}
 		<-e.ack
+		e.current = nil
 		if e.failure != nil {
 			return e.failure
 		}
@@ -286,14 +457,38 @@ func (e *Env) RunUntil(deadline Time) error {
 	return nil
 }
 
+// maxWaiterNames bounds how many parked processes a deadlock or
+// diagnostic report lists (and how much sorting work building the
+// report does).
+const maxWaiterNames = 40
+
+// waiterNames lists the parked processes by scanning the Proc-resident
+// wait flags — nothing is maintained on the Wait/Wake hot path. The
+// report holds the lexicographically first maxWaiterNames entries in
+// sorted order; beyond that, work is capped with a bounded insertion
+// rather than a full sort.
 func (e *Env) waiterNames() []string {
-	names := make([]string, 0, len(e.waiters))
-	for p, where := range e.waiters {
-		names = append(names, p.name+" @ "+where)
+	names := make([]string, 0, min(e.waiting, maxWaiterNames))
+	total := 0
+	for _, p := range e.procs {
+		if !p.waiting {
+			continue
+		}
+		total++
+		name := p.name + " @ " + p.waitQ
+		i := sort.SearchStrings(names, name)
+		switch {
+		case len(names) < maxWaiterNames:
+			names = append(names, "")
+			copy(names[i+1:], names[i:])
+			names[i] = name
+		case i < maxWaiterNames:
+			copy(names[i+1:], names[i:maxWaiterNames-1])
+			names[i] = name
+		}
 	}
-	sort.Strings(names)
-	if len(names) > 40 {
-		names = append(names[:40], "...")
+	if total > maxWaiterNames {
+		names = append(names, "...")
 	}
 	return names
 }
@@ -302,8 +497,16 @@ func (e *Env) waiterNames() []string {
 // processes are abandoned (their goroutines stay blocked until the
 // process exits, which is fine for one-shot simulations).
 //
-// Stop must be called from inside a running process.
-func (e *Env) Stop() { e.stopped = true }
+// Stop must be called from inside a running process (or a CallAt
+// function); calling it from outside the scheduler would race the run
+// loop, so it panics instead.
+func (e *Env) Stop() {
+	if e.current == nil && !e.inCall {
+		panic("sim: Stop called from outside a running process; " +
+			"call it from process or CallAt context so the run loop observes it safely")
+	}
+	e.stopped = true
+}
 
 // Stopped reports whether Stop has been called during the current Run.
 func (e *Env) Stopped() bool { return e.stopped }
@@ -327,8 +530,9 @@ func (q *WaitQueue) Len() int { return len(q.ps) }
 // the waker's current virtual time.
 func (q *WaitQueue) Wait(p *Proc) {
 	q.ps = append(q.ps, p)
+	p.waiting = true
+	p.waitQ = q.name
 	p.env.waiting++
-	p.env.waiters[p] = q.name
 	if p.env.obs != nil {
 		p.env.obs.ProcBlock(p.name, q.name, p.env.now)
 	}
@@ -344,8 +548,9 @@ func (q *WaitQueue) Wake(n int) int {
 	}
 	for i := 0; i < n; i++ {
 		p := q.ps[i]
+		p.waiting = false
+		p.waitQ = ""
 		p.env.waiting--
-		delete(p.env.waiters, p)
 		p.env.schedule(p, p.env.now)
 		if p.env.obs != nil {
 			p.env.obs.ProcWake(p.name, p.env.now)
