@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crest/internal/bench"
+	"crest/internal/metrics"
 	"crest/internal/sim"
 	"crest/internal/trace"
 	"crest/internal/workload"
@@ -60,6 +61,13 @@ type BenchmarkConfig struct {
 	Trace bool
 	// TraceCapacity bounds the trace ring buffer (0 = default).
 	TraceCapacity int
+
+	// Metrics records the run's windowed metrics time-series; the
+	// snapshot comes back in BenchmarkResult.Metrics.
+	Metrics bool
+	// MetricsWindow is the sampling period in virtual time (default
+	// 100µs of virtual time; ignored unless Metrics is set).
+	MetricsWindow time.Duration
 }
 
 // BenchmarkResult aggregates a run, in the paper's units.
@@ -97,6 +105,12 @@ type BenchmarkResult struct {
 	// set (render with WriteChromeTrace / WriteSpanSummary /
 	// WriteHotKeys), nil otherwise.
 	Trace *TraceSnapshot
+
+	// Metrics is the run's windowed metrics snapshot when
+	// BenchmarkConfig.Metrics was set (render with
+	// WriteMetricsPrometheus / WriteMetricsCSV / WriteMetricsJSON /
+	// WriteMetricsSparklines), nil otherwise.
+	Metrics *MetricsSnapshot
 }
 
 // String summarizes the result in one line.
@@ -130,6 +144,15 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		rec = trace.NewRecorder(cfg.TraceCapacity)
 		bc.Trace = rec
 	}
+	var reg *metrics.Registry
+	if cfg.Metrics {
+		window := metrics.DefaultWindow
+		if cfg.MetricsWindow > 0 {
+			window = sim.Duration(cfg.MetricsWindow)
+		}
+		reg = metrics.NewRegistry(metrics.Options{Window: window})
+		bc.Metrics = reg
+	}
 	res, err := bench.Run(bc)
 	if err != nil {
 		return BenchmarkResult{}, err
@@ -138,8 +161,13 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 	if rec != nil {
 		snap = rec.Snapshot()
 	}
+	var msnap *MetricsSnapshot
+	if reg != nil {
+		msnap = reg.Snapshot()
+	}
 	return BenchmarkResult{
 		Trace:          snap,
+		Metrics:        msnap,
 		System:         System(res.System),
 		Workload:       name,
 		Coordinators:   res.Coordinators,

@@ -55,6 +55,8 @@ func main() {
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		quick    = flag.Bool("quick", false, "use CI-scale table sizes")
 		traceOut = flag.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
+		metOut   = flag.String("metrics", "", "with -run: write the run's windowed metrics to this file (.csv, .json or .prom by extension)")
+		metWin   = flag.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
 		rtTrace  = flag.String("runtimetrace", "", "write a Go runtime execution trace to this file")
@@ -163,18 +165,20 @@ func main() {
 		}
 	case *runOne:
 		res, err := crest.RunBenchmark(crest.BenchmarkConfig{
-			System:       crest.System(strings.ToLower(*system)),
-			Workload:     strings.ToLower(*workload),
-			Warehouses:   *wh,
-			Theta:        *theta,
-			WriteRatio:   *writes,
-			RecordsPerTx: *perTxn,
-			Coordinators: *coords,
-			Duration:     *duration,
-			Warmup:       *warmup,
-			Seed:         *seed,
-			Quick:        *quick,
-			Trace:        *traceOut != "",
+			System:        crest.System(strings.ToLower(*system)),
+			Workload:      strings.ToLower(*workload),
+			Warehouses:    *wh,
+			Theta:         *theta,
+			WriteRatio:    *writes,
+			RecordsPerTx:  *perTxn,
+			Coordinators:  *coords,
+			Duration:      *duration,
+			Warmup:        *warmup,
+			Seed:          *seed,
+			Quick:         *quick,
+			Trace:         *traceOut != "",
+			Metrics:       *metOut != "",
+			MetricsWindow: *metWin,
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -192,6 +196,18 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[trace: %d events -> %s]\n", len(res.Trace.Events), *traceOut)
 		}
+		if *metOut != "" {
+			// Metrics output goes to its file and stderr only: the run's
+			// stdout stays byte-identical with and without -metrics.
+			if err := writeMetrics(*metOut, res.Metrics); err != nil {
+				fatalf("%v", err)
+			}
+			if err := crest.WriteMetricsSparklines(os.Stderr, res.Metrics); err != nil {
+				fatalf("writing sparklines: %v", err)
+			}
+			fmt.Fprintf(os.Stderr, "[metrics: %d series, %d windows -> %s]\n",
+				len(res.Metrics.Series), len(res.Metrics.Times), *metOut)
+		}
 		fmt.Println(res)
 		fmt.Printf("  committed=%d aborted=%d false-abort=%.1f%%\n", res.Committed, res.Aborted, 100*res.FalseAbortRate)
 		fmt.Printf("  latency µs: avg=%.1f p50=%.1f p99=%.1f p999=%.1f\n",
@@ -206,6 +222,29 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// writeMetrics writes the snapshot to path in the format its extension
+// selects: .csv (windowed time-series), .json (schema-versioned
+// document), anything else Prometheus text exposition format.
+func writeMetrics(path string, s *crest.MetricsSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	switch {
+	case strings.HasSuffix(path, ".csv"):
+		err = crest.WriteMetricsCSV(f, s)
+	case strings.HasSuffix(path, ".json"):
+		err = crest.WriteMetricsJSON(f, s)
+	default:
+		err = crest.WriteMetricsPrometheus(f, s)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
 }
 
 func fatalf(format string, args ...any) {

@@ -46,6 +46,8 @@ func main() {
 		warmup   = flag.Duration("warmup", 200*time.Microsecond, "virtual warmup before the trace window")
 		seed     = flag.Int64("seed", 1, "simulation seed")
 		capacity = flag.Int("events", 0, "trace ring capacity (0 = default)")
+		metOut   = flag.String("metrics", "", "also write the run's windowed metrics to this file (.csv, .json or Prometheus text by extension)")
+		metWin   = flag.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
 	)
 	flag.Parse()
 
@@ -61,9 +63,34 @@ func main() {
 		Quick:               true,
 		Trace:               true,
 		TraceCapacity:       *capacity,
+		Metrics:             *metOut != "",
+		MetricsWindow:       *metWin,
 	})
 	if err != nil {
 		fatalf("%v", err)
+	}
+
+	if *metOut != "" {
+		f, err := os.Create(*metOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		switch {
+		case strings.HasSuffix(*metOut, ".csv"):
+			err = crest.WriteMetricsCSV(f, res.Metrics)
+		case strings.HasSuffix(*metOut, ".json"):
+			err = crest.WriteMetricsJSON(f, res.Metrics)
+		default:
+			err = crest.WriteMetricsPrometheus(f, res.Metrics)
+		}
+		if err != nil {
+			fatalf("writing %s: %v", *metOut, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "[metrics: %d series, %d windows -> %s]\n",
+			len(res.Metrics.Series), len(res.Metrics.Times), *metOut)
 	}
 
 	var w io.Writer = os.Stdout

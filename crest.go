@@ -44,6 +44,7 @@ import (
 	"crest/internal/ford"
 	"crest/internal/layout"
 	"crest/internal/memnode"
+	"crest/internal/metrics"
 	"crest/internal/motor"
 	"crest/internal/rdma"
 	"crest/internal/sim"
@@ -89,6 +90,15 @@ type Config struct {
 	Trace bool
 	// TraceCapacity bounds the trace ring buffer (0 = default).
 	TraceCapacity int
+	// Metrics enables the windowed metrics plane (counters, gauges and
+	// histograms across the simulator, fabric and engine); read it back
+	// with MetricsSnapshot. Like tracing, metrics consume no virtual
+	// time and no randomness, so a metered cluster runs the exact same
+	// schedule as an unmetered one.
+	Metrics bool
+	// MetricsWindow is the time-series sampling period in virtual time
+	// (default 100µs of virtual time; ignored unless Metrics is set).
+	MetricsWindow time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -136,7 +146,8 @@ type Cluster struct {
 	finalized bool
 	coords    []engine.Coordinator
 	next      int
-	trace     *trace.Recorder // nil unless Config.Trace
+	trace     *trace.Recorder   // nil unless Config.Trace
+	metrics   *metrics.Registry // nil unless Config.Metrics
 }
 
 // NewCluster builds a cluster. Tables must be created and loaded
@@ -156,6 +167,15 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.trace = trace.NewRecorder(cfg.TraceCapacity)
 		c.env.SetObserver(c.trace)
 		c.fabric.SetRecorder(c.trace)
+	}
+	if cfg.Metrics {
+		window := metrics.DefaultWindow
+		if cfg.MetricsWindow > 0 {
+			window = sim.Duration(cfg.MetricsWindow)
+		}
+		c.metrics = metrics.NewRegistry(metrics.Options{Window: window})
+		c.metrics.BindEnv(c.env)
+		c.fabric.SetMetrics(c.metrics)
 	}
 	return c, nil
 }
@@ -199,6 +219,9 @@ func (c *Cluster) ensureSystem() error {
 	c.pool = memnode.NewPool(c.fabric, c.cfg.MemoryNodes, size, c.cfg.Replicas)
 	c.db = engine.NewDB(c.pool)
 	c.db.Trace = c.trace
+	if c.metrics != nil {
+		c.db.SetMetrics(c.metrics)
+	}
 	sys, err := bench.NewSystem(bench.SystemKind(c.cfg.System), c.db)
 	if err != nil {
 		return err
@@ -423,6 +446,39 @@ func WriteSpanSummary(w io.Writer, s *TraceSnapshot) error { return trace.WriteS
 
 // WriteHotKeys renders the top-k hot-key contention profile.
 func WriteHotKeys(w io.Writer, s *TraceSnapshot, k int) error { return trace.WriteHotKeys(w, s, k) }
+
+// MetricsSnapshot is an immutable copy of a cluster's instruments and
+// windowed time-series.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsSnapshot copies the metrics recorded so far (empty unless the
+// cluster was built with Config.Metrics). Render it with
+// WriteMetricsPrometheus, WriteMetricsCSV, WriteMetricsJSON or
+// WriteMetricsSparklines.
+func (c *Cluster) MetricsSnapshot() *MetricsSnapshot { return c.metrics.Snapshot() }
+
+// WriteMetricsPrometheus renders end-of-run instrument values in the
+// Prometheus text exposition format (a valid scrape file).
+func WriteMetricsPrometheus(w io.Writer, s *MetricsSnapshot) error {
+	return metrics.WritePrometheus(w, s)
+}
+
+// WriteMetricsCSV renders the windowed time-series as CSV, one row per
+// virtual-time window.
+func WriteMetricsCSV(w io.Writer, s *MetricsSnapshot) error { return metrics.WriteCSV(w, s) }
+
+// WriteMetricsJSON renders the snapshot as a schema-versioned JSON
+// document; ReadMetricsJSON parses it back.
+func WriteMetricsJSON(w io.Writer, s *MetricsSnapshot) error { return metrics.WriteJSON(w, s) }
+
+// ReadMetricsJSON parses a document written by WriteMetricsJSON.
+func ReadMetricsJSON(r io.Reader) (*MetricsSnapshot, error) { return metrics.ReadJSON(r) }
+
+// WriteMetricsSparklines renders a terminal-friendly per-series
+// sparkline summary of the windowed time-series.
+func WriteMetricsSparklines(w io.Writer, s *MetricsSnapshot) error {
+	return metrics.WriteSparklines(w, s)
+}
 
 // Coordinators reports the number of coordinators available.
 func (c *Cluster) Coordinators() int { return len(c.coords) }

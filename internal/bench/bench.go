@@ -18,6 +18,7 @@ import (
 	"crest/internal/ford"
 	"crest/internal/layout"
 	"crest/internal/memnode"
+	"crest/internal/metrics"
 	"crest/internal/motor"
 	"crest/internal/rdma"
 	"crest/internal/sim"
@@ -70,6 +71,11 @@ type Config struct {
 	// randomness, so a traced run commits exactly the same schedule as
 	// an untraced one.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the run's instrument traffic (see
+	// internal/metrics). Like tracing, metrics consume no virtual time
+	// and no randomness: a metered run commits exactly the same
+	// schedule as an unmetered one.
+	Metrics *metrics.Registry
 }
 
 // WithDefaults fills unset fields with the evaluation defaults: two
@@ -236,6 +242,11 @@ func Run(cfg Config) (Result, error) {
 		env.SetObserver(cfg.Trace)
 		fabric.SetRecorder(cfg.Trace)
 		db.Trace = cfg.Trace
+	}
+	if cfg.Metrics != nil {
+		cfg.Metrics.BindEnv(env)
+		fabric.SetMetrics(cfg.Metrics)
+		db.SetMetrics(cfg.Metrics)
 	}
 	if cfg.CheckHistory {
 		db.History = engine.NewHistory()

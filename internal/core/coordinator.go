@@ -157,7 +157,16 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 		sc.lockOrder = locked
 		sortAccs(locked)
 		for _, acc := range locked {
-			acc.obj.mu.Lock(p)
+			if acc.obj.mu.Held() {
+				// The lock-wait depth gauge counts coordinators about to
+				// park behind a held local lock; an uncontended Lock
+				// never parks and stays off the gauge.
+				db.Met.LockWaiters.Inc()
+				acc.obj.mu.Lock(p)
+				db.Met.LockWaiters.Dec()
+			} else {
+				acc.obj.mu.Lock(p)
+			}
 		}
 		if me.tsExec == 0 {
 			// TS_exec is assigned after the first block's local locks
@@ -375,6 +384,7 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 					// counted against these locks: this one piggybacks.
 					if obj.streak > 0 && obj.remoteLocks != 0 {
 						db.Trace.LockPiggyback(p.Now(), trace.SpanOf(p), obj.table, obj.key, obj.remoteLocks)
+						db.Met.Piggybacks.Inc()
 					}
 					obj.streak++
 					if k := opts.MaxPiggyback; k > 0 && obj.streak >= k && obj.remoteLocks != 0 {
@@ -447,10 +457,12 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 					obj.remoteLocks |= pd.bits
 					obj.streak = 0 // fresh acquisition opens a new window
 					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), obj.table, obj.key, pd.bits)
+					db.Met.LockAcquires.Inc()
 				} else {
 					conflict = true
 					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), obj.table, obj.key, pd.bits)
+					db.Met.LockConflicts.Inc()
 				}
 			}
 			if pd.readIdx >= 0 {
@@ -472,6 +484,7 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 					conflict = true
 					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), obj.table, obj.key, readMask)
+					db.Met.LockConflicts.Inc()
 				case !obj.admitted:
 					copy(obj.epochs, h.EN[:obj.lay.NumCells()])
 					obj.base = vals
@@ -734,6 +747,7 @@ func (c *Coordinator) validateRemote(p *sim.Proc, sc *execScratch, accs []*acces
 				}
 				myMask := accessMaskFor(acc.op)
 				db.Trace.Conflict(p.Now(), trace.SpanOf(p), acc.rk.table, acc.key, bit)
+				db.Met.LockConflicts.Inc()
 				return engine.AbortValidation, engine.IsFalseConflict(myMask, conflicting)
 			}
 		}

@@ -174,6 +174,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 					db.Tracker.OnLock(w.table(), w.key, accessMaskFor(w.op))
 					w.tracked = true
 					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, want)
+					db.Met.LockAcquires.Inc()
 				} else {
 					// No-wait on write locks: the attempt aborts.
 					lockFailed = true
@@ -181,6 +182,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 					myMask |= accessMaskFor(w.op)
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key,
 						c.cn.sys.lockMaskFor(w.lay, w.op)&^w.lockBits)
+					db.Met.LockConflicts.Inc()
 					continue
 				}
 			}
@@ -191,6 +193,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 				conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 				myMask |= accessMaskFor(w.op)
 				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, readMask)
+				db.Met.LockConflicts.Inc()
 				continue
 			}
 			w.hdr, w.vals, w.vers = h, vals, vers
@@ -293,6 +296,7 @@ func (c *Coordinator) dValidate(p *sim.Proc, sc *execScratch, ws []*dwork, attem
 					conflicting |= db.Tracker.HolderCells(w.table(), w.key)
 				}
 				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, bit)
+				db.Met.LockConflicts.Inc()
 				return engine.AbortValidation, engine.IsFalseConflict(accessMaskFor(w.op), conflicting)
 			}
 		}

@@ -44,6 +44,7 @@ func BeginAttempt(db *DB, p *sim.Proc, coord uint64, t *Txn) AttemptTimer {
 		at.span = db.Trace.StartSpan(p, coord, t.Label, t)
 		db.Trace.EnterPhase(at.mark, at.span, trace.PhaseExec)
 	}
+	db.Met.beginAttempt()
 	return at
 }
 
@@ -79,6 +80,7 @@ func (at *AttemptTimer) Fail(reason AbortReason, falseConflict bool) {
 		at.db.Trace.Abort(now, at.span, reason.String(), falseConflict)
 		at.db.Trace.EnterPhase(now, at.span, trace.PhaseRelease)
 	}
+	at.db.Met.fail(reason, falseConflict)
 }
 
 // Done closes the attempt and returns its outcome. The verb diff is
@@ -90,6 +92,7 @@ func (at *AttemptTimer) Done() Attempt {
 		at.dur[at.cur] += now.Sub(at.mark)
 		at.db.Trace.Commit(now, at.span)
 	}
+	at.db.Met.done(!at.failed, now.Sub(at.start))
 	return Attempt{
 		Committed:     !at.failed,
 		Reason:        at.reason,

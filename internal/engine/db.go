@@ -6,6 +6,7 @@ import (
 	"crest/internal/hashindex"
 	"crest/internal/layout"
 	"crest/internal/memnode"
+	"crest/internal/metrics"
 	"crest/internal/rdma"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -79,6 +80,15 @@ type DB struct {
 	// phases, lock traffic). Callers who set it should also call
 	// Fabric.SetRecorder and sim's SetObserver with the same recorder.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, is the registry the Met bundle's
+	// instruments live in. Set both through SetMetrics; callers who
+	// enable metrics should also call Fabric.SetMetrics and the
+	// registry's BindEnv.
+	Metrics *metrics.Registry
+	// Met holds the engine instrument handles. It is a value struct so
+	// protocol code can use it unconditionally: with metrics disabled
+	// every handle is nil and every call no-ops.
+	Met Metrics
 }
 
 // NewDB wraps a pool.

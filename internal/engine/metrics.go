@@ -1,0 +1,110 @@
+package engine
+
+import (
+	"crest/internal/metrics"
+	"crest/internal/sim"
+)
+
+// Metrics is the engine-level instrument bundle. It is a value struct of
+// nil-safe instrument handles: on a DB without metrics every field is
+// nil and every call through it is a no-op, so protocol code uses
+// db.Met unconditionally. All three engines share the bundle because
+// they share the attempt timer and the abort-reason vocabulary.
+type Metrics struct {
+	// Active tracks transaction attempts currently executing (between
+	// BeginAttempt and Done).
+	Active *metrics.Gauge
+	// LockWaiters tracks coordinators blocked waiting for a local lock
+	// (the lock-wait depth: how deep the convoy behind held locks is).
+	LockWaiters *metrics.Gauge
+
+	// Attempts counts attempts started; Commits counts attempts that
+	// committed; Retries counts failed attempts (each failed attempt is
+	// retried by the harness, so the two totals coincide).
+	Attempts *metrics.Counter
+	Commits  *metrics.Counter
+	Retries  *metrics.Counter
+	// Aborts breaks failed attempts down by AbortReason (indexed by the
+	// reason value); FalseAborts counts the subset whose conflicting
+	// transaction touched disjoint cells of the same record.
+	Aborts      [AbortWait + 1]*metrics.Counter
+	FalseAborts *metrics.Counter
+
+	// LockAcquires counts locks granted (local or remote CAS wins);
+	// LockConflicts counts lock attempts that lost to another holder;
+	// Piggybacks counts lock grants carried on CREST piggyback messages
+	// instead of dedicated round-trips.
+	LockAcquires  *metrics.Counter
+	LockConflicts *metrics.Counter
+	Piggybacks    *metrics.Counter
+
+	// LatencyUs is the committed-attempt latency distribution in virtual
+	// microseconds.
+	LatencyUs *metrics.Histogram
+}
+
+// SetMetrics registers the engine instruments in r and installs the
+// bundle on the DB. A nil registry leaves the disabled (zero) bundle in
+// place; calling it twice re-registers idempotently.
+func (db *DB) SetMetrics(r *metrics.Registry) {
+	db.Metrics = r
+	if r == nil {
+		db.Met = Metrics{}
+		return
+	}
+	m := Metrics{
+		Active: r.Gauge("crest_txn_active", "",
+			"Transaction attempts currently executing."),
+		LockWaiters: r.Gauge("crest_txn_lock_waiters", "",
+			"Coordinators blocked waiting for a local record lock."),
+		Attempts: r.Counter("crest_txn_attempts_total", "",
+			"Transaction attempts started."),
+		Commits: r.Counter("crest_txn_commits_total", "",
+			"Transaction attempts committed."),
+		Retries: r.Counter("crest_txn_retries_total", "",
+			"Transaction attempts aborted and retried."),
+		FalseAborts: r.Counter("crest_txn_false_aborts_total", "",
+			"Aborts whose conflicting transaction touched disjoint cells."),
+		LockAcquires: r.Counter("crest_lock_acquires_total", "",
+			"Record locks granted."),
+		LockConflicts: r.Counter("crest_lock_conflicts_total", "",
+			"Record lock attempts that lost to another holder."),
+		Piggybacks: r.Counter("crest_lock_piggybacks_total", "",
+			"Lock grants piggybacked on existing messages (CREST)."),
+		LatencyUs: r.Histogram("crest_txn_latency_us", "",
+			"Committed-attempt latency in virtual microseconds.", nil),
+	}
+	for reason := AbortLockFail; reason <= AbortWait; reason++ {
+		m.Aborts[reason] = r.Counter("crest_txn_aborts_total",
+			`reason="`+reason.String()+`"`,
+			"Transaction attempts aborted, by reason.")
+	}
+	db.Met = m
+}
+
+// beginAttempt records an attempt starting.
+func (m *Metrics) beginAttempt() {
+	m.Active.Inc()
+	m.Attempts.Inc()
+}
+
+// fail records an attempt aborting for reason.
+func (m *Metrics) fail(reason AbortReason, falseConflict bool) {
+	m.Retries.Inc()
+	if reason >= AbortNone && int(reason) < len(m.Aborts) {
+		m.Aborts[reason].Inc()
+	}
+	if falseConflict {
+		m.FalseAborts.Inc()
+	}
+}
+
+// done records an attempt finishing; committed attempts contribute
+// their latency.
+func (m *Metrics) done(committed bool, latency sim.Duration) {
+	m.Active.Dec()
+	if committed {
+		m.Commits.Inc()
+		m.LatencyUs.Observe(int64(latency) / int64(sim.Microsecond))
+	}
+}

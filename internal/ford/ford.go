@@ -312,6 +312,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work) (engi
 					w.locked = true
 					db.Tracker.OnLock(w.table(), w.key, w.cells)
 					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+					db.Met.LockAcquires.Inc()
 				} else {
 					if abort == engine.AbortNone {
 						abort = engine.AbortLockFail
@@ -319,6 +320,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work) (engi
 						falseConflict = engine.IsFalseConflict(w.cells, holder)
 					}
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+					db.Met.LockConflicts.Inc()
 				}
 				ri++
 			}
@@ -406,6 +408,7 @@ func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine
 				conflicting |= db.Tracker.ChangedSince(w.table(), w.key, w.readVer)
 			}
 			db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+			db.Met.LockConflicts.Inc()
 			return engine.AbortValidation, engine.IsFalseConflict(w.cells, conflicting)
 		}
 	}

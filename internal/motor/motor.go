@@ -323,11 +323,13 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work, snaps
 					w.locked = true
 					db.Tracker.OnLock(w.table(), w.key, w.cells)
 					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+					db.Met.LockAcquires.Inc()
 				} else {
 					lockFailed = true
 					conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 					myMask |= w.cells
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+					db.Met.LockConflicts.Inc()
 					continue
 				}
 			}
@@ -338,6 +340,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work, snaps
 				conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 				myMask |= w.cells
 				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+				db.Met.LockConflicts.Inc()
 				continue
 			}
 			slot, victim, newest, found := chooseSlots(rec, w.lay, snapshotRead, snapshot)
@@ -488,6 +491,7 @@ func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine
 				conflicting |= db.Tracker.ChangedSince(w.table(), w.key, w.readVer)
 			}
 			db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+			db.Met.LockConflicts.Inc()
 			return engine.AbortValidation, engine.IsFalseConflict(w.cells, conflicting)
 		}
 	}

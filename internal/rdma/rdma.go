@@ -30,7 +30,9 @@ package rdma
 import (
 	"encoding/binary"
 	"fmt"
+	"strconv"
 
+	"crest/internal/metrics"
 	"crest/internal/sim"
 	"crest/internal/trace"
 )
@@ -179,6 +181,7 @@ type Fabric struct {
 	stats   Stats
 	nextQP  int
 	rec     *trace.Recorder
+	met     *fabricMetrics
 	free    []*pending // recycled in-flight descriptors
 }
 
@@ -186,6 +189,92 @@ type Fabric struct {
 // issue/complete events and every batch an RTT event. A nil recorder
 // disables emission.
 func (f *Fabric) SetRecorder(rec *trace.Recorder) { f.rec = rec }
+
+// fabricMetrics is the fabric's instrument bundle: in-flight verbs,
+// per-verb and per-node counters, and doorbell batch shape histograms.
+// All counting happens at post time (requested sizes), mirroring the
+// Stats counters a successful batch accrues.
+type fabricMetrics struct {
+	reg        *metrics.Registry
+	inflight   *metrics.Gauge
+	rtts       *metrics.Counter
+	verbs      [4]*metrics.Counter // indexed by OpKind
+	bytesRead  *metrics.Counter
+	bytesWrite *metrics.Counter
+	batchOps   *metrics.Histogram
+	batchBytes *metrics.Histogram
+	nodeVerbs  []*metrics.Counter // indexed by region id
+	nodeBytes  []*metrics.Counter
+}
+
+// SetMetrics attaches a metrics registry: every subsequent post moves
+// the fabric gauges and counters. Regions registered before or after
+// the call both get per-node instruments. Metrics consume no virtual
+// time; a nil registry disables the bundle.
+func (f *Fabric) SetMetrics(m *metrics.Registry) {
+	if m == nil {
+		f.met = nil
+		return
+	}
+	fm := &fabricMetrics{reg: m}
+	fm.inflight = m.Gauge("crest_rdma_inflight_verbs", "",
+		"One-sided verbs posted and not yet completed.")
+	fm.rtts = m.Counter("crest_rdma_rtts_total", "",
+		"Doorbell-batch round trips issued.")
+	for k := OpRead; k <= OpMaskedCAS; k++ {
+		fm.verbs[k] = m.Counter("crest_rdma_verbs_total",
+			`verb="`+k.String()+`"`, "One-sided verbs posted, by verb.")
+	}
+	fm.bytesRead = m.Counter("crest_rdma_read_bytes_total", "",
+		"Payload bytes requested by READ verbs.")
+	fm.bytesWrite = m.Counter("crest_rdma_write_bytes_total", "",
+		"Payload bytes carried by WRITE verbs.")
+	fm.batchOps = m.Histogram("crest_rdma_batch_ops", "",
+		"Verbs per doorbell batch.", metrics.LogLinearBounds(1, 64, 2))
+	fm.batchBytes = m.Histogram("crest_rdma_batch_bytes", "",
+		"Payload bytes per doorbell batch.", metrics.LogLinearBounds(8, 1<<16, 2))
+	for _, r := range f.regions {
+		fm.addNode(r)
+	}
+	f.met = fm
+}
+
+// addNode registers the per-node counters for region r.
+func (fm *fabricMetrics) addNode(r *Region) {
+	label := `node="` + r.name + `",id="` + strconv.Itoa(r.id) + `"`
+	fm.nodeVerbs = append(fm.nodeVerbs, fm.reg.Counter(
+		"crest_rdma_node_verbs_total", label, "One-sided verbs posted, by target node."))
+	fm.nodeBytes = append(fm.nodeBytes, fm.reg.Counter(
+		"crest_rdma_node_bytes_total", label, "Payload bytes posted, by target node."))
+}
+
+// post counts one doorbell batch at issue time.
+func (fm *fabricMetrics) post(qp *QP, ops []Op) {
+	fm.inflight.Add(int64(len(ops)))
+	fm.rtts.Inc()
+	fm.batchOps.Observe(int64(len(ops)))
+	fm.batchBytes.Observe(int64(batchPayload(ops)))
+	node := qp.region.id
+	for i := range ops {
+		op := &ops[i]
+		fm.verbs[op.Kind].Inc()
+		b := uint64(opBytes(op))
+		switch op.Kind {
+		case OpRead:
+			fm.bytesRead.Add(b)
+		case OpWrite:
+			fm.bytesWrite.Add(b)
+		}
+		fm.nodeVerbs[node].Inc()
+		fm.nodeBytes[node].Add(b)
+	}
+}
+
+// complete retires a batch's verbs from the in-flight gauge at the
+// completion instant.
+func (fm *fabricMetrics) complete(ops []Op) {
+	fm.inflight.Add(-int64(len(ops)))
+}
 
 // NewFabric creates a fabric on env with the given latency parameters.
 func NewFabric(env *sim.Env, params Params) *Fabric {
@@ -218,6 +307,9 @@ type Region struct {
 func (f *Fabric) Register(name string, size int) *Region {
 	r := &Region{fabric: f, id: len(f.regions), name: name, buf: make([]byte, size)}
 	f.regions = append(f.regions, r)
+	if f.met != nil {
+		f.met.addNode(r)
+	}
 	return r
 }
 
@@ -451,6 +543,9 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	if f.rec != nil {
 		f.emitIssue(p, qp, ops)
 	}
+	if f.met != nil {
+		f.met.post(qp, ops)
+	}
 	d.proc, d.qp, d.ops = p, qp, ops
 	now := p.Now()
 	d.resumeAt = now.Add(lat)
@@ -459,6 +554,9 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	res, err := d.res, d.err
 	if f.rec != nil {
 		f.emitComplete(p, qp, ops, lat)
+	}
+	if f.met != nil {
+		f.met.complete(ops)
 	}
 	f.putPending(d)
 	return res, err
@@ -622,6 +720,11 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 			f.emitIssue(p, b.QP, b.Ops)
 		}
 	}
+	if f.met != nil {
+		for _, b := range batches {
+			f.met.post(b.QP, b.Ops)
+		}
+	}
 	d := f.getPending()
 	d.proc, d.batches = p, batches
 	if cap(d.out) < len(batches) {
@@ -636,6 +739,11 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 	if f.rec != nil {
 		for _, b := range batches {
 			f.emitComplete(p, b.QP, b.Ops, maxLat)
+		}
+	}
+	if f.met != nil {
+		for _, b := range batches {
+			f.met.complete(b.Ops)
 		}
 	}
 	f.putPending(d)

@@ -204,6 +204,11 @@ func (e *Env) Rand() *rand.Rand { return e.rng }
 // not yet finished.
 func (e *Env) Live() int { return e.live }
 
+// Waiting reports the number of processes currently parked on wait
+// queues or suspended with no pending wake event. Live() - Waiting() is
+// the runnable-process count the metrics plane samples per window.
+func (e *Env) Waiting() int { return e.waiting }
+
 // Dispatched reports the total number of events the scheduler has
 // dispatched (process wakeups and deferred calls) across every Run and
 // RunUntil on this environment. It is the denominator-free half of an

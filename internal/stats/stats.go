@@ -40,11 +40,20 @@ func (l *Latencies) Avg() float64 {
 	return sum / float64(len(l.samples))
 }
 
-// Percentile returns the p-th percentile (0 < p ≤ 100) in
-// microseconds, using nearest-rank on the sorted samples.
+// Percentile returns the p-th percentile in microseconds, using
+// nearest-rank on the sorted samples. The contract is 0 < p ≤ 100;
+// out-of-range p is clamped into it, so p ≤ 0 returns the minimum
+// sample and p > 100 the maximum (NaN, having no order, also clamps to
+// the minimum) rather than reading out of range or inventing values.
 func (l *Latencies) Percentile(p float64) float64 {
 	if len(l.samples) == 0 {
 		return 0
+	}
+	if !(p > 0) { // also catches NaN
+		p = 0
+	}
+	if p > 100 {
+		p = 100
 	}
 	if !l.sorted {
 		sort.Float64s(l.samples)

@@ -31,6 +31,42 @@ func TestLatenciesPercentiles(t *testing.T) {
 	}
 }
 
+func TestPercentileClampsOutOfContract(t *testing.T) {
+	var l Latencies
+	for i := 1; i <= 10; i++ {
+		l.Add(sim.Duration(i) * sim.Microsecond)
+	}
+	cases := []struct {
+		name string
+		p    float64
+		want float64
+	}{
+		{"zero clamps to min", 0, 1},
+		{"negative clamps to min", -5, 1},
+		{"neg infinity clamps to min", math.Inf(-1), 1},
+		{"NaN clamps to min", math.NaN(), 1},
+		{"above 100 clamps to max", 150, 10},
+		{"pos infinity clamps to max", math.Inf(1), 10},
+		{"in-contract low edge", 1, 1},
+		{"in-contract high edge", 100, 10},
+		{"median unchanged", 50, 5},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := l.Percentile(tc.p); got != tc.want {
+				t.Fatalf("Percentile(%v) = %v, want %v", tc.p, got, tc.want)
+			}
+		})
+	}
+	// The empty aggregate stays zero for any p.
+	var empty Latencies
+	for _, p := range []float64{-1, 0, 50, 200, math.NaN()} {
+		if got := empty.Percentile(p); got != 0 {
+			t.Fatalf("empty Percentile(%v) = %v", p, got)
+		}
+	}
+}
+
 func TestLatenciesEmpty(t *testing.T) {
 	var l Latencies
 	if l.Avg() != 0 || l.P99() != 0 {
