@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"crest/internal/bench"
+	"crest/internal/causality"
 	"crest/internal/metrics"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -68,6 +69,12 @@ type BenchmarkConfig struct {
 	// MetricsWindow is the sampling period in virtual time (default
 	// 100µs of virtual time; ignored unless Metrics is set).
 	MetricsWindow time.Duration
+
+	// Why records wait-for and conflict edges for abort forensics; the
+	// snapshot comes back in BenchmarkResult.Why.
+	Why bool
+	// WhyCapacity bounds the causality edge ring buffer (0 = default).
+	WhyCapacity int
 }
 
 // BenchmarkResult aggregates a run, in the paper's units.
@@ -111,6 +118,11 @@ type BenchmarkResult struct {
 	// WriteMetricsPrometheus / WriteMetricsCSV / WriteMetricsJSON /
 	// WriteMetricsSparklines), nil otherwise.
 	Metrics *MetricsSnapshot
+
+	// Why is the run's causality snapshot when BenchmarkConfig.Why was
+	// set (render with WriteWhyBlame / WriteWhyDOT / WriteWhyJSON),
+	// nil otherwise.
+	Why *WhySnapshot
 }
 
 // String summarizes the result in one line.
@@ -153,6 +165,11 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		reg = metrics.NewRegistry(metrics.Options{Window: window})
 		bc.Metrics = reg
 	}
+	var why *causality.Recorder
+	if cfg.Why {
+		why = causality.NewRecorder(causality.Options{Capacity: cfg.WhyCapacity})
+		bc.Why = why
+	}
 	res, err := bench.Run(bc)
 	if err != nil {
 		return BenchmarkResult{}, err
@@ -165,9 +182,14 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 	if reg != nil {
 		msnap = reg.Snapshot()
 	}
+	var wsnap *WhySnapshot
+	if why != nil {
+		wsnap = why.Snapshot()
+	}
 	return BenchmarkResult{
 		Trace:          snap,
 		Metrics:        msnap,
+		Why:            wsnap,
 		System:         System(res.System),
 		Workload:       name,
 		Coordinators:   res.Coordinators,
@@ -311,6 +333,18 @@ func WriteBenchJSON(w io.Writer, m *MatrixResult) error {
 // verifies its schema version.
 func ReadBenchJSON(r io.Reader) (*BenchResultSet, error) {
 	return bench.DecodeResultSet(r)
+}
+
+// BenchComparison is a per-run KOPS diff of one result set against a
+// baseline (see CompareBenchResultSets).
+type BenchComparison = bench.Comparison
+
+// CompareBenchResultSets diffs cur against base by canonical run key;
+// render the result with its Format method. CI uses this to print the
+// throughput delta of every quick-profile run against the checked-in
+// BENCH_quick.json baseline.
+func CompareBenchResultSets(base, cur *BenchResultSet) *BenchComparison {
+	return bench.CompareResultSets(base, cur)
 }
 
 // Workload generator re-exports for custom harnesses.

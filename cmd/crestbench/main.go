@@ -40,6 +40,7 @@ func main() {
 		profile  = flag.String("profile", "full", "experiment profile: quick or full")
 		jobs     = flag.Int("j", 0, "parallel simulations for -exp (default GOMAXPROCS)")
 		jsonOut  = flag.String("json", "", "with -exp: write per-run JSON records to this file")
+		baseline = flag.String("baseline", "", "with -exp: compare per-run KOPS against this BENCH_*.json baseline")
 		cacheDir = flag.String("cache", "", "with -exp: on-disk result cache directory for incremental re-runs")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		runOne   = flag.Bool("run", false, "run a single benchmark configuration")
@@ -56,6 +57,7 @@ func main() {
 		quick    = flag.Bool("quick", false, "use CI-scale table sizes")
 		traceOut = flag.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
 		metOut   = flag.String("metrics", "", "with -run: write the run's windowed metrics to this file (.csv, .json or .prom by extension)")
+		whyOut   = flag.String("why", "", "with -run: write the run's contention graph for abort forensics to this file (.dot or crest-why .json by extension)")
 		metWin   = flag.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
 		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
@@ -156,6 +158,19 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[json: %d run records -> %s]\n", len(m.Records), *jsonOut)
 		}
+		if *baseline != "" {
+			f, err := os.Open(*baseline)
+			if err != nil {
+				fatalf("%v", err)
+			}
+			base, err := crest.ReadBenchJSON(f)
+			f.Close()
+			if err != nil {
+				fatalf("reading %s: %v", *baseline, err)
+			}
+			cmp := crest.CompareBenchResultSets(base, m.ResultSet())
+			fmt.Printf("KOPS vs %s:\n%s", *baseline, cmp.Format())
+		}
 		fmt.Fprintf(os.Stderr, "[%d experiment(s), %d unique runs (%d simulated, %d cached), %s profile, %v wall time]\n",
 			len(m.Experiments), len(m.Records), m.Simulated, m.CacheHits, *profile,
 			time.Since(start).Round(time.Millisecond))
@@ -179,6 +194,7 @@ func main() {
 			Trace:         *traceOut != "",
 			Metrics:       *metOut != "",
 			MetricsWindow: *metWin,
+			Why:           *whyOut != "",
 		})
 		if err != nil {
 			fatalf("%v", err)
@@ -207,6 +223,15 @@ func main() {
 			}
 			fmt.Fprintf(os.Stderr, "[metrics: %d series, %d windows -> %s]\n",
 				len(res.Metrics.Series), len(res.Metrics.Times), *metOut)
+		}
+		if *whyOut != "" {
+			// Forensics output goes to its file and stderr only: the
+			// run's stdout stays byte-identical with and without -why.
+			if err := writeWhy(*whyOut, res.Why); err != nil {
+				fatalf("%v", err)
+			}
+			fmt.Fprintf(os.Stderr, "[why: %d txns, %d edges -> %s]\n",
+				len(res.Why.Txns), len(res.Why.Edges), *whyOut)
 		}
 		fmt.Println(res)
 		fmt.Printf("  committed=%d aborted=%d false-abort=%.1f%%\n", res.Committed, res.Aborted, 100*res.FalseAbortRate)
@@ -239,6 +264,25 @@ func writeMetrics(path string, s *crest.MetricsSnapshot) error {
 		err = crest.WriteMetricsJSON(f, s)
 	default:
 		err = crest.WriteMetricsPrometheus(f, s)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// writeWhy writes the causality snapshot to path: .json selects the
+// schema-versioned crest-why document, anything else Graphviz DOT.
+func writeWhy(path string, s *crest.WhySnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = crest.WriteWhyJSON(f, s)
+	} else {
+		err = crest.WriteWhyDOT(f, s)
 	}
 	if err != nil {
 		f.Close()

@@ -1,6 +1,6 @@
 // Command cresttrace runs a workload under one of the simulated
-// transaction systems with tracing on and renders the recorded event
-// stream.
+// transaction systems with observability on and renders what it
+// recorded.
 //
 // Emit a Perfetto/chrome://tracing-compatible JSON timeline:
 //
@@ -16,8 +16,21 @@
 //
 //	cresttrace -workload ycsb -theta 0.99 -format hotkeys -top 10
 //
-// Traces are deterministic: the same seed and configuration produce
-// byte-identical output.
+// Explain why a transaction aborted (blame chain with per-hop virtual
+// wait durations), from a fresh run or from a saved crest-why JSON
+// export:
+//
+//	cresttrace why -workload smallbank -theta 0.99 412
+//	cresttrace why -in why.json 412
+//
+// Export the aggregated contention dependency graph (hotspots and
+// wait cycles) as Graphviz DOT or crest-why JSON:
+//
+//	cresttrace graph -workload smallbank -theta 0.99 -o why.dot
+//	cresttrace graph -in why.json -format json
+//
+// Output is deterministic: the same seed and configuration produce
+// byte-identical traces, blame chains and graphs.
 package main
 
 import (
@@ -26,6 +39,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -33,47 +47,244 @@ import (
 )
 
 func main() {
-	var (
-		system   = flag.String("system", "crest", "system: crest, crest-cell, crest-base, ford, motor")
-		workload = flag.String("workload", "smallbank", "workload: tpcc, smallbank, ycsb")
-		format   = flag.String("format", "json", "output: json (Chrome trace_event), spans (text timelines), hotkeys (contention profile)")
-		out      = flag.String("o", "", "output file (default stdout)")
-		top      = flag.Int("top", 20, "entries in the hotkeys report")
-		coords   = flag.Int("coords", 12, "total coordinators (across 3 compute nodes)")
-		wh       = flag.Int("warehouses", 8, "TPC-C warehouses")
-		theta    = flag.Float64("theta", 0, "Zipfian constant (0 = workload default)")
-		duration = flag.Duration("duration", 2*time.Millisecond, "traced virtual time")
-		warmup   = flag.Duration("warmup", 200*time.Microsecond, "virtual warmup before the trace window")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		capacity = flag.Int("events", 0, "trace ring capacity (0 = default)")
-		metOut   = flag.String("metrics", "", "also write the run's windowed metrics to this file (.csv, .json or Prometheus text by extension)")
-		metWin   = flag.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	res, err := crest.RunBenchmark(crest.BenchmarkConfig{
-		System:              crest.System(strings.ToLower(*system)),
-		Workload:            strings.ToLower(*workload),
-		Warehouses:          *wh,
-		Theta:               *theta,
-		CoordinatorsPerNode: (*coords + 2) / 3,
-		Duration:            *duration,
-		Warmup:              *warmup,
-		Seed:                *seed,
+const usageText = `usage: cresttrace [flags]                 render an event trace (legacy default)
+       cresttrace trace [flags]           same, explicitly
+       cresttrace why [flags] <txnid>     explain one transaction's abort
+       cresttrace graph [flags]           export the contention graph (DOT or JSON)
+
+Run 'cresttrace <subcommand> -h' for the subcommand's flags.
+`
+
+func usage(stderr io.Writer) {
+	fmt.Fprint(stderr, usageText)
+}
+
+// run dispatches the subcommand and returns the process exit code. It
+// is the unit-testable seam: main only binds it to os streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) > 0 && !strings.HasPrefix(args[0], "-") {
+		switch args[0] {
+		case "trace":
+			return runTrace(args[1:], stdout, stderr)
+		case "why":
+			return runWhy(args[1:], stdout, stderr)
+		case "graph":
+			return runGraph(args[1:], stdout, stderr)
+		default:
+			fmt.Fprintf(stderr, "cresttrace: unknown subcommand %q\n", args[0])
+			usage(stderr)
+			return 2
+		}
+	}
+	return runTrace(args, stdout, stderr)
+}
+
+// benchFlags are the run-shape flags shared by every subcommand that
+// executes a fresh benchmark.
+type benchFlags struct {
+	system   *string
+	workload *string
+	coords   *int
+	wh       *int
+	theta    *float64
+	duration *time.Duration
+	warmup   *time.Duration
+	seed     *int64
+}
+
+func addBenchFlags(fs *flag.FlagSet) *benchFlags {
+	return &benchFlags{
+		system:   fs.String("system", "crest", "system: crest, crest-cell, crest-base, ford, motor"),
+		workload: fs.String("workload", "smallbank", "workload: tpcc, smallbank, ycsb"),
+		coords:   fs.Int("coords", 12, "total coordinators (across 3 compute nodes)"),
+		wh:       fs.Int("warehouses", 8, "TPC-C warehouses"),
+		theta:    fs.Float64("theta", 0, "Zipfian constant (0 = workload default)"),
+		duration: fs.Duration("duration", 2*time.Millisecond, "recorded virtual time"),
+		warmup:   fs.Duration("warmup", 200*time.Microsecond, "virtual warmup before the recorded window"),
+		seed:     fs.Int64("seed", 1, "simulation seed"),
+	}
+}
+
+func (bf *benchFlags) config() crest.BenchmarkConfig {
+	return crest.BenchmarkConfig{
+		System:              crest.System(strings.ToLower(*bf.system)),
+		Workload:            strings.ToLower(*bf.workload),
+		Warehouses:          *bf.wh,
+		Theta:               *bf.theta,
+		CoordinatorsPerNode: (*bf.coords + 2) / 3,
+		Duration:            *bf.duration,
+		Warmup:              *bf.warmup,
+		Seed:                *bf.seed,
 		Quick:               true,
-		Trace:               true,
-		TraceCapacity:       *capacity,
-		Metrics:             *metOut != "",
-		MetricsWindow:       *metWin,
-	})
+	}
+}
+
+// whySnapshotFrom loads the causality snapshot: from a crest-why JSON
+// file when in is set, otherwise by running the configured benchmark
+// with recording on.
+func whySnapshotFrom(in string, bf *benchFlags, capacity int, stderr io.Writer) (*crest.WhySnapshot, int) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+			usage(stderr)
+			return nil, 1
+		}
+		defer f.Close()
+		snap, err := crest.ReadWhyJSON(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace: reading %s: %v\n", in, err)
+			usage(stderr)
+			return nil, 1
+		}
+		return snap, 0
+	}
+	cfg := bf.config()
+	cfg.Why = true
+	cfg.WhyCapacity = capacity
+	res, err := crest.RunBenchmark(cfg)
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+		return nil, 1
+	}
+	fmt.Fprintf(stderr, "[%s/%s: %d txns, %d edges recorded, %.1f KOPS]\n",
+		res.System, res.Workload, len(res.Why.Txns), len(res.Why.Edges), res.ThroughputKOPS)
+	return res.Why, 0
+}
+
+// runWhy prints the blame chain for one transaction.
+func runWhy(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cresttrace why", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bf := addBenchFlags(fs)
+	in := fs.String("in", "", "read a crest-why JSON export instead of running a benchmark")
+	capacity := fs.Int("edges", 0, "causality edge ring capacity (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "cresttrace why: exactly one <txnid> argument required")
+		usage(stderr)
+		return 2
+	}
+	id, err := strconv.ParseUint(fs.Arg(0), 10, 64)
+	if err != nil {
+		fmt.Fprintf(stderr, "cresttrace why: bad transaction id %q\n", fs.Arg(0))
+		usage(stderr)
+		return 2
+	}
+	snap, code := whySnapshotFrom(*in, bf, *capacity, stderr)
+	if code != 0 {
+		return code
+	}
+	if err := crest.WriteWhyBlame(stdout, snap, id); err != nil {
+		fmt.Fprintf(stderr, "cresttrace why: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runGraph exports the aggregated contention dependency graph.
+func runGraph(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cresttrace graph", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bf := addBenchFlags(fs)
+	in := fs.String("in", "", "read a crest-why JSON export instead of running a benchmark")
+	format := fs.String("format", "dot", "output: dot (Graphviz) or json (crest-why/v1)")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "cresttrace graph: unexpected argument %q\n", fs.Arg(0))
+		usage(stderr)
+		return 2
+	}
+	if *format != "dot" && *format != "json" {
+		fmt.Fprintf(stderr, "cresttrace graph: unknown format %q (dot or json)\n", *format)
+		usage(stderr)
+		return 2
+	}
+	snap, code := whySnapshotFrom(*in, bf, 0, stderr)
+	if code != 0 {
+		return code
+	}
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace graph: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	var err error
+	if *format == "json" {
+		err = crest.WriteWhyJSON(bw, snap)
+	} else {
+		err = crest.WriteWhyDOT(bw, snap)
+	}
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "cresttrace graph: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runTrace is the original cresttrace behavior: run with tracing on
+// and render the event stream.
+func runTrace(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cresttrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bf := addBenchFlags(fs)
+	var (
+		format   = fs.String("format", "json", "output: json (Chrome trace_event), spans (text timelines), hotkeys (contention profile)")
+		out      = fs.String("o", "", "output file (default stdout)")
+		top      = fs.Int("top", 20, "entries in the hotkeys report")
+		capacity = fs.Int("events", 0, "trace ring capacity (0 = default)")
+		metOut   = fs.String("metrics", "", "also write the run's windowed metrics to this file (.csv, .json or Prometheus text by extension)")
+		metWin   = fs.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "cresttrace: unexpected argument %q\n", fs.Arg(0))
+		usage(stderr)
+		return 2
+	}
+	switch *format {
+	case "json", "spans", "hotkeys":
+	default:
+		fmt.Fprintf(stderr, "cresttrace: unknown format %q (json, spans or hotkeys)\n", *format)
+		usage(stderr)
+		return 2
+	}
+
+	cfg := bf.config()
+	cfg.Trace = true
+	cfg.TraceCapacity = *capacity
+	cfg.Metrics = *metOut != ""
+	cfg.MetricsWindow = *metWin
+	res, err := crest.RunBenchmark(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+		return 1
 	}
 
 	if *metOut != "" {
 		f, err := os.Create(*metOut)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+			return 1
 		}
 		switch {
 		case strings.HasSuffix(*metOut, ".csv"):
@@ -83,31 +294,28 @@ func main() {
 		default:
 			err = crest.WriteMetricsPrometheus(f, res.Metrics)
 		}
+		if err == nil {
+			err = f.Close()
+		}
 		if err != nil {
-			fatalf("writing %s: %v", *metOut, err)
+			fmt.Fprintf(stderr, "cresttrace: writing %s: %v\n", *metOut, err)
+			return 1
 		}
-		if err := f.Close(); err != nil {
-			fatalf("%v", err)
-		}
-		fmt.Fprintf(os.Stderr, "[metrics: %d series, %d windows -> %s]\n",
+		fmt.Fprintf(stderr, "[metrics: %d series, %d windows -> %s]\n",
 			len(res.Metrics.Series), len(res.Metrics.Times), *metOut)
 	}
 
-	var w io.Writer = os.Stdout
+	w := stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+			return 1
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fatalf("%v", err)
-			}
-		}()
+		defer f.Close()
 		w = f
 	}
 	bw := bufio.NewWriter(w)
-	defer bw.Flush()
 
 	snap := res.Trace
 	switch *format {
@@ -117,17 +325,15 @@ func main() {
 		err = crest.WriteSpanSummary(bw, snap)
 	case "hotkeys":
 		err = crest.WriteHotKeys(bw, snap, *top)
-	default:
-		fatalf("unknown format %q (json, spans or hotkeys)", *format)
+	}
+	if err == nil {
+		err = bw.Flush()
 	}
 	if err != nil {
-		fatalf("%v", err)
+		fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+		return 1
 	}
-	fmt.Fprintf(os.Stderr, "[%s/%s: %d events, %d dropped, %.1f KOPS in the traced window]\n",
+	fmt.Fprintf(stderr, "[%s/%s: %d events, %d dropped, %.1f KOPS in the traced window]\n",
 		res.System, res.Workload, len(snap.Events), snap.Dropped, res.ThroughputKOPS)
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "cresttrace: "+format+"\n", args...)
-	os.Exit(1)
+	return 0
 }

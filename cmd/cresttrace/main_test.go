@@ -1,0 +1,171 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"crest/internal/causality"
+	"crest/internal/sim"
+)
+
+// dispatch runs the CLI entry point against in-memory streams.
+func dispatch(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestUnknownSubcommandPrintsUsage(t *testing.T) {
+	code, stdout, stderr := dispatch("frobnicate")
+	if code == 0 {
+		t.Fatalf("unknown subcommand exited 0")
+	}
+	if stdout != "" {
+		t.Fatalf("unknown subcommand wrote to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "unknown subcommand") || !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr missing diagnosis/usage:\n%s", stderr)
+	}
+}
+
+func TestWhyRequiresTxnID(t *testing.T) {
+	code, _, stderr := dispatch("why")
+	if code == 0 {
+		t.Fatal("why without txnid exited 0")
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr missing usage:\n%s", stderr)
+	}
+
+	code, _, stderr = dispatch("why", "notanumber")
+	if code == 0 {
+		t.Fatal("why with a non-numeric txnid exited 0")
+	}
+	if !strings.Contains(stderr, "bad transaction id") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestWhyUnreadableInputPrintsUsage(t *testing.T) {
+	code, _, stderr := dispatch("why", "-in", filepath.Join(t.TempDir(), "absent.json"), "5")
+	if code == 0 {
+		t.Fatal("unreadable -in exited 0")
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr missing usage:\n%s", stderr)
+	}
+
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, _, stderr = dispatch("why", "-in", bad, "5")
+	if code == 0 {
+		t.Fatal("unparsable -in exited 0")
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr missing usage:\n%s", stderr)
+	}
+}
+
+func TestGraphRejectsBadFormatAndArgs(t *testing.T) {
+	code, _, stderr := dispatch("graph", "-format", "svg")
+	if code == 0 {
+		t.Fatal("bad -format exited 0")
+	}
+	if !strings.Contains(stderr, "unknown format") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+	code, _, stderr = dispatch("graph", "stray")
+	if code == 0 {
+		t.Fatal("stray positional arg exited 0")
+	}
+	if !strings.Contains(stderr, "unexpected argument") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+// whyFixture writes a crest-why JSON export with a three-transaction
+// blame chain: T412 failed validation against T398, which waited on
+// T371.
+func whyFixture(t *testing.T) string {
+	t.Helper()
+	snap := &causality.Snapshot{
+		Txns: []causality.TxnInfo{
+			{ID: 371, Label: "Audit", State: causality.StateCommitted, End: 80},
+			{ID: 398, Label: "Deposit", State: causality.StateCommitted, End: 90},
+			{ID: 412, Label: "Pay", State: causality.StateAborted, Reason: "validation",
+				Attempt: 1, Aborts: 1, End: 100,
+				Cause: &causality.CauseInfo{Seq: 2, Kind: causality.KindValidation,
+					Table: 3, Key: 17, Mask: 1 << 2, Holder: 398}},
+		},
+		Edges: []causality.Edge{
+			{Seq: 1, At: 40, Kind: causality.KindLocalWait, Waiter: 398, Holder: 371,
+				Table: 3, Key: 17, Wait: 14 * sim.Microsecond},
+			{Seq: 2, At: 95, Kind: causality.KindValidation, Waiter: 412, Holder: 398,
+				Table: 3, Key: 17, Mask: 1 << 2},
+		},
+	}
+	path := filepath.Join(t.TempDir(), "why.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := causality.WriteJSON(f, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestWhyPrintsMultiHopBlameChain(t *testing.T) {
+	code, stdout, stderr := dispatch("why", "-in", whyFixture(t), "412")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		"T412 [Pay] aborted",
+		"failed validation on (table 3, key 17, cell {2}); updated by T398 [Deposit]",
+		"T398 [Deposit] waited 14.000µs on (table 3, key 17, record) held by T371 [Audit]",
+		"T371 [Audit] committed",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("blame output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	// An id the export does not contain is an error, not silence.
+	code, _, stderr = dispatch("why", "-in", whyFixture(t), "999")
+	if code == 0 {
+		t.Fatal("unknown txn exited 0")
+	}
+	if !strings.Contains(stderr, "unknown txn") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestGraphRendersDOTFromExport(t *testing.T) {
+	code, stdout, stderr := dispatch("graph", "-in", whyFixture(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.HasPrefix(stdout, "digraph crest_why {\n") || !strings.HasSuffix(stdout, "}\n") {
+		t.Fatalf("not a DOT document:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, `"Pay" -> "Deposit"`) {
+		t.Fatalf("missing aggregated edge:\n%s", stdout)
+	}
+
+	code, stdout, stderr = dispatch("graph", "-in", whyFixture(t), "-format", "json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, `"schema": "crest-why/v1"`) {
+		t.Fatalf("missing schema header:\n%s", stdout)
+	}
+}

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"crest/internal/bench"
+	"crest/internal/causality"
 	"crest/internal/core"
 	"crest/internal/engine"
 	"crest/internal/ford"
@@ -99,6 +100,15 @@ type Config struct {
 	// MetricsWindow is the time-series sampling period in virtual time
 	// (default 100µs of virtual time; ignored unless Metrics is set).
 	MetricsWindow time.Duration
+	// Why enables abort forensics: the cluster records wait-for and
+	// conflict edges (who blocked on whom, who invalidated whose read)
+	// and can explain any abort after the fact; read it back with
+	// WhySnapshot. Like tracing and metrics, recording consumes no
+	// virtual time and no randomness, so a recording cluster runs the
+	// exact same schedule as a plain one.
+	Why bool
+	// WhyCapacity bounds the causality edge ring buffer (0 = default).
+	WhyCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -146,8 +156,9 @@ type Cluster struct {
 	finalized bool
 	coords    []engine.Coordinator
 	next      int
-	trace     *trace.Recorder   // nil unless Config.Trace
-	metrics   *metrics.Registry // nil unless Config.Metrics
+	trace     *trace.Recorder     // nil unless Config.Trace
+	metrics   *metrics.Registry   // nil unless Config.Metrics
+	why       *causality.Recorder // nil unless Config.Why
 }
 
 // NewCluster builds a cluster. Tables must be created and loaded
@@ -176,6 +187,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		c.metrics = metrics.NewRegistry(metrics.Options{Window: window})
 		c.metrics.BindEnv(c.env)
 		c.fabric.SetMetrics(c.metrics)
+	}
+	if cfg.Why {
+		c.why = causality.NewRecorder(causality.Options{Capacity: cfg.WhyCapacity})
 	}
 	return c, nil
 }
@@ -219,6 +233,7 @@ func (c *Cluster) ensureSystem() error {
 	c.pool = memnode.NewPool(c.fabric, c.cfg.MemoryNodes, size, c.cfg.Replicas)
 	c.db = engine.NewDB(c.pool)
 	c.db.Trace = c.trace
+	c.db.Why = c.why
 	if c.metrics != nil {
 		c.db.SetMetrics(c.metrics)
 	}
@@ -479,6 +494,34 @@ func ReadMetricsJSON(r io.Reader) (*MetricsSnapshot, error) { return metrics.Rea
 func WriteMetricsSparklines(w io.Writer, s *MetricsSnapshot) error {
 	return metrics.WriteSparklines(w, s)
 }
+
+// WhySnapshot is an immutable copy of a cluster's recorded wait-for
+// and conflict edges, with transaction nodes and per-abort causes.
+type WhySnapshot = causality.Snapshot
+
+// WhySnapshot copies the causality record so far (empty unless the
+// cluster was built with Config.Why). Explain a single abort with
+// WriteWhyBlame, or export the aggregate contention graph with
+// WriteWhyDOT / WriteWhyJSON.
+func (c *Cluster) WhySnapshot() *WhySnapshot { return c.why.Snapshot() }
+
+// WriteWhyBlame renders the blame chain for one transaction: the
+// abort cause, the transaction it lost to, and who that transaction
+// in turn waited on, with per-hop virtual wait durations.
+func WriteWhyBlame(w io.Writer, s *WhySnapshot, txn uint64) error {
+	return causality.WriteBlame(w, s, txn)
+}
+
+// WriteWhyDOT renders the aggregated contention dependency graph as
+// Graphviz DOT, with hotspot and wait-cycle annotations.
+func WriteWhyDOT(w io.Writer, s *WhySnapshot) error { return causality.WriteDOT(w, s) }
+
+// WriteWhyJSON renders the snapshot as a schema-versioned JSON
+// document ("crest-why/v1"); ReadWhyJSON parses it back.
+func WriteWhyJSON(w io.Writer, s *WhySnapshot) error { return causality.WriteJSON(w, s) }
+
+// ReadWhyJSON parses a document written by WriteWhyJSON.
+func ReadWhyJSON(r io.Reader) (*WhySnapshot, error) { return causality.ReadJSON(r) }
 
 // Coordinators reports the number of coordinators available.
 func (c *Cluster) Coordinators() int { return len(c.coords) }

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"time"
 
+	"crest/internal/causality"
 	"crest/internal/core"
 	"crest/internal/engine"
 	"crest/internal/ford"
@@ -76,6 +77,10 @@ type Config struct {
 	// and no randomness: a metered run commits exactly the same
 	// schedule as an unmetered one.
 	Metrics *metrics.Registry
+	// Why, when non-nil, records wait-for and conflict edges for abort
+	// forensics (see internal/causality). Like tracing and metrics,
+	// recording consumes no virtual time and no randomness.
+	Why *causality.Recorder
 }
 
 // WithDefaults fills unset fields with the evaluation defaults: two
@@ -247,6 +252,9 @@ func Run(cfg Config) (Result, error) {
 		cfg.Metrics.BindEnv(env)
 		fabric.SetMetrics(cfg.Metrics)
 		db.SetMetrics(cfg.Metrics)
+	}
+	if cfg.Why != nil {
+		db.Why = cfg.Why
 	}
 	if cfg.CheckHistory {
 		db.History = engine.NewHistory()

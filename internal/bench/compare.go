@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KOPSDelta is one run's throughput change against a baseline.
+type KOPSDelta struct {
+	Key     string  // canonical RunSpec key
+	Base    float64 // baseline KOPS
+	Cur     float64 // current KOPS
+	Percent float64 // 100*(Cur-Base)/Base (0 when Base is 0)
+}
+
+// Comparison summarizes a result set against a baseline result set:
+// per-run KOPS deltas for the keys both contain, plus the keys only
+// one side has (a matrix change, not a regression).
+type Comparison struct {
+	Deltas  []KOPSDelta // sorted by key
+	Missing []string    // keys in the baseline absent from the current set
+	Added   []string    // keys in the current set absent from the baseline
+}
+
+// CompareResultSets diffs cur against base by canonical run key.
+func CompareResultSets(base, cur *ResultSet) *Comparison {
+	baseBy := make(map[string]*RunRecord, len(base.Runs))
+	for _, r := range base.Runs {
+		baseBy[r.Key] = r
+	}
+	c := &Comparison{}
+	seen := make(map[string]bool, len(cur.Runs))
+	for _, r := range cur.Runs {
+		seen[r.Key] = true
+		b, ok := baseBy[r.Key]
+		if !ok {
+			c.Added = append(c.Added, r.Key)
+			continue
+		}
+		d := KOPSDelta{Key: r.Key, Base: b.KOPS, Cur: r.KOPS}
+		if b.KOPS != 0 {
+			d.Percent = 100 * (r.KOPS - b.KOPS) / b.KOPS
+		}
+		c.Deltas = append(c.Deltas, d)
+	}
+	for key := range baseBy {
+		if !seen[key] {
+			c.Missing = append(c.Missing, key)
+		}
+	}
+	sort.Slice(c.Deltas, func(i, j int) bool { return c.Deltas[i].Key < c.Deltas[j].Key })
+	sort.Strings(c.Missing)
+	sort.Strings(c.Added)
+	return c
+}
+
+// Format renders the comparison as a text table: one row per shared
+// run with baseline, current and percent KOPS delta, then the
+// worst-regression summary line the CI log greps for.
+func (c *Comparison) Format() string {
+	var sb strings.Builder
+	w := 4
+	for _, d := range c.Deltas {
+		if len(d.Key) > w {
+			w = len(d.Key)
+		}
+	}
+	fmt.Fprintf(&sb, "%-*s  %10s  %10s  %8s\n", w, "run", "base KOPS", "cur KOPS", "delta")
+	worst := 0.0
+	worstKey := ""
+	for _, d := range c.Deltas {
+		fmt.Fprintf(&sb, "%-*s  %10.1f  %10.1f  %+7.1f%%\n", w, d.Key, d.Base, d.Cur, d.Percent)
+		if d.Percent < worst {
+			worst, worstKey = d.Percent, d.Key
+		}
+	}
+	for _, key := range c.Missing {
+		fmt.Fprintf(&sb, "%-*s  %10s\n", w, key, "(baseline only)")
+	}
+	for _, key := range c.Added {
+		fmt.Fprintf(&sb, "%-*s  %10s\n", w, key, "(new run)")
+	}
+	if worstKey != "" {
+		fmt.Fprintf(&sb, "worst KOPS regression: %+.1f%% (%s) across %d shared runs\n",
+			worst, worstKey, len(c.Deltas))
+	} else {
+		fmt.Fprintf(&sb, "no KOPS regression across %d shared runs\n", len(c.Deltas))
+	}
+	return sb.String()
+}

@@ -1,0 +1,59 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func rs(pairs ...any) *ResultSet {
+	s := &ResultSet{Schema: SchemaVersion}
+	for i := 0; i < len(pairs); i += 2 {
+		s.Runs = append(s.Runs, &RunRecord{Key: pairs[i].(string), KOPS: pairs[i+1].(float64)})
+	}
+	return s
+}
+
+func TestCompareResultSets(t *testing.T) {
+	base := rs("a", 100.0, "b", 200.0, "gone", 50.0)
+	cur := rs("b", 190.0, "a", 110.0, "new", 75.0)
+
+	cmp := CompareResultSets(base, cur)
+	if len(cmp.Deltas) != 2 {
+		t.Fatalf("Deltas = %+v, want 2 shared runs", cmp.Deltas)
+	}
+	// Sorted by key: a then b.
+	a, b := cmp.Deltas[0], cmp.Deltas[1]
+	if a.Key != "a" || a.Percent != 10.0 {
+		t.Fatalf("delta a = %+v, want +10%%", a)
+	}
+	if b.Key != "b" || b.Percent != -5.0 {
+		t.Fatalf("delta b = %+v, want -5%%", b)
+	}
+	if len(cmp.Missing) != 1 || cmp.Missing[0] != "gone" {
+		t.Fatalf("Missing = %v", cmp.Missing)
+	}
+	if len(cmp.Added) != 1 || cmp.Added[0] != "new" {
+		t.Fatalf("Added = %v", cmp.Added)
+	}
+
+	out := cmp.Format()
+	for _, want := range []string{
+		"a", "+10.0%", "-5.0%",
+		"gone", "(baseline only)",
+		"new", "(new run)",
+		"worst KOPS regression: -5.0% (b) across 2 shared runs",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Format() missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base := rs("a", 100.0)
+	cur := rs("a", 105.0)
+	out := CompareResultSets(base, cur).Format()
+	if !strings.Contains(out, "no KOPS regression across 1 shared runs") {
+		t.Fatalf("Format() missing all-clear line:\n%s", out)
+	}
+}

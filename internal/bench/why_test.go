@@ -1,0 +1,163 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crest/internal/causality"
+	"crest/internal/sim"
+)
+
+// TestWhyRunByteIdenticalToPlainRun is the tentpole guarantee, the
+// same one tracing and metrics make: enabling causality recording must
+// not change the simulated schedule of any engine. Events counts every
+// scheduler dispatch, so equality there pins the whole event sequence,
+// and Verbs/latencies pin the protocol outcome.
+func TestWhyRunByteIdenticalToPlainRun(t *testing.T) {
+	for _, system := range []SystemKind{CREST, FORD, Motor} {
+		system := system
+		t.Run(string(system), func(t *testing.T) {
+			run := func(rec *causality.Recorder) Result {
+				cfg := shortCfg(system, tinySmallBank)
+				cfg.Duration = 2 * sim.Millisecond
+				cfg.Warmup = 200 * sim.Microsecond
+				cfg.Why = rec
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			rec := causality.NewRecorder(causality.Options{})
+			plain, recorded := run(nil), run(rec)
+			if plain.Committed != recorded.Committed || plain.Aborted != recorded.Aborted {
+				t.Fatalf("recording changed outcomes: %d/%d vs %d/%d",
+					plain.Committed, plain.Aborted, recorded.Committed, recorded.Aborted)
+			}
+			if plain.Events != recorded.Events {
+				t.Fatalf("recording changed the schedule: %d vs %d events", plain.Events, recorded.Events)
+			}
+			if plain.Verbs != recorded.Verbs {
+				t.Fatalf("recording changed fabric traffic: %+v vs %+v", plain.Verbs, recorded.Verbs)
+			}
+			if plain.Lat.Avg() != recorded.Lat.Avg() || plain.Lat.P99() != recorded.Lat.P99() {
+				t.Fatalf("recording changed latencies: %v/%v vs %v/%v",
+					plain.Lat.Avg(), plain.Lat.P99(), recorded.Lat.Avg(), recorded.Lat.P99())
+			}
+
+			// Contended SmallBank must actually have produced forensics.
+			snap := rec.Snapshot()
+			if len(snap.Txns) == 0 {
+				t.Fatal("no transaction nodes recorded")
+			}
+			if recorded.Aborted > 0 && len(snap.Edges) == 0 {
+				t.Fatal("run aborted but no conflict edges recorded")
+			}
+			causes := 0
+			for i := range snap.Txns {
+				if snap.Txns[i].Cause != nil {
+					causes++
+				}
+			}
+			if recorded.Aborted > 0 && causes == 0 {
+				t.Fatal("aborts happened but no abort cause was frozen")
+			}
+		})
+	}
+}
+
+// TestWhyExportsDeterministic: the same seed must yield byte-equal DOT
+// and JSON exports.
+func TestWhyExportsDeterministic(t *testing.T) {
+	export := func() (dot, js []byte) {
+		rec := causality.NewRecorder(causality.Options{})
+		cfg := shortCfg(CREST, tinySmallBank)
+		cfg.Duration = 2 * sim.Millisecond
+		cfg.Warmup = 200 * sim.Microsecond
+		cfg.Why = rec
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		snap := rec.Snapshot()
+		var dotBuf, jsonBuf bytes.Buffer
+		if err := causality.WriteDOT(&dotBuf, snap); err != nil {
+			t.Fatal(err)
+		}
+		if err := causality.WriteJSON(&jsonBuf, snap); err != nil {
+			t.Fatal(err)
+		}
+		return dotBuf.Bytes(), jsonBuf.Bytes()
+	}
+	dotA, jsonA := export()
+	dotB, jsonB := export()
+	if !bytes.Equal(dotA, dotB) {
+		t.Fatal("same seed produced different DOT exports")
+	}
+	if !bytes.Equal(jsonA, jsonB) {
+		t.Fatal("same seed produced different JSON exports")
+	}
+
+	// And the JSON round-trips byte-equal through Read + Write.
+	back, err := causality.ReadJSON(bytes.NewReader(jsonA))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := causality.WriteJSON(&again, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(jsonA, again.Bytes()) {
+		t.Fatal("JSON export does not round-trip byte-equal")
+	}
+}
+
+// TestWhyBlameChainEndToEnd: a contended run must yield at least one
+// transaction whose abort explains itself as a multi-hop blame chain
+// with attributed holders.
+func TestWhyBlameChainEndToEnd(t *testing.T) {
+	rec := causality.NewRecorder(causality.Options{})
+	cfg := shortCfg(CREST, tinySmallBank)
+	cfg.Duration = 2 * sim.Millisecond
+	cfg.Warmup = 200 * sim.Microsecond
+	cfg.Why = rec
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Aborted == 0 {
+		t.Fatal("contended run recorded no aborts; the scenario lost its teeth")
+	}
+	snap := rec.Snapshot()
+
+	longest := 0
+	var longestID uint64
+	attributed := 0
+	for i := range snap.Txns {
+		tx := &snap.Txns[i]
+		if tx.Cause == nil {
+			continue
+		}
+		if tx.Cause.Holder != 0 {
+			attributed++
+		}
+		if hops := snap.BlameChain(tx.ID, 0); len(hops) > longest {
+			longest, longestID = len(hops), tx.ID
+		}
+	}
+	if attributed == 0 {
+		t.Fatal("no abort cause names a holder transaction")
+	}
+	if longest < 2 {
+		t.Fatalf("longest blame chain has %d hop(s); want a multi-hop chain", longest)
+	}
+
+	var buf bytes.Buffer
+	if err := causality.WriteBlame(&buf, snap, longestID); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if strings.Count(out, "└─") < 2 {
+		t.Fatalf("rendered blame chain is not multi-hop:\n%s", out)
+	}
+}

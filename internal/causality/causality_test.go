@@ -1,0 +1,507 @@
+package causality
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"crest/internal/layout"
+	"crest/internal/sim"
+)
+
+// inProc runs fn inside one simulated process and drives the
+// environment to completion.
+func inProc(t *testing.T, fn func(p *sim.Proc)) {
+	t.Helper()
+	env := sim.NewEnv(1)
+	env.Spawn("test", fn)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	inProc(t, func(p *sim.Proc) {
+		tx := r.Begin(p, 1, "txn", nil)
+		if tx != nil {
+			t.Errorf("nil recorder returned txn %v", tx)
+		}
+		if got := IDOf(p); got != 0 {
+			t.Errorf("IDOf on nil ctx = %d, want 0", got)
+		}
+		r.OnLock(p, 1, 2, 0b11)
+		r.LockFail(p, 1, 2, 0b11)
+		r.ValidationFail(p, 1, 2, 0b1, 5)
+		r.DependencyWait(p, 7, sim.Microsecond)
+		r.LocalWait(p, 1, 2, 7, sim.Microsecond)
+		r.OnUpdate(7, 1, 2, 9, 0b1)
+		r.OnUnlock(1, 2, 0b11)
+		r.Abort(p.Now(), tx, "lock-conflict")
+		r.Commit(p.Now(), tx)
+	})
+	if r.Len() != 0 || r.Dropped() != 0 {
+		t.Fatalf("nil recorder has state: len=%d dropped=%d", r.Len(), r.Dropped())
+	}
+	snap := r.Snapshot()
+	if len(snap.Edges) != 0 || len(snap.Txns) != 0 {
+		t.Fatalf("nil recorder snapshot not empty: %+v", snap)
+	}
+}
+
+func TestRetryReusesNodeAndFreezesCause(t *testing.T) {
+	r := NewRecorder(Options{})
+	inProc(t, func(p *sim.Proc) {
+		key := new(int)
+		holderKey := new(int)
+
+		// A holder transaction takes cells 0b01 of (1, 42) and installs
+		// a version so both attribution paths have something to find.
+		h := r.Begin(p, 9, "holder", holderKey)
+		r.OnLock(p, 1, 42, 0b01)
+		r.OnUpdate(h.ID, 1, 42, 100, 0b01)
+
+		t1 := r.Begin(p, 7, "transfer", key)
+		if t1.Attempt != 1 {
+			t.Fatalf("first attempt = %d, want 1", t1.Attempt)
+		}
+		r.LockFail(p, 1, 42, 0b01)
+		r.Abort(p.Now(), t1, "lock-conflict")
+		if t1.CauseSeq == 0 || t1.CauseKind != KindLockFail || t1.Holder != h.ID {
+			t.Fatalf("cause not frozen to the lock-fail edge: %+v", t1)
+		}
+		if t1.CauseTable != 1 || t1.CauseKey != 42 || t1.CauseMask != 0b01 {
+			t.Fatalf("cause site wrong: %+v", t1)
+		}
+
+		t2 := r.Begin(p, 7, "transfer", key)
+		if t2 != t1 {
+			t.Fatal("retry of the same txn created a new node")
+		}
+		if t2.Attempt != 2 {
+			t.Fatalf("retry attempt = %d, want 2", t2.Attempt)
+		}
+		r.Commit(p.Now(), t2)
+		if t2.State != StateCommitted || t2.Aborts != 1 {
+			t.Fatalf("commit after abort: state=%v aborts=%d", t2.State, t2.Aborts)
+		}
+
+		t3 := r.Begin(p, 7, "transfer", key)
+		if t3 == t1 {
+			t.Fatal("new txn after commit reused the finished node")
+		}
+	})
+	snap := r.Snapshot()
+	tr := snap.Txn(2) // the transfer node (holder was id 1)
+	if tr == nil || tr.Cause == nil {
+		t.Fatalf("snapshot lost the cause: %+v", tr)
+	}
+	if tr.Cause.Kind != KindLockFail || tr.Cause.Holder != 1 {
+		t.Fatalf("snapshot cause = %+v, want lock-fail against txn 1", tr.Cause)
+	}
+}
+
+// TestAbortWithoutEdgeClearsCause: an abort whose attempt recorded no
+// conflict edge (e.g. a reverse-order abort) must not inherit the
+// previous attempt's cause.
+func TestAbortWithoutEdgeClearsCause(t *testing.T) {
+	r := NewRecorder(Options{})
+	inProc(t, func(p *sim.Proc) {
+		key := new(int)
+		tx := r.Begin(p, 1, "t", key)
+		r.LockFail(p, 1, 5, 0b1)
+		r.Abort(p.Now(), tx, "lock-conflict")
+		if tx.CauseSeq == 0 {
+			t.Fatal("first abort did not freeze a cause")
+		}
+		r.Begin(p, 1, "t", key) // attempt 2: no edges recorded
+		r.Abort(p.Now(), tx, "reverse-order")
+		if tx.CauseSeq != 0 {
+			t.Fatalf("stale cause survived an edge-free abort: %+v", tx)
+		}
+	})
+}
+
+func TestHolderAttributionMaskSemantics(t *testing.T) {
+	r := NewRecorder(Options{})
+	inProc(t, func(p *sim.Proc) {
+		a := r.Begin(p, 1, "a", new(int))
+		r.OnLock(p, 3, 10, 0b011)
+		b := r.Begin(p, 2, "b", new(int))
+		r.OnLock(p, 3, 10, 0b100)
+
+		if got := r.holderOf(3, 10, 0b010); got != a.ID {
+			t.Fatalf("holder of cell 1 = %d, want %d", got, a.ID)
+		}
+		if got := r.holderOf(3, 10, 0b100); got != b.ID {
+			t.Fatalf("holder of cell 2 = %d, want %d", got, b.ID)
+		}
+		if got := r.holderOf(3, 10, 0b1000); got != 0 {
+			t.Fatalf("holder of free cell = %d, want 0", got)
+		}
+		// mask 0 queries (record-level conflict) match any holder;
+		// oldest wins.
+		if got := r.holderOf(3, 10, 0); got != a.ID {
+			t.Fatalf("record-level holder = %d, want oldest %d", got, a.ID)
+		}
+
+		// Partial unlock subtracts bits; the holder survives on the rest.
+		r.OnUnlock(3, 10, 0b001)
+		if got := r.holderOf(3, 10, 0b010); got != a.ID {
+			t.Fatalf("holder lost after partial unlock: %d", got)
+		}
+		r.OnUnlock(3, 10, 0b010)
+		if got := r.holderOf(3, 10, 0b011); got != 0 {
+			t.Fatalf("holder survived full unlock: %d", got)
+		}
+		if got := r.holderOf(3, 10, 0b100); got != b.ID {
+			t.Fatalf("unlock of a dropped the other holder: %d", got)
+		}
+
+		// A record-level holding (mask 0) matches every query, and a
+		// record-level unlock clears everyone.
+		c := r.Begin(p, 3, "c", new(int))
+		r.OnLock(p, 9, 1, 0)
+		if got := r.holderOf(9, 1, 0b1000); got != c.ID {
+			t.Fatalf("record-level holding missed: %d", got)
+		}
+		r.OnUnlock(9, 1, 0)
+		if got := r.holderOf(9, 1, 0); got != 0 {
+			t.Fatalf("record-level unlock left holder %d", got)
+		}
+	})
+}
+
+// TestUpdaterRingAgesOut mirrors engine.ConflictTracker's 16-entry
+// window: a validation failure against a version still inside the
+// window attributes the newest updater past it; one older than the
+// window is conservatively unattributed (Holder 0).
+func TestUpdaterRingAgesOut(t *testing.T) {
+	r := NewRecorder(Options{})
+	inProc(t, func(p *sim.Proc) {
+		// 20 updates, versions 1..20 from ids 101..120: the ring keeps
+		// only versions 5..20.
+		for v := uint64(1); v <= 20; v++ {
+			r.OnUpdate(100+v, 2, 8, v, 0b1)
+		}
+		if got := r.updaterSince(2, 8, 10); got != 120 {
+			t.Fatalf("updater past v10 = %d, want newest 120", got)
+		}
+		if got := r.updaterSince(2, 8, 19); got != 120 {
+			t.Fatalf("updater past v19 = %d, want 120", got)
+		}
+		// Everything recorded is <= 20: nothing newer exists.
+		if got := r.updaterSince(2, 8, 20); got != 0 {
+			t.Fatalf("updater past v20 = %d, want 0", got)
+		}
+
+		// A reader whose version predates the whole surviving ring still
+		// attributes (some entry is newer), but on a record whose ring
+		// holds only writes at or before the read version, attribution
+		// conservatively fails — exactly the ConflictTracker boundary.
+		tx := r.Begin(p, 1, "reader", new(int))
+		r.ValidationFail(p, 2, 8, 0b1, 20)
+		if tx.cHolder != 0 {
+			t.Fatalf("aged-out validation attributed holder %d, want 0", tx.cHolder)
+		}
+		r.ValidationFail(p, 2, 8, 0b1, 3)
+		if tx.cHolder != 120 {
+			t.Fatalf("in-window validation holder = %d, want 120", tx.cHolder)
+		}
+	})
+}
+
+func TestEdgeRingEvictsOldest(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 4})
+	inProc(t, func(p *sim.Proc) {
+		r.Begin(p, 1, "t", new(int))
+		for i := 0; i < 10; i++ {
+			r.LockFail(p, 1, layout.Key(i), 1)
+		}
+	})
+	if r.Len() != 4 {
+		t.Fatalf("len = %d, want 4", r.Len())
+	}
+	if r.Dropped() != 6 {
+		t.Fatalf("dropped = %d, want 6", r.Dropped())
+	}
+	snap := r.Snapshot()
+	if snap.Dropped != 6 {
+		t.Fatalf("snapshot dropped = %d, want 6", snap.Dropped)
+	}
+	for i, e := range snap.Edges {
+		if want := uint64(7 + i); e.Seq != want {
+			t.Fatalf("edge %d has seq %d, want %d (oldest-to-newest)", i, e.Seq, want)
+		}
+		if want := layout.Key(6 + i); e.Key != want {
+			t.Fatalf("edge %d key %d, want %d", i, e.Key, want)
+		}
+	}
+}
+
+// chainSnapshot is the hand-built scenario the report tests share:
+// T412 aborted at validation on (3, 17, cell 2), updated by T398,
+// which waited 14µs on T371.
+func chainSnapshot() *Snapshot {
+	return &Snapshot{
+		Txns: []TxnInfo{
+			{ID: 371, Label: "Audit", State: StateCommitted, End: 80},
+			{ID: 398, Label: "Deposit", State: StateCommitted, End: 90},
+			{ID: 412, Label: "Pay", State: StateAborted, Reason: "validation",
+				Attempt: 1, Aborts: 1, End: 100,
+				Cause: &CauseInfo{Seq: 2, Kind: KindValidation, Table: 3, Key: 17, Mask: 1 << 2, Holder: 398}},
+		},
+		Edges: []Edge{
+			{Seq: 1, At: 40, Kind: KindLocalWait, Waiter: 398, Holder: 371,
+				Table: 3, Key: 17, Wait: 14 * sim.Microsecond},
+			{Seq: 2, At: 95, Kind: KindValidation, Waiter: 412, Holder: 398,
+				Table: 3, Key: 17, Mask: 1 << 2},
+		},
+	}
+}
+
+func TestBlameChainFollowsCauseThenDominantWait(t *testing.T) {
+	s := chainSnapshot()
+	hops := s.BlameChain(412, 0)
+	if len(hops) != 2 {
+		t.Fatalf("chain length = %d, want 2: %+v", len(hops), hops)
+	}
+	if hops[0].Txn != 412 || hops[0].Holder != 398 || hops[0].Kind != KindValidation {
+		t.Fatalf("hop 0 = %+v", hops[0])
+	}
+	if hops[1].Txn != 398 || hops[1].Holder != 371 || hops[1].Kind != KindLocalWait {
+		t.Fatalf("hop 1 = %+v", hops[1])
+	}
+	if hops[1].Wait != 14*sim.Microsecond {
+		t.Fatalf("hop 1 wait = %v, want 14µs", hops[1].Wait)
+	}
+
+	var buf bytes.Buffer
+	if err := WriteBlame(&buf, s, 412); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"T412 [Pay] aborted",
+		"failed validation on (table 3, key 17, cell {2}); updated by T398 [Deposit]",
+		"T398 [Deposit] waited 14.000µs on (table 3, key 17, record) held by T371 [Audit]",
+		"T371 [Audit] committed at 80",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("blame output missing %q:\n%s", want, out)
+		}
+	}
+
+	if err := WriteBlame(&buf, s, 999); err == nil {
+		t.Fatal("unknown txn did not error")
+	}
+}
+
+func TestBlameChainStopsOnCycle(t *testing.T) {
+	s := &Snapshot{
+		Txns: []TxnInfo{
+			{ID: 1, Label: "a", State: StateAborted, Reason: "lock-conflict", Attempt: 1, Aborts: 1,
+				Cause: &CauseInfo{Seq: 1, Kind: KindLockFail, Table: 1, Key: 1, Mask: 1, Holder: 2}},
+			{ID: 2, Label: "b", State: StateCommitted},
+		},
+		Edges: []Edge{
+			{Seq: 1, Kind: KindLockFail, Waiter: 1, Holder: 2, Table: 1, Key: 1, Mask: 1},
+			{Seq: 2, Kind: KindLockFail, Waiter: 2, Holder: 1, Table: 1, Key: 1, Mask: 1},
+		},
+	}
+	hops := s.BlameChain(1, 0)
+	if len(hops) != 2 {
+		t.Fatalf("cyclic chain length = %d, want 2 (stop on revisit): %+v", len(hops), hops)
+	}
+	if hops[1].Holder != 1 {
+		t.Fatalf("hop 1 = %+v", hops[1])
+	}
+}
+
+func TestGraphAggregatesAndFindsCycles(t *testing.T) {
+	s := &Snapshot{
+		Txns: []TxnInfo{
+			{ID: 1, Label: "A", State: StateCommitted, Aborts: 1,
+				Cause: &CauseInfo{Seq: 1, Kind: KindLockFail, Table: 1, Key: 5, Mask: 0b1, Holder: 2}},
+			{ID: 2, Label: "B", State: StateCommitted},
+			{ID: 3, Label: "A", State: StateAborted, Reason: "lock-conflict", Aborts: 2},
+		},
+		Edges: []Edge{
+			{Seq: 1, Kind: KindLockFail, Waiter: 1, Holder: 2, Table: 1, Key: 5, Mask: 0b1},
+			{Seq: 2, Kind: KindLockFail, Waiter: 1, Holder: 2, Table: 1, Key: 5, Mask: 0b1},
+			{Seq: 3, Kind: KindLocalWait, Waiter: 2, Holder: 1, Table: 1, Key: 5, Wait: sim.Microsecond},
+			{Seq: 4, Kind: KindValidation, Waiter: 3, Holder: 0, Table: 1, Key: 5, Mask: 0b10},
+		},
+	}
+	g := s.Graph()
+
+	if len(g.Nodes) != 2 || g.Nodes[0].Label != "A" || g.Nodes[1].Label != "B" {
+		t.Fatalf("nodes = %+v", g.Nodes)
+	}
+	if g.Nodes[0].Txns != 2 || g.Nodes[0].Aborts != 3 || g.Nodes[0].Commits != 1 {
+		t.Fatalf("label A aggregate = %+v", g.Nodes[0])
+	}
+
+	var ab *GraphEdge
+	for i := range g.Edges {
+		if g.Edges[i].From == "A" && g.Edges[i].To == "B" && g.Edges[i].Kind == KindLockFail {
+			ab = &g.Edges[i]
+		}
+	}
+	if ab == nil || ab.Count != 2 {
+		t.Fatalf("A->B lock-fail edge = %+v (edges %+v)", ab, g.Edges)
+	}
+
+	// The unattributed validation lands on "?" and must not join cycles.
+	foundUnattr := false
+	for _, e := range g.Edges {
+		if e.To == unattributedLabel && e.Kind == KindValidation {
+			foundUnattr = true
+		}
+	}
+	if !foundUnattr {
+		t.Fatalf("missing unattributed edge: %+v", g.Edges)
+	}
+
+	if len(g.Cycles) != 1 || len(g.Cycles[0]) != 2 || g.Cycles[0][0] != "A" || g.Cycles[0][1] != "B" {
+		t.Fatalf("cycles = %+v, want [[A B]]", g.Cycles)
+	}
+
+	// Hotspot ranking: (1,5,cell 0) has 3 edge hits + 1 abort cause.
+	if len(g.Hotspots) == 0 {
+		t.Fatal("no hotspots")
+	}
+	top := g.Hotspots[0]
+	if top.Table != 1 || top.Key != 5 || top.Cell != 0 || top.Aborts != 1 {
+		t.Fatalf("top hotspot = %+v", top)
+	}
+}
+
+func TestJSONRoundTripsByteEqual(t *testing.T) {
+	r := NewRecorder(Options{})
+	inProc(t, func(p *sim.Proc) {
+		h := r.Begin(p, 1, "holder", new(int))
+		r.OnLock(p, 1, 5, 0b1)
+		r.OnUpdate(h.ID, 1, 5, 50, 0b1)
+		tx := r.Begin(p, 2, "loser", new(int))
+		r.LockFail(p, 1, 5, 0b1)
+		r.Abort(p.Now(), tx, "lock-conflict")
+		r.ValidationFail(p, 1, 5, 0b1, 10)
+		r.Abort(p.Now(), tx, "validation")
+		r.Commit(p.Now(), tx)
+		r.Commit(p.Now(), h)
+	})
+	snap := r.Snapshot()
+
+	var first bytes.Buffer
+	if err := WriteJSON(&first, snap); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(bytes.NewReader(first.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var second bytes.Buffer
+	if err := WriteJSON(&second, back); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first.Bytes(), second.Bytes()) {
+		t.Fatalf("JSON round trip not byte-equal:\n--- first\n%s\n--- second\n%s", first.String(), second.String())
+	}
+
+	if _, err := ReadJSON(strings.NewReader(`{"schema":"crest-why/v0","txns":[],"edges":[]}`)); err == nil {
+		t.Fatal("wrong schema version accepted")
+	}
+	if _, err := ReadJSON(strings.NewReader(`not json`)); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}
+
+func TestDOTOutputIsStructurallyValid(t *testing.T) {
+	s := chainSnapshot()
+	var buf bytes.Buffer
+	if err := WriteDOT(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.HasPrefix(out, "digraph crest_why {\n") {
+		t.Fatalf("missing digraph header:\n%s", out)
+	}
+	if !strings.HasSuffix(out, "}\n") {
+		t.Fatalf("missing closing brace:\n%s", out)
+	}
+	if n := strings.Count(out, "{") - strings.Count(out, "}"); n != 0 {
+		t.Fatalf("unbalanced braces (%+d):\n%s", n, out)
+	}
+	if strings.Count(out, `"`)%2 != 0 {
+		t.Fatalf("unbalanced quotes:\n%s", out)
+	}
+	for _, want := range []string{
+		`"Pay" [label="Pay\n1 txns, 1 aborted attempts"];`,
+		`"Pay" -> "Deposit" [label="validation ×1", color=darkorange];`,
+		`"Deposit" -> "Audit" [label="local-wait ×1, 14.000µs", color=gray40];`,
+		`"?" [label="unattributed", style=dashed];`,
+		"// hotspot 1:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT missing %q:\n%s", want, out)
+		}
+	}
+	// Every edge statement stays inside the graph block and names
+	// quoted endpoints.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "->") && !strings.Contains(line, "//") {
+			if !strings.HasPrefix(strings.TrimSpace(line), `"`) || !strings.HasSuffix(line, ";") {
+				t.Fatalf("malformed edge line %q", line)
+			}
+		}
+	}
+}
+
+// TestEdgePathAllocatesNothingSteadyState is the hot-path guarantee:
+// once the rings and per-record state are warm, recording an edge (or
+// running with the recorder disabled) allocates nothing.
+func TestEdgePathAllocatesNothingSteadyState(t *testing.T) {
+	r := NewRecorder(Options{Capacity: 64})
+	inProc(t, func(p *sim.Proc) {
+		r.Begin(p, 1, "warm", new(int))
+		// Warm-up: fill the edge ring so emit overwrites in place, touch
+		// the record state so the map entry and holder slice exist, and
+		// fill the update ring.
+		for i := 0; i < 80; i++ {
+			r.OnLock(p, 1, 7, 0b1)
+			r.OnUpdate(uint64(i+1), 1, 7, uint64(i+1), 0b1)
+			r.LockFail(p, 1, 7, 0b1)
+			r.OnUnlock(1, 7, 0b1)
+		}
+		allocs := testing.AllocsPerRun(200, func() {
+			r.OnLock(p, 1, 7, 0b1)
+			r.LockFail(p, 1, 7, 0b1)
+			r.ValidationFail(p, 1, 7, 0b1, 0)
+			r.LocalWait(p, 1, 7, 3, sim.Microsecond)
+			r.DependencyWait(p, 3, sim.Microsecond)
+			r.OnUpdate(3, 1, 7, 99, 0b1)
+			r.OnUnlock(1, 7, 0b1)
+		})
+		if allocs != 0 {
+			t.Errorf("live recorder steady state allocates %.1f/op, want 0", allocs)
+		}
+
+		var nilRec *Recorder
+		allocs = testing.AllocsPerRun(200, func() {
+			nilRec.OnLock(p, 1, 7, 0b1)
+			nilRec.LockFail(p, 1, 7, 0b1)
+			nilRec.ValidationFail(p, 1, 7, 0b1, 0)
+			nilRec.LocalWait(p, 1, 7, 3, sim.Microsecond)
+			nilRec.DependencyWait(p, 3, sim.Microsecond)
+			nilRec.OnUpdate(3, 1, 7, 99, 0b1)
+			nilRec.OnUnlock(1, 7, 0b1)
+		})
+		if allocs != 0 {
+			t.Errorf("nil recorder allocates %.1f/op, want 0", allocs)
+		}
+	})
+}

@@ -1,0 +1,141 @@
+package causality
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// SchemaVersion identifies the JSON layout of a serialized snapshot.
+const SchemaVersion = "crest-why/v1"
+
+// jsonDoc is the schema-versioned document: the full edge stream and
+// transaction nodes (the round-tripping state) plus the aggregated
+// graph, which WriteJSON derives deterministically for human and
+// downstream consumers.
+type jsonDoc struct {
+	Schema      string    `json:"schema"`
+	Dropped     uint64    `json:"dropped_edges"`
+	TxnsDropped uint64    `json:"dropped_txns"`
+	Txns        []TxnInfo `json:"txns"`
+	Edges       []Edge    `json:"edges"`
+	Graph       *Graph    `json:"graph"`
+}
+
+// WriteJSON serializes the snapshot as schema-versioned JSON
+// (crest-why/v1). Output is deterministic: same-seed runs produce
+// byte-equal documents.
+func WriteJSON(w io.Writer, s *Snapshot) error {
+	doc := jsonDoc{
+		Schema:      SchemaVersion,
+		Dropped:     s.Dropped,
+		TxnsDropped: s.TxnsDropped,
+		Txns:        s.Txns,
+		Edges:       s.Edges,
+		Graph:       s.Graph(),
+	}
+	if doc.Txns == nil {
+		doc.Txns = []TxnInfo{}
+	}
+	if doc.Edges == nil {
+		doc.Edges = []Edge{}
+	}
+	b, err := json.MarshalIndent(&doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// ReadJSON parses a document written by WriteJSON, verifying its
+// schema version. The derived graph is dropped; callers recompute it
+// from the round-tripped edge stream.
+func ReadJSON(r io.Reader) (*Snapshot, error) {
+	var doc jsonDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, err
+	}
+	if doc.Schema != SchemaVersion {
+		return nil, fmt.Errorf("causality: snapshot schema %q, want %q", doc.Schema, SchemaVersion)
+	}
+	s := &Snapshot{Edges: doc.Edges, Txns: doc.Txns, Dropped: doc.Dropped, TxnsDropped: doc.TxnsDropped}
+	if s.Edges == nil {
+		s.Edges = []Edge{}
+	}
+	if s.Txns == nil {
+		s.Txns = []TxnInfo{}
+	}
+	return s, nil
+}
+
+// dotColor styles the graph's edges per kind.
+func dotColor(k Kind) string {
+	switch k {
+	case KindLockFail:
+		return "firebrick"
+	case KindValidation:
+		return "darkorange"
+	case KindDependency:
+		return "steelblue"
+	default: // KindLocalWait
+		return "gray40"
+	}
+}
+
+// dotEscape quotes a string for a double-quoted DOT ID.
+func dotEscape(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// maxDOTHotspots bounds the hotspot table embedded in the DOT comment
+// header.
+const maxDOTHotspots = 10
+
+// WriteDOT renders the snapshot's aggregated contention graph as
+// Graphviz DOT: one node per workload label (with txn/abort counts),
+// one edge per (waiter label, holder label, kind) with its count and
+// total virtual wait, the top hotspots as comments, and any wait
+// cycles flagged. Output is deterministic.
+func WriteDOT(w io.Writer, s *Snapshot) error {
+	g := s.Graph()
+	var b strings.Builder
+	b.WriteString("digraph crest_why {\n")
+	b.WriteString("  // CREST contention dependency graph (crest-why)\n")
+	for i, h := range g.Hotspots {
+		if i >= maxDOTHotspots {
+			break
+		}
+		cell := "record"
+		if h.Cell >= 0 {
+			cell = fmt.Sprintf("cell %d", h.Cell)
+		}
+		fmt.Fprintf(&b, "  // hotspot %d: table %d key %d %s — %d conflicts, %d aborts, %v waited\n",
+			i+1, h.Table, h.Key, cell, h.Count, h.Aborts, h.TotalWait)
+	}
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box, fontname=\"Helvetica\"];\n")
+	for _, n := range g.Nodes {
+		fmt.Fprintf(&b, "  \"%s\" [label=\"%s\\n%d txns, %d aborted attempts\"];\n",
+			dotEscape(n.Label), dotEscape(n.Label), n.Txns, n.Aborts)
+	}
+	fmt.Fprintf(&b, "  \"%s\" [label=\"unattributed\", style=dashed];\n", unattributedLabel)
+	for _, e := range g.Edges {
+		label := fmt.Sprintf("%s ×%d", e.Kind, e.Count)
+		if e.TotalWait > 0 {
+			label += fmt.Sprintf(", %v", e.TotalWait)
+		}
+		fmt.Fprintf(&b, "  \"%s\" -> \"%s\" [label=\"%s\", color=%s];\n",
+			dotEscape(e.From), dotEscape(e.To), dotEscape(label), dotColor(e.Kind))
+	}
+	for _, cyc := range g.Cycles {
+		fmt.Fprintf(&b, "  // wait cycle: %s -> %s\n",
+			strings.Join(cyc, " -> "), cyc[0])
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}

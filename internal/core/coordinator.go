@@ -114,7 +114,7 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 	sc := c.getScratch()
 	defer c.putScratch(sc)
 
-	me := &txnState{id: c.cn.sys.nextTxn()}
+	me := &txnState{id: c.cn.sys.nextTxn(), whyID: at.WhyID()}
 	at.Span().SetTxn(me.id)
 	// deps are the creators of versions this transaction read or
 	// overwrote (§5.1): it commits only after they commit, and aborts
@@ -162,11 +162,15 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 				// park behind a held local lock; an uncontended Lock
 				// never parks and stays off the gauge.
 				db.Met.LockWaiters.Inc()
+				holder := acc.obj.whyOwner
+				t0 := p.Now()
 				acc.obj.mu.Lock(p)
 				db.Met.LockWaiters.Dec()
+				db.Why.LocalWait(p, acc.rk.table, acc.key, holder, p.Now().Sub(t0))
 			} else {
 				acc.obj.mu.Lock(p)
 			}
+			acc.obj.whyOwner = me.whyID
 		}
 		if me.tsExec == 0 {
 			// TS_exec is assigned after the first block's local locks
@@ -182,6 +186,7 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 			}
 		}
 		for _, acc := range locked {
+			acc.obj.whyOwner = 0
 			acc.obj.mu.Unlock()
 		}
 		if reason != engine.AbortNone {
@@ -195,7 +200,12 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 	// is exact). ---
 	at.Phase(trace.PhaseValidate)
 	for _, dep := range deps.list {
+		waited := dep.status == txnPending
+		t0 := p.Now()
 		dep.await(p)
+		if waited {
+			db.Why.DependencyWait(p, dep.whyID, p.Now().Sub(t0))
+		}
 		if dep.status == txnAborted {
 			return abortTxn(engine.AbortDependency, false)
 		}
@@ -368,7 +378,13 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 		if waitObj != nil {
 			waitObj.stateQ.SetName(fmt.Sprintf("obj %d/%d admitting=%v flushing=%v locks=%b w=%d r=%d",
 				waitObj.table, waitObj.key, waitObj.admitting, waitObj.flushing, waitObj.remoteLocks, waitObj.writers, waitObj.readers))
+			// The admission/flush blocker is whichever coordinator is
+			// inside the object's critical section; attribute the wait
+			// to it when known.
+			holder := waitObj.whyOwner
+			t0 := p.Now()
 			waitObj.stateQ.Wait(p)
+			db.Why.LocalWait(p, waitObj.table, waitObj.key, holder, p.Now().Sub(t0))
 			continue
 		}
 		if len(sc.fetches) == 0 && len(sc.locks) == 0 {
@@ -457,11 +473,13 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 					obj.remoteLocks |= pd.bits
 					obj.streak = 0 // fresh acquisition opens a new window
 					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), obj.table, obj.key, pd.bits)
+					db.Why.OnLock(p, obj.table, obj.key, pd.bits)
 					db.Met.LockAcquires.Inc()
 				} else {
 					conflict = true
 					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), obj.table, obj.key, pd.bits)
+					db.Why.LockFail(p, obj.table, obj.key, pd.bits)
 					db.Met.LockConflicts.Inc()
 				}
 			}
@@ -484,6 +502,7 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 					conflict = true
 					conflictMask |= db.Tracker.HolderCells(obj.table, obj.key)
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), obj.table, obj.key, readMask)
+					db.Why.LockFail(p, obj.table, obj.key, readMask)
 					db.Met.LockConflicts.Inc()
 				case !obj.admitted:
 					copy(obj.epochs, h.EN[:obj.lay.NumCells()])
@@ -747,6 +766,7 @@ func (c *Coordinator) validateRemote(p *sim.Proc, sc *execScratch, accs []*acces
 				}
 				myMask := accessMaskFor(acc.op)
 				db.Trace.Conflict(p.Now(), trace.SpanOf(p), acc.rk.table, acc.key, bit)
+				db.Why.ValidationFail(p, acc.rk.table, acc.key, bit, wantTS)
 				db.Met.LockConflicts.Inc()
 				return engine.AbortValidation, engine.IsFalseConflict(myMask, conflicting)
 			}
@@ -892,7 +912,10 @@ func (c *Coordinator) applyRelease(p *sim.Proc, sc *execScratch, accs []*access)
 		for _, obj := range work {
 			if obj.admitting || obj.flushing {
 				busy = true
+				holder := obj.whyOwner
+				t0 := p.Now()
 				obj.stateQ.Wait(p)
+				db.Why.LocalWait(p, obj.table, obj.key, holder, p.Now().Sub(t0))
 				break
 			}
 		}
@@ -941,6 +964,7 @@ func (c *Coordinator) applyRelease(p *sim.Proc, sc *execScratch, accs []*access)
 		obj := f.obj
 		for _, plan := range f.plans {
 			db.Tracker.OnUpdate(obj.table, obj.key, plan.ts, 1<<uint(plan.cell))
+			db.Why.OnUpdate(plan.why, obj.table, obj.key, plan.ts, 1<<uint(plan.cell))
 			// A fold of more than 65536 epochs — or one landing exactly
 			// on the wrap — silently reuses epoch numbers; validation
 			// correctness then rests on the EN-threshold fallback, so
@@ -950,6 +974,7 @@ func (c *Coordinator) applyRelease(p *sim.Proc, sc *execScratch, accs []*access)
 			}
 		}
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), obj.table, obj.key, obj.remoteLocks)
+		db.Why.OnUnlock(obj.table, obj.key, obj.remoteLocks)
 		obj.remoteLocks = 0
 		obj.streak = 0
 		if obj.drainPending {

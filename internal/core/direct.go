@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"crest/internal/causality"
 	"crest/internal/engine"
 	"crest/internal/layout"
 	"crest/internal/memnode"
@@ -174,6 +175,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 					db.Tracker.OnLock(w.table(), w.key, accessMaskFor(w.op))
 					w.tracked = true
 					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, want)
+					db.Why.OnLock(p, w.table(), w.key, want)
 					db.Met.LockAcquires.Inc()
 				} else {
 					// No-wait on write locks: the attempt aborts.
@@ -182,6 +184,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 					myMask |= accessMaskFor(w.op)
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key,
 						c.cn.sys.lockMaskFor(w.lay, w.op)&^w.lockBits)
+					db.Why.LockFail(p, w.table(), w.key, c.cn.sys.lockMaskFor(w.lay, w.op)&^w.lockBits)
 					db.Met.LockConflicts.Inc()
 					continue
 				}
@@ -193,6 +196,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 				conflictMask |= db.Tracker.HolderCells(w.table(), w.key)
 				myMask |= accessMaskFor(w.op)
 				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, readMask)
+				db.Why.LockFail(p, w.table(), w.key, readMask)
 				db.Met.LockConflicts.Inc()
 				continue
 			}
@@ -296,6 +300,7 @@ func (c *Coordinator) dValidate(p *sim.Proc, sc *execScratch, ws []*dwork, attem
 					conflicting |= db.Tracker.HolderCells(w.table(), w.key)
 				}
 				db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, bit)
+				db.Why.ValidationFail(p, w.table(), w.key, bit, ck.ts)
 				db.Met.LockConflicts.Inc()
 				return engine.AbortValidation, engine.IsFalseConflict(accessMaskFor(w.op), conflicting)
 			}
@@ -325,6 +330,7 @@ func (c *Coordinator) dRelease(p *sim.Proc, sc *execScratch, ws []*dwork) {
 			w.tracked = false
 		}
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.lockBits)
+		db.Why.OnUnlock(w.table(), w.key, w.lockBits)
 		w.lockBits = 0
 	}
 	batches := sc.bat.Batches()
@@ -419,7 +425,9 @@ func (c *Coordinator) dInstall(p *sim.Proc, sc *execScratch, ws []*dwork, ts uin
 			w.tracked = false
 		}
 		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		db.Why.OnUpdate(causality.IDOf(p), w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.lockBits)
+		db.Why.OnUnlock(w.table(), w.key, w.lockBits)
 		w.lockBits = 0
 	}
 }

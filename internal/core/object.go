@@ -25,6 +25,10 @@ type txnState struct {
 	id     uint64
 	tsExec uint64
 	status txnStatus
+	// whyID is the causality recorder's id for this transaction (0
+	// when recording is off), so dependency waits and flushed versions
+	// can be attributed to their creator.
+	whyID uint64
 	// tsAssigned is set the instant the commit timestamp is drawn,
 	// before the redo-log round-trip; once set, commit is inevitable.
 	// The supersede check orders against it rather than against the
@@ -119,6 +123,12 @@ type object struct {
 	// scanGen is the compute node's dedup stamp (see applyRelease).
 	scanGen uint64
 
+	// whyOwner is the causality id of the transaction currently inside
+	// the object's local critical section (0 when recording is off or
+	// the mutex is free), read by waiters to attribute local-wait
+	// edges. Maintained unconditionally — a plain uint64 store.
+	whyOwner uint64
+
 	remoteLocks uint64               // cell lock bits this CN holds in the pool
 	epochs      []uint16             // CN view of the pool's EN array
 	base        [][]byte             // committed cell values (CN view)
@@ -183,6 +193,7 @@ type flushPlan struct {
 	ts    uint64
 	en    uint16 // epoch number after the folded bumps
 	bumps int
+	why   uint64 // causality id of the version's creator (0 = off)
 }
 
 // collectFlush folds every committed version into the base and returns
@@ -207,7 +218,7 @@ func (o *object) collectFlush() []flushPlan {
 		}
 		bumps := len(vs)
 		en := o.epochs[c] + uint16(bumps)
-		plans = append(plans, flushPlan{cell: c, value: newest.value, ts: newest.txn.tsCommit, en: en, bumps: bumps})
+		plans = append(plans, flushPlan{cell: c, value: newest.value, ts: newest.txn.tsCommit, en: en, bumps: bumps, why: newest.txn.whyID})
 		o.epochs[c] = en
 		o.base[c] = newest.value
 		o.baseVer[c] = layout.CellVersion{EN: en, TS: newest.txn.tsCommit}

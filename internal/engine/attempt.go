@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"crest/internal/causality"
 	"crest/internal/rdma"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -26,6 +27,7 @@ type AttemptTimer struct {
 	db     *DB
 	p      *sim.Proc
 	span   *trace.Span
+	why    *causality.Txn
 	verbs0 rdma.Stats
 	start  sim.Time
 	mark   sim.Time
@@ -44,9 +46,15 @@ func BeginAttempt(db *DB, p *sim.Proc, coord uint64, t *Txn) AttemptTimer {
 		at.span = db.Trace.StartSpan(p, coord, t.Label, t)
 		db.Trace.EnterPhase(at.mark, at.span, trace.PhaseExec)
 	}
+	at.why = db.Why.Begin(p, coord, t.Label, t)
 	db.Met.beginAttempt()
 	return at
 }
+
+// WhyID returns the attempt's causality txn id (0 when recording is
+// off), for engines that need to stamp holder identity onto shared
+// state (CREST local objects and flush plans).
+func (at *AttemptTimer) WhyID() uint64 { return at.why.WhyID() }
 
 // Span returns the attempt's trace span (nil when tracing is off).
 func (at *AttemptTimer) Span() *trace.Span { return at.span }
@@ -80,6 +88,7 @@ func (at *AttemptTimer) Fail(reason AbortReason, falseConflict bool) {
 		at.db.Trace.Abort(now, at.span, reason.String(), falseConflict)
 		at.db.Trace.EnterPhase(now, at.span, trace.PhaseRelease)
 	}
+	at.db.Why.Abort(now, at.why, reason.String())
 	at.db.Met.fail(reason, falseConflict)
 }
 
@@ -91,6 +100,7 @@ func (at *AttemptTimer) Done() Attempt {
 	if !at.failed {
 		at.dur[at.cur] += now.Sub(at.mark)
 		at.db.Trace.Commit(now, at.span)
+		at.db.Why.Commit(now, at.why)
 	}
 	at.db.Met.done(!at.failed, now.Sub(at.start))
 	return Attempt{

@@ -1,0 +1,77 @@
+package engine
+
+import "testing"
+
+// TestChangedSinceInsideWindowReportsExactCells: a validation failure
+// against a version the 16-entry ring still covers gets the exact
+// changed-cell union, so a disjoint cell set classifies as a false
+// conflict.
+func TestChangedSinceInsideWindowReportsExactCells(t *testing.T) {
+	c := NewConflictTracker()
+	for v := uint64(1); v <= conflictHistoryLen; v++ {
+		c.OnUpdate(1, 7, v, 0b0010) // every update touches only cell 1
+	}
+	got := c.ChangedSince(1, 7, 0)
+	if got != 0b0010 {
+		t.Fatalf("ChangedSince(0) = %b, want %b", got, 0b0010)
+	}
+	// A transaction that only touched cell 0 conflicts falsely.
+	if !IsFalseConflict(0b0001, got) {
+		t.Fatal("disjoint cells inside the window classified as a true conflict")
+	}
+	if IsFalseConflict(0b0010, got) {
+		t.Fatal("overlapping cells classified as a false conflict")
+	}
+}
+
+// TestChangedSinceOlderThanRingIsConservative is the boundary the
+// causality recorder mirrors: once the reader's version has aged out
+// of the per-record update ring, the tracker can no longer prove the
+// changed cells were disjoint, so it must answer all-ones — a
+// conservative true conflict — even for a transaction whose own cells
+// were never touched.
+func TestChangedSinceOlderThanRingIsConservative(t *testing.T) {
+	c := NewConflictTracker()
+	// 20 single-cell updates: the ring keeps versions 5..20, so the
+	// oldest surviving entry is version 5.
+	for v := uint64(1); v <= 20; v++ {
+		c.OnUpdate(1, 7, v, 0b0010)
+	}
+
+	// since = 4 is the last version the window still covers (the ring's
+	// oldest entry, version 5, is since+1): the answer stays exact.
+	if got := c.ChangedSince(1, 7, 4); got != 0b0010 {
+		t.Fatalf("ChangedSince(4) = %b, want exact %b", got, 0b0010)
+	}
+	// since = 3 predates the window: updates between 3 and 5 are
+	// unknown, so every cell must be assumed changed.
+	got := c.ChangedSince(1, 7, 3)
+	if got != ^uint64(0) {
+		t.Fatalf("ChangedSince(3) = %b, want all-ones", got)
+	}
+	// The disjoint-cell transaction that was a false conflict inside
+	// the window is now, conservatively, a true conflict.
+	if IsFalseConflict(0b0001, got) {
+		t.Fatal("aged-out validation classified as a false conflict; must be conservatively true")
+	}
+}
+
+// TestHolderCellsTracksSharedCoverage: per-cell counting keeps a cell
+// covered while any holder remains (CREST compute nodes share remote
+// locks locally).
+func TestHolderCellsTracksSharedCoverage(t *testing.T) {
+	c := NewConflictTracker()
+	c.OnLock(1, 7, 0b011)
+	c.OnLock(1, 7, 0b010) // second holder shares cell 1
+	if got := c.HolderCells(1, 7); got != 0b011 {
+		t.Fatalf("HolderCells = %b, want %b", got, 0b011)
+	}
+	c.OnUnlock(1, 7, 0b010)
+	if got := c.HolderCells(1, 7); got != 0b011 {
+		t.Fatalf("cell 1 dropped while a holder remains: %b", got)
+	}
+	c.OnUnlock(1, 7, 0b011)
+	if got := c.HolderCells(1, 7); got != 0 {
+		t.Fatalf("HolderCells after full unlock = %b, want 0", got)
+	}
+}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"crest/internal/causality"
 	"crest/internal/hashindex"
 	"crest/internal/layout"
 	"crest/internal/memnode"
@@ -89,6 +90,11 @@ type DB struct {
 	// protocol code can use it unconditionally: with metrics disabled
 	// every handle is nil and every call no-ops.
 	Met Metrics
+	// Why, when non-nil, records wait-for and conflict edges for abort
+	// forensics (blame chains, contention graphs). Like Trace it is
+	// nil-safe and host-side only: enabling it never changes virtual
+	// time, events or randomness.
+	Why *causality.Recorder
 }
 
 // NewDB wraps a pool.

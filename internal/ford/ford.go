@@ -19,6 +19,7 @@ import (
 	"encoding/binary"
 	"fmt"
 
+	"crest/internal/causality"
 	"crest/internal/engine"
 	"crest/internal/hashindex"
 	"crest/internal/layout"
@@ -312,6 +313,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work) (engi
 					w.locked = true
 					db.Tracker.OnLock(w.table(), w.key, w.cells)
 					db.Trace.LockAcquire(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+					db.Why.OnLock(p, w.table(), w.key, w.cells)
 					db.Met.LockAcquires.Inc()
 				} else {
 					if abort == engine.AbortNone {
@@ -320,6 +322,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work) (engi
 						falseConflict = engine.IsFalseConflict(w.cells, holder)
 					}
 					db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+					db.Why.LockFail(p, w.table(), w.key, w.cells)
 					db.Met.LockConflicts.Inc()
 				}
 				ri++
@@ -408,6 +411,7 @@ func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine
 				conflicting |= db.Tracker.ChangedSince(w.table(), w.key, w.readVer)
 			}
 			db.Trace.Conflict(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+			db.Why.ValidationFail(p, w.table(), w.key, w.cells, w.readVer)
 			db.Met.LockConflicts.Inc()
 			return engine.AbortValidation, engine.IsFalseConflict(w.cells, conflicting)
 		}
@@ -433,6 +437,7 @@ func (c *Coordinator) releaseLocks(p *sim.Proc, sc *execScratch, ws []*work) {
 		})
 		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+		db.Why.OnUnlock(w.table(), w.key, w.cells)
 		w.locked = false
 	}
 	batches := sc.bat.Batches()
@@ -542,6 +547,8 @@ func (c *Coordinator) install(p *sim.Proc, sc *execScratch, ws []*work, ts uint6
 		db.Tracker.OnUnlock(w.table(), w.key, w.cells)
 		db.Tracker.OnUpdate(w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
 		db.Trace.LockRelease(p.Now(), trace.SpanOf(p), w.table(), w.key, w.cells)
+		db.Why.OnUpdate(causality.IDOf(p), w.table(), w.key, ts, layout.LockMask(w.op.WriteCells))
+		db.Why.OnUnlock(w.table(), w.key, w.cells)
 		w.locked = false
 	}
 }

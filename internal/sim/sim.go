@@ -243,6 +243,11 @@ type Proc struct {
 	// fabric) can attribute work to the span without importing the
 	// tracing package or the engine.
 	traceCtx any
+
+	// whyCtx carries the per-process causality context (the current
+	// transaction's wait-for node), kept separate from traceCtx so the
+	// two observability layers enable independently.
+	whyCtx any
 }
 
 // TraceCtx returns the process's tracing context, or nil.
@@ -250,6 +255,12 @@ func (p *Proc) TraceCtx() any { return p.traceCtx }
 
 // SetTraceCtx attaches a tracing context to the process.
 func (p *Proc) SetTraceCtx(ctx any) { p.traceCtx = ctx }
+
+// WhyCtx returns the process's causality context, or nil.
+func (p *Proc) WhyCtx() any { return p.whyCtx }
+
+// SetWhyCtx attaches a causality context to the process.
+func (p *Proc) SetWhyCtx(ctx any) { p.whyCtx = ctx }
 
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
@@ -277,6 +288,7 @@ func (e *Env) newProc(name string, fn func(*Proc)) *Proc {
 		p.waiting = false
 		p.waitQ = ""
 		p.traceCtx = nil
+		p.whyCtx = nil
 		p.gen++
 		return p
 	}
