@@ -29,6 +29,14 @@ type BenchmarkConfig struct {
 	System   System
 	Workload string // tpcc, smallbank or ycsb
 
+	// Scenario, when set, drives the run from a declarative scenario
+	// (see ParseScenario / ParseScenarioFile): the spec's workload
+	// section replaces Workload and the workload knobs below, and its
+	// traffic timeline modulates load and hotspot placement over
+	// virtual time. Determinism is unchanged — same seed, same spec,
+	// byte-identical run.
+	Scenario *ScenarioSpec
+
 	// TPC-C contention knob (the paper sweeps 100 → 20 warehouses).
 	Warehouses int
 	// Zipfian constant for SmallBank and YCSB (0 = uniform).
@@ -123,6 +131,10 @@ type BenchmarkResult struct {
 	// set (render with WriteWhyBlame / WriteWhyDOT / WriteWhyJSON),
 	// nil otherwise.
 	Why *WhySnapshot
+
+	// ScenarioPhases is the per-phase breakdown (attempts, commits,
+	// aborts) when the run was scenario-driven, nil otherwise.
+	ScenarioPhases []ScenarioPhaseStat
 }
 
 // String summarizes the result in one line.
@@ -208,6 +220,7 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		Events:         res.Events,
 		WallMS:         res.WallMS,
 		EventsPerSec:   eventsPerSec(res.Events, res.WallMS),
+		ScenarioPhases: res.ScenarioPhases,
 	}, nil
 }
 
@@ -226,6 +239,13 @@ func withDefault(v, d string) string {
 }
 
 func benchWorkload(cfg BenchmarkConfig, p bench.Profile) (func() workload.Generator, string, error) {
+	if cfg.Scenario != nil {
+		gen, err := p.ScenarioWorkload(cfg.Scenario)
+		if err != nil {
+			return nil, "", err
+		}
+		return gen, "scenario:" + cfg.Scenario.Name, nil
+	}
 	theta := cfg.Theta
 	switch withDefault(cfg.Workload, WorkloadTPCC) {
 	case WorkloadTPCC:

@@ -1,7 +1,8 @@
 // Command crestbench regenerates the paper's tables and figures and
 // runs ad-hoc benchmark configurations.
 //
-// Regenerate artifacts (ids: fig2 fig3 fig4 table1 table2 exp1..exp8):
+// Regenerate artifacts (ids: fig2 fig3 fig4 table1 table2 exp1..exp8
+// scenario):
 //
 //	crestbench -exp exp1
 //	crestbench -exp all -profile quick -j 8
@@ -17,6 +18,11 @@
 //
 //	crestbench -run -system crest -workload ycsb -theta 0.99 -coords 240
 //
+// Run a declarative scenario (workload spec file with a traffic
+// timeline; see DESIGN.md §9 and examples/scenarios/):
+//
+//	crestbench -run -spec examples/scenarios/drift-demo.spec -quick
+//
 // All results are virtual-time measurements from the deterministic
 // simulation; identical seeds reproduce identical numbers.
 package main
@@ -24,6 +30,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/debug"
 	"runtime/pprof"
@@ -35,35 +42,71 @@ import (
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// validSystems and validWorkloads are the values -run accepts; they
+// are checked up front so a typo fails with usage instead of deep in
+// the harness.
+var validSystems = []string{"crest", "crest-cell", "crest-base", "ford", "motor"}
+var validWorkloads = []string{"tpcc", "smallbank", "ycsb"}
+
+func oneOf(v string, valid []string) bool {
+	for _, s := range valid {
+		if v == s {
+			return true
+		}
+	}
+	return false
+}
+
+// run executes one invocation and returns the process exit code. It
+// is the unit-testable seam: main only binds it to os streams.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crestbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		expID    = flag.String("exp", "", "experiment id to regenerate, or 'all'")
-		profile  = flag.String("profile", "full", "experiment profile: quick or full")
-		jobs     = flag.Int("j", 0, "parallel simulations for -exp (default GOMAXPROCS)")
-		jsonOut  = flag.String("json", "", "with -exp: write per-run JSON records to this file")
-		baseline = flag.String("baseline", "", "with -exp: compare per-run KOPS against this BENCH_*.json baseline")
-		cacheDir = flag.String("cache", "", "with -exp: on-disk result cache directory for incremental re-runs")
-		list     = flag.Bool("list", false, "list experiment ids and exit")
-		runOne   = flag.Bool("run", false, "run a single benchmark configuration")
-		system   = flag.String("system", "crest", "system: crest, crest-cell, crest-base, ford, motor")
-		workload = flag.String("workload", "tpcc", "workload: tpcc, smallbank, ycsb")
-		coords   = flag.Int("coords", 240, "total coordinators (across 3 compute nodes)")
-		wh       = flag.Int("warehouses", 40, "TPC-C warehouses")
-		theta    = flag.Float64("theta", 0.99, "Zipfian constant (smallbank/ycsb)")
-		writes   = flag.Float64("writes", 0.5, "YCSB write ratio")
-		perTxn   = flag.Int("n", 4, "YCSB records per transaction")
-		duration = flag.Duration("duration", 20*time.Millisecond, "measured virtual time")
-		warmup   = flag.Duration("warmup", 4*time.Millisecond, "virtual warmup excluded from measurement")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		quick    = flag.Bool("quick", false, "use CI-scale table sizes")
-		traceOut = flag.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
-		metOut   = flag.String("metrics", "", "with -run: write the run's windowed metrics to this file (.csv, .json or .prom by extension)")
-		whyOut   = flag.String("why", "", "with -run: write the run's contention graph for abort forensics to this file (.dot or crest-why .json by extension)")
-		metWin   = flag.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
-		cpuProf  = flag.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
-		memProf  = flag.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
-		rtTrace  = flag.String("runtimetrace", "", "write a Go runtime execution trace to this file")
+		expID    = fs.String("exp", "", "experiment id to regenerate, or 'all'")
+		profile  = fs.String("profile", "full", "experiment profile: quick or full")
+		jobs     = fs.Int("j", 0, "parallel simulations for -exp (default GOMAXPROCS)")
+		jsonOut  = fs.String("json", "", "with -exp: write per-run JSON records to this file")
+		baseline = fs.String("baseline", "", "with -exp: compare per-run KOPS against this BENCH_*.json baseline")
+		cacheDir = fs.String("cache", "", "with -exp: on-disk result cache directory for incremental re-runs")
+		list     = fs.Bool("list", false, "list experiment ids and exit")
+		runOne   = fs.Bool("run", false, "run a single benchmark configuration")
+		system   = fs.String("system", "crest", "system: crest, crest-cell, crest-base, ford, motor")
+		workload = fs.String("workload", "tpcc", "workload: tpcc, smallbank, ycsb")
+		specPath = fs.String("spec", "", "with -run: drive the run from a declarative scenario .spec file (overrides -workload and its knobs)")
+		coords   = fs.Int("coords", 240, "total coordinators (across 3 compute nodes)")
+		wh       = fs.Int("warehouses", 40, "TPC-C warehouses")
+		theta    = fs.Float64("theta", 0.99, "Zipfian constant (smallbank/ycsb)")
+		writes   = fs.Float64("writes", 0.5, "YCSB write ratio")
+		perTxn   = fs.Int("n", 4, "YCSB records per transaction")
+		duration = fs.Duration("duration", 20*time.Millisecond, "measured virtual time")
+		warmup   = fs.Duration("warmup", 4*time.Millisecond, "virtual warmup excluded from measurement")
+		seed     = fs.Int64("seed", 1, "simulation seed")
+		quick    = fs.Bool("quick", false, "use CI-scale table sizes")
+		traceOut = fs.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
+		metOut   = fs.String("metrics", "", "with -run: write the run's windowed metrics to this file (.csv, .json or .prom by extension)")
+		whyOut   = fs.String("why", "", "with -run: write the run's contention graph for abort forensics to this file (.dot or crest-why .json by extension)")
+		metWin   = fs.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
+		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
+		memProf  = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
+		rtTrace  = fs.String("runtimetrace", "", "write a Go runtime execution trace to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fatalf := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "crestbench: "+format+"\n", args...)
+		return 1
+	}
+	usageErr := func(format string, args ...any) int {
+		fmt.Fprintf(stderr, "crestbench: "+format+"\n", args...)
+		fmt.Fprintf(stderr, "usage: crestbench -exp <id> [flags] | crestbench -run [flags] | crestbench -list\n")
+		fs.Usage()
+		return 2
+	}
 
 	// The simulator's steady state allocates little, so the default GC
 	// pacing spends its time rescanning a near-constant heap. Relax it
@@ -76,61 +119,59 @@ func main() {
 	if *cpuProf != "" {
 		f, err := os.Create(*cpuProf)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		if err := pprof.StartCPUProfile(f); err != nil {
-			fatalf("starting CPU profile: %v", err)
+			return fatalf("starting CPU profile: %v", err)
 		}
 		defer func() {
 			pprof.StopCPUProfile()
-			if err := f.Close(); err != nil {
-				fatalf("%v", err)
-			}
+			f.Close()
 		}()
 	}
 	if *rtTrace != "" {
 		f, err := os.Create(*rtTrace)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		if err := rttrace.Start(f); err != nil {
-			fatalf("starting runtime trace: %v", err)
+			return fatalf("starting runtime trace: %v", err)
 		}
 		defer func() {
 			rttrace.Stop()
-			if err := f.Close(); err != nil {
-				fatalf("%v", err)
-			}
+			f.Close()
 		}()
 	}
 	if *memProf != "" {
 		defer func() {
 			f, err := os.Create(*memProf)
 			if err != nil {
-				fatalf("%v", err)
+				fmt.Fprintf(stderr, "crestbench: %v\n", err)
+				return
 			}
 			if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
-				fatalf("writing heap profile: %v", err)
+				fmt.Fprintf(stderr, "crestbench: writing heap profile: %v\n", err)
 			}
-			if err := f.Close(); err != nil {
-				fatalf("%v", err)
-			}
+			f.Close()
 		}()
 	}
 
 	switch {
 	case *list:
 		for _, id := range crest.ExperimentIDs() {
-			fmt.Println(id)
+			fmt.Fprintln(stdout, id)
 		}
 	case *expID != "":
+		if *specPath != "" {
+			return usageErr("-spec only applies to -run")
+		}
 		var ids []string
 		if *expID != "all" {
 			ids = []string{*expID}
 		}
 		quickProfile := *profile == "quick"
 		if !quickProfile && *profile != "full" {
-			fatalf("unknown profile %q (quick or full)", *profile)
+			return usageErr("unknown profile %q (quick or full)", *profile)
 		}
 		start := time.Now()
 		m, err := crest.RunMatrix(ids, quickProfile, crest.MatrixOptions{
@@ -138,50 +179,58 @@ func main() {
 			CacheDir: *cacheDir,
 		})
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		for _, exp := range m.Experiments {
 			for _, tab := range exp.Tables {
-				fmt.Println(tab.Format())
+				fmt.Fprintln(stdout, tab.Format())
 			}
 		}
 		if *jsonOut != "" {
 			f, err := os.Create(*jsonOut)
 			if err != nil {
-				fatalf("%v", err)
+				return fatalf("%v", err)
 			}
 			if err := crest.WriteBenchJSON(f, m); err != nil {
-				fatalf("writing %s: %v", *jsonOut, err)
+				return fatalf("writing %s: %v", *jsonOut, err)
 			}
 			if err := f.Close(); err != nil {
-				fatalf("%v", err)
+				return fatalf("%v", err)
 			}
-			fmt.Fprintf(os.Stderr, "[json: %d run records -> %s]\n", len(m.Records), *jsonOut)
+			fmt.Fprintf(stderr, "[json: %d run records -> %s]\n", len(m.Records), *jsonOut)
 		}
 		if *baseline != "" {
 			f, err := os.Open(*baseline)
 			if err != nil {
-				fatalf("%v", err)
+				return fatalf("%v", err)
 			}
 			base, err := crest.ReadBenchJSON(f)
 			f.Close()
 			if err != nil {
-				fatalf("reading %s: %v", *baseline, err)
+				return fatalf("reading %s: %v", *baseline, err)
 			}
 			cmp := crest.CompareBenchResultSets(base, m.ResultSet())
-			fmt.Printf("KOPS vs %s:\n%s", *baseline, cmp.Format())
+			fmt.Fprintf(stdout, "KOPS vs %s:\n%s", *baseline, cmp.Format())
 		}
-		fmt.Fprintf(os.Stderr, "[%d experiment(s), %d unique runs (%d simulated, %d cached), %s profile, %v wall time]\n",
+		fmt.Fprintf(stderr, "[%d experiment(s), %d unique runs (%d simulated, %d cached), %s profile, %v wall time]\n",
 			len(m.Experiments), len(m.Records), m.Simulated, m.CacheHits, *profile,
 			time.Since(start).Round(time.Millisecond))
 		if p := m.Perf; p != nil {
-			fmt.Fprintf(os.Stderr, "[sim: %d events in %.0f ms event-loop time, %.2fM events/sec]\n",
+			fmt.Fprintf(stderr, "[sim: %d events in %.0f ms event-loop time, %.2fM events/sec]\n",
 				p.Events, p.SimWallMS, p.EventsPerSec/1e6)
 		}
 	case *runOne:
-		res, err := crest.RunBenchmark(crest.BenchmarkConfig{
-			System:        crest.System(strings.ToLower(*system)),
-			Workload:      strings.ToLower(*workload),
+		sys := strings.ToLower(*system)
+		if !oneOf(sys, validSystems) {
+			return usageErr("unknown system %q (%s)", *system, strings.Join(validSystems, ", "))
+		}
+		wl := strings.ToLower(*workload)
+		if *specPath == "" && !oneOf(wl, validWorkloads) {
+			return usageErr("unknown workload %q (%s)", *workload, strings.Join(validWorkloads, ", "))
+		}
+		cfg := crest.BenchmarkConfig{
+			System:        crest.System(sys),
+			Workload:      wl,
 			Warehouses:    *wh,
 			Theta:         *theta,
 			WriteRatio:    *writes,
@@ -195,58 +244,87 @@ func main() {
 			Metrics:       *metOut != "",
 			MetricsWindow: *metWin,
 			Why:           *whyOut != "",
-		})
+		}
+		if *specPath != "" {
+			sc, err := crest.ParseScenarioFile(*specPath)
+			if err != nil {
+				return fatalf("%v", err)
+			}
+			cfg.Scenario = sc
+			// The measured window must cover the whole timeline unless
+			// the operator asked for a specific -duration.
+			if tl := sc.TimelineDuration(); time.Duration(tl) > cfg.Duration && !flagSet(fs, "duration") {
+				cfg.Duration = time.Duration(tl)
+			}
+		}
+		res, err := crest.RunBenchmark(cfg)
 		if err != nil {
-			fatalf("%v", err)
+			return fatalf("%v", err)
 		}
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			if err != nil {
-				fatalf("%v", err)
+				return fatalf("%v", err)
 			}
 			if err := crest.WriteChromeTrace(f, res.Trace); err != nil {
-				fatalf("writing trace: %v", err)
+				return fatalf("writing trace: %v", err)
 			}
 			if err := f.Close(); err != nil {
-				fatalf("%v", err)
+				return fatalf("%v", err)
 			}
-			fmt.Fprintf(os.Stderr, "[trace: %d events -> %s]\n", len(res.Trace.Events), *traceOut)
+			fmt.Fprintf(stderr, "[trace: %d events -> %s]\n", len(res.Trace.Events), *traceOut)
 		}
 		if *metOut != "" {
 			// Metrics output goes to its file and stderr only: the run's
 			// stdout stays byte-identical with and without -metrics.
 			if err := writeMetrics(*metOut, res.Metrics); err != nil {
-				fatalf("%v", err)
+				return fatalf("%v", err)
 			}
-			if err := crest.WriteMetricsSparklines(os.Stderr, res.Metrics); err != nil {
-				fatalf("writing sparklines: %v", err)
+			if err := crest.WriteMetricsSparklines(stderr, res.Metrics); err != nil {
+				return fatalf("writing sparklines: %v", err)
 			}
-			fmt.Fprintf(os.Stderr, "[metrics: %d series, %d windows -> %s]\n",
+			fmt.Fprintf(stderr, "[metrics: %d series, %d windows -> %s]\n",
 				len(res.Metrics.Series), len(res.Metrics.Times), *metOut)
 		}
 		if *whyOut != "" {
 			// Forensics output goes to its file and stderr only: the
 			// run's stdout stays byte-identical with and without -why.
 			if err := writeWhy(*whyOut, res.Why); err != nil {
-				fatalf("%v", err)
+				return fatalf("%v", err)
 			}
-			fmt.Fprintf(os.Stderr, "[why: %d txns, %d edges -> %s]\n",
+			fmt.Fprintf(stderr, "[why: %d txns, %d edges -> %s]\n",
 				len(res.Why.Txns), len(res.Why.Edges), *whyOut)
 		}
-		fmt.Println(res)
-		fmt.Printf("  committed=%d aborted=%d false-abort=%.1f%%\n", res.Committed, res.Aborted, 100*res.FalseAbortRate)
-		fmt.Printf("  latency µs: avg=%.1f p50=%.1f p99=%.1f p999=%.1f\n",
+		fmt.Fprintln(stdout, res)
+		fmt.Fprintf(stdout, "  committed=%d aborted=%d false-abort=%.1f%%\n", res.Committed, res.Aborted, 100*res.FalseAbortRate)
+		fmt.Fprintf(stdout, "  latency µs: avg=%.1f p50=%.1f p99=%.1f p999=%.1f\n",
 			res.AvgLatencyUs, res.P50LatencyUs, res.P99LatencyUs, res.P999LatencyUs)
-		fmt.Printf("  phases µs: exec=%.1f validate=%.1f commit=%.1f\n", res.ExecUs, res.ValidateUs, res.CommitUs)
+		fmt.Fprintf(stdout, "  phases µs: exec=%.1f validate=%.1f commit=%.1f\n", res.ExecUs, res.ValidateUs, res.CommitUs)
+		for _, ps := range res.ScenarioPhases {
+			fmt.Fprintf(stdout, "  phase %d: attempts=%d commits=%d aborts=%d abort-rate=%.1f%%\n",
+				ps.Phase, ps.Attempts, ps.Commits, ps.Aborts, 100*ps.AbortRate())
+		}
 		if res.WallMS > 0 {
-			virtualMS := float64(*duration) / float64(time.Millisecond)
-			fmt.Fprintf(os.Stderr, "[sim: %.1f ms virtual in %.1f ms wall (%.2fx real time), %d events, %.2fM events/sec]\n",
+			virtualMS := float64(cfg.Duration) / float64(time.Millisecond)
+			fmt.Fprintf(stderr, "[sim: %.1f ms virtual in %.1f ms wall (%.2fx real time), %d events, %.2fM events/sec]\n",
 				virtualMS, res.WallMS, virtualMS/res.WallMS, res.Events, res.EventsPerSec/1e6)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
+}
+
+// flagSet reports whether the operator passed the named flag.
+func flagSet(fs *flag.FlagSet, name string) bool {
+	set := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // writeMetrics writes the snapshot to path in the format its extension
@@ -289,9 +367,4 @@ func writeWhy(path string, s *crest.WhySnapshot) error {
 		return fmt.Errorf("writing %s: %w", path, err)
 	}
 	return f.Close()
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "crestbench: "+format+"\n", args...)
-	os.Exit(1)
 }

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// dispatch runs the CLI against buffers and returns (code, stdout,
+// stderr).
+func dispatch(args ...string) (int, string, string) {
+	var out, errOut bytes.Buffer
+	code := run(args, &out, &errOut)
+	return code, out.String(), errOut.String()
+}
+
+func TestNoModeShowsUsage(t *testing.T) {
+	code, _, stderr := dispatch()
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "Usage of crestbench") {
+		t.Fatalf("stderr lacks usage:\n%s", stderr)
+	}
+}
+
+func TestBadFlagFails(t *testing.T) {
+	code, _, _ := dispatch("-nonsense")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+}
+
+func TestRunValidatesSystemUpFront(t *testing.T) {
+	code, _, stderr := dispatch("-run", "-system", "oracle")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown system "oracle"`) {
+		t.Fatalf("stderr lacks diagnosis:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "crest, crest-cell, crest-base, ford, motor") {
+		t.Fatalf("stderr lacks the valid set:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "usage:") {
+		t.Fatalf("stderr lacks usage:\n%s", stderr)
+	}
+}
+
+func TestRunValidatesWorkloadUpFront(t *testing.T) {
+	code, _, stderr := dispatch("-run", "-workload", "tcp-c")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown workload "tcp-c"`) {
+		t.Fatalf("stderr lacks diagnosis:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "tpcc, smallbank, ycsb") {
+		t.Fatalf("stderr lacks the valid set:\n%s", stderr)
+	}
+}
+
+func TestExpRejectsSpec(t *testing.T) {
+	code, _, stderr := dispatch("-exp", "exp1", "-spec", "x.spec")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "-spec only applies to -run") {
+		t.Fatalf("stderr lacks diagnosis:\n%s", stderr)
+	}
+}
+
+func TestExpRejectsBadProfile(t *testing.T) {
+	code, _, stderr := dispatch("-exp", "exp1", "-profile", "huge")
+	if code != 2 {
+		t.Fatalf("exit code %d, want 2", code)
+	}
+	if !strings.Contains(stderr, `unknown profile "huge"`) {
+		t.Fatalf("stderr lacks diagnosis:\n%s", stderr)
+	}
+}
+
+func TestRunMissingSpecFileFails(t *testing.T) {
+	code, _, stderr := dispatch("-run", "-spec", "no-such-file.spec")
+	if code != 1 {
+		t.Fatalf("exit code %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "no-such-file.spec") {
+		t.Fatalf("stderr lacks the path:\n%s", stderr)
+	}
+}
+
+func TestListPrintsScenario(t *testing.T) {
+	code, stdout, _ := dispatch("-list")
+	if code != 0 {
+		t.Fatalf("exit code %d", code)
+	}
+	if !strings.Contains(stdout, "scenario") || !strings.Contains(stdout, "exp1") {
+		t.Fatalf("experiment list incomplete:\n%s", stdout)
+	}
+}
+
+// TestRunSpecEndToEnd drives a tiny scenario through the full CLI
+// path and checks the per-phase lines land on stdout.
+func TestRunSpecEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tiny.spec")
+	spec := `workload=ycsb
+recordcount=2000
+theta=0.9
+phase.1.type=constant
+phase.1.duration=1ms
+phase.1.load=1.0
+phase.2.type=constant
+phase.2.duration=1ms
+phase.2.load=0.5
+phase.2.hotspot=0.5
+`
+	if err := os.WriteFile(path, []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, stdout, stderr := dispatch("-run", "-spec", path, "-quick", "-coords", "24", "-warmup", "200us")
+	if code != 0 {
+		t.Fatalf("exit code %d\nstderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "scenario:tiny") {
+		t.Fatalf("stdout lacks the scenario name:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "phase 1:") || !strings.Contains(stdout, "phase 2:") {
+		t.Fatalf("stdout lacks per-phase lines:\n%s", stdout)
+	}
+	// Same invocation, byte-identical stdout.
+	code2, stdout2, _ := dispatch("-run", "-spec", path, "-quick", "-coords", "24", "-warmup", "200us")
+	if code2 != 0 || stdout2 != stdout {
+		t.Fatalf("spec-driven run is not reproducible:\n--- first\n%s--- second\n%s", stdout, stdout2)
+	}
+}

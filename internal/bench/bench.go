@@ -22,6 +22,7 @@ import (
 	"crest/internal/metrics"
 	"crest/internal/motor"
 	"crest/internal/rdma"
+	"crest/internal/scenario"
 	"crest/internal/sim"
 	"crest/internal/stats"
 	"crest/internal/trace"
@@ -134,6 +135,22 @@ func (c Config) coordsOnNode(cn int) int {
 	return n
 }
 
+// PhaseStat aggregates the measured window of one scenario phase.
+type PhaseStat struct {
+	Phase    int    `json:"phase"` // 1-based, matching phase.<i> in the spec
+	Attempts uint64 `json:"attempts"`
+	Commits  uint64 `json:"commits"`
+	Aborts   uint64 `json:"aborts"`
+}
+
+// AbortRate is aborts per attempt within the phase.
+func (p PhaseStat) AbortRate() float64 {
+	if p.Attempts == 0 {
+		return 0
+	}
+	return float64(p.Aborts) / float64(p.Attempts)
+}
+
 // Result is one run's aggregated outcome.
 type Result struct {
 	*stats.Run
@@ -153,6 +170,10 @@ type Result struct {
 	// simulator, not the simulated system, and never feeds canonical
 	// output.
 	WallMS float64
+	// ScenarioPhases breaks the measured window down by scenario phase
+	// when the workload is scenario-driven (attempts are attributed to
+	// the phase in which their transaction was first generated).
+	ScenarioPhases []PhaseStat
 }
 
 // System is the engine-facing surface the three implementations share.
@@ -281,23 +302,69 @@ func Run(cfg Config) (Result, error) {
 	stop := false
 	verbs0 := fabric.Stats()
 
+	// Scenario-driven runs modulate admission and key selection from
+	// the virtual clock. Under a trivial timeline Gate is always zero
+	// and NextAt is exactly Next, so this path adds no events and no
+	// randomness to a plain run.
+	timed, _ := gen.(workload.TimedGenerator)
+	var scn *scenario.Spec
+	if sg, ok := gen.(*scenario.Generator); ok {
+		scn = sg.Spec()
+		if len(scn.Timeline) > 0 {
+			res.ScenarioPhases = make([]PhaseStat, len(scn.Timeline))
+			for i := range res.ScenarioPhases {
+				res.ScenarioPhases[i].Phase = i + 1
+			}
+		}
+	}
+
 	coordID := 0
 	for cn := 0; cn < cfg.CompNodes; cn++ {
 		node := sys.NewComputeNode(cn)
 		node.WarmCache()
 		for i := 0; i < cfg.coordsOnNode(cn); i++ {
 			coord := node.NewCoordinator(coordID)
+			rank := coordID
 			coordID++
 			env.Spawn(fmt.Sprintf("cn%d/coord%d", cn, i), func(p *sim.Proc) {
 				for !stop {
-					txn := gen.Next(p.Rand())
+					var txn *engine.Txn
+					if timed != nil {
+						// Park while the timeline gates this
+						// coordinator; each wait lands on the next
+						// decision point (phase boundary, burst edge,
+						// or resolution grid tick).
+						for {
+							w := timed.Gate(p.Now(), rank, totalCoords)
+							if w == 0 {
+								break
+							}
+							p.Sleep(w)
+							if stop {
+								return
+							}
+						}
+						txn = timed.NextAt(p.Now(), p.Rand())
+					} else {
+						txn = gen.Next(p.Rand())
+					}
 					start := p.Now()
 					measured := start >= sim.Time(cfg.Warmup)
+					var ps *PhaseStat
+					if measured && res.ScenarioPhases != nil {
+						ps = &res.ScenarioPhases[scn.PhaseAt(start)]
+					}
 					attempt := 0
 					for {
 						a := coord.Execute(p, txn)
 						if measured {
 							res.RecordAttempt(a)
+							if ps != nil {
+								ps.Attempts++
+								if !a.Committed {
+									ps.Aborts++
+								}
+							}
 						}
 						if a.Committed {
 							break
@@ -317,6 +384,9 @@ func Run(cfg Config) (Result, error) {
 					}
 					if measured {
 						res.RecordCommit(p.Now().Sub(start))
+						if ps != nil {
+							ps.Commits++
+						}
 					}
 				}
 			})

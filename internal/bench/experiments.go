@@ -613,19 +613,20 @@ func Exp8(p Profile, get Getter) ([]Table, error) {
 // Experiments is the registry mapping experiment ids to their
 // implementations, in the paper's order.
 var Experiments = map[string]Experiment{
-	"fig2":   {ID: "fig2", Render: Fig2},
-	"fig3":   {ID: "fig3", Render: Fig3},
-	"fig4":   {ID: "fig4", Render: Fig4},
-	"table1": {ID: "table1", Render: Table1},
-	"table2": {ID: "table2", Render: Table2},
-	"exp1":   {ID: "exp1", Render: Exp1},
-	"exp2":   {ID: "exp2", Render: Exp2},
-	"exp3":   {ID: "exp3", Render: Exp3},
-	"exp4":   {ID: "exp4", Render: Exp4},
-	"exp5":   {ID: "exp5", Render: Exp5},
-	"exp6":   {ID: "exp6", Render: Exp6},
-	"exp7":   {ID: "exp7", Render: Exp7},
-	"exp8":   {ID: "exp8", Render: Exp8},
+	"fig2":     {ID: "fig2", Render: Fig2},
+	"fig3":     {ID: "fig3", Render: Fig3},
+	"fig4":     {ID: "fig4", Render: Fig4},
+	"table1":   {ID: "table1", Render: Table1},
+	"table2":   {ID: "table2", Render: Table2},
+	"exp1":     {ID: "exp1", Render: Exp1},
+	"exp2":     {ID: "exp2", Render: Exp2},
+	"exp3":     {ID: "exp3", Render: Exp3},
+	"exp4":     {ID: "exp4", Render: Exp4},
+	"exp5":     {ID: "exp5", Render: Exp5},
+	"exp6":     {ID: "exp6", Render: Exp6},
+	"exp7":     {ID: "exp7", Render: Exp7},
+	"exp8":     {ID: "exp8", Render: Exp8},
+	"scenario": {ID: "scenario", Render: ExpScenario},
 }
 
 // ExperimentIDs lists the registry in canonical order.
@@ -644,6 +645,7 @@ func expOrder(id string) string {
 		"table1": "04", "table2": "05",
 		"exp1": "06", "exp2": "07", "exp3": "08", "exp4": "09",
 		"exp5": "10", "exp6": "11", "exp7": "12", "exp8": "13",
+		"scenario": "14",
 	}
 	return order[id]
 }

@@ -24,6 +24,7 @@ import (
 	"sync"
 
 	"crest/internal/rdma"
+	"crest/internal/scenario"
 	"crest/internal/sim"
 	"crest/internal/workload"
 )
@@ -129,14 +130,23 @@ type RunSpec struct {
 	// OneTxn selects the Table 2 measurement mode: load, execute
 	// exactly one uncontended transaction, report its verbs.
 	OneTxn bool `json:"one_txn,omitempty"`
+	// Scenario, when set, drives the run from a declarative scenario
+	// (workload section + traffic timeline) instead of Workload. Its
+	// hash-stable Key() joins the run key, so equal scenarios dedupe
+	// across experiments exactly like equal workloads do.
+	Scenario *scenario.Spec `json:"scenario,omitempty"`
 }
 
 // Key is the canonical identity of the run; it is the memoization and
 // cache key, and two specs with equal keys are interchangeable.
 func (s RunSpec) Key() string {
-	return fmt.Sprintf("%s|%s|c%d|mn%d|cn%d|r%d|d%d|w%d|s%d|p%s|once%t",
+	key := fmt.Sprintf("%s|%s|c%d|mn%d|cn%d|r%d|d%d|w%d|s%d|p%s|once%t",
 		s.System, s.Workload.key(), s.Coordinators, s.MemNodes, s.CompNodes,
 		s.Replicas, int64(s.Duration), int64(s.Warmup), s.Seed, s.Profile, s.OneTxn)
+	if s.Scenario != nil {
+		key += "|scn:" + s.Scenario.Key()
+	}
+	return key
 }
 
 // Spec assembles a run spec at a total coordinator count under the
@@ -159,7 +169,13 @@ func (p Profile) Spec(system SystemKind, wl WorkloadSpec, totalCoords int) RunSp
 
 // config materializes the bench.Config the spec describes.
 func (s RunSpec) config(p Profile) (Config, error) {
-	gen, err := s.Workload.generator(p)
+	var gen func() workload.Generator
+	var err error
+	if s.Scenario != nil {
+		gen, err = p.ScenarioWorkload(s.Scenario)
+	} else {
+		gen, err = s.Workload.generator(p)
+	}
 	if err != nil {
 		return Config{}, err
 	}
@@ -219,6 +235,9 @@ type RunRecord struct {
 	// count — so it caches and reproduces bit-for-bit; wall-clock
 	// measurements, which do not, live in BenchPerf instead.
 	Events uint64 `json:"events,omitempty"`
+	// ScenarioPhases is the per-phase breakdown of scenario-driven
+	// runs (absent otherwise; additive, so the schema version holds).
+	ScenarioPhases []PhaseStat `json:"scenario_phases,omitempty"`
 }
 
 // newRunRecord digests a Result into its durable record.
@@ -238,9 +257,10 @@ func newRunRecord(spec RunSpec, res Result) *RunRecord {
 		Phases: PhaseSummaryUs{
 			Exec: res.Phases.AvgExec(), Validate: res.Phases.AvgValidate(), Commit: res.Phases.AvgCommit(),
 		},
-		Verbs:     res.Verbs,
-		ElapsedUs: res.Elapsed.Micros(),
-		Events:    res.Events,
+		Verbs:          res.Verbs,
+		ElapsedUs:      res.Elapsed.Micros(),
+		Events:         res.Events,
+		ScenarioPhases: res.ScenarioPhases,
 	}
 }
 

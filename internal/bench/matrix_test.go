@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -252,7 +253,7 @@ func TestResultSetRoundTrip(t *testing.T) {
 	}
 	for i, rec := range got.Runs {
 		want := m.Records[i]
-		if *rec != *want {
+		if !reflect.DeepEqual(rec, want) {
 			t.Errorf("run %d round-tripped to %+v, want %+v", i, *rec, *want)
 		}
 		if rec.Key != rec.Spec.Key() {

@@ -1,0 +1,51 @@
+package scenario
+
+import "strings"
+
+// DriftDemoText is the canonical hotspot-drift demo scenario: three
+// phases of YCSB traffic in which the hot key set migrates at every
+// boundary while the offered load changes shape (full load → trough →
+// bursts). It is the spec behind the "scenario" experiment, and
+// examples/scenarios/drift-demo.spec carries the same bytes (a test
+// pins them together).
+const DriftDemoText = `# Hotspot-drift demo: the hot key set migrates at each phase boundary
+# while offered load moves from saturation to a trough to bursts.
+name=drift-demo
+workload=ycsb
+readproportion=0.5
+updateproportion=0.5
+requestdistribution=zipfian
+theta=0.99
+recordspertxn=4
+
+# Phase 1: saturation, hot set at the origin.
+phase.1.type=constant
+phase.1.duration=2ms
+phase.1.load=1.0
+phase.1.hotspot=0
+
+# Phase 2: load trough, hot set drifted a third of the key space.
+phase.2.type=constant
+phase.2.duration=2ms
+phase.2.load=0.3
+phase.2.hotspot=0.33
+
+# Phase 3: bursts over the trough, hot set drifted again.
+phase.3.type=burst
+phase.3.duration=2ms
+phase.3.base=0.3
+phase.3.peak=1.0
+phase.3.burst=300us
+phase.3.every=600us
+phase.3.hotspot=0.66
+`
+
+// DriftDemo parses DriftDemoText. The text is a compile-time
+// constant, so failure is a programming error.
+func DriftDemo() *Spec {
+	s, err := Parse(strings.NewReader(DriftDemoText), "drift-demo")
+	if err != nil {
+		panic("scenario: DriftDemoText does not parse: " + err.Error())
+	}
+	return s
+}

@@ -1,0 +1,15 @@
+package scenario
+
+import (
+	"os"
+	"testing"
+)
+
+func TestWriteDemoSpecFile(t *testing.T) {
+	if os.Getenv("WRITE_DEMO_SPEC") == "" {
+		t.Skip("set WRITE_DEMO_SPEC=1 to regenerate examples/scenarios/drift-demo.spec")
+	}
+	if err := os.WriteFile("../../examples/scenarios/drift-demo.spec", []byte(DriftDemoText), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}

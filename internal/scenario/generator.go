@@ -1,0 +1,105 @@
+// The phase-aware generator: wraps any workload.Generator and
+// implements workload.TimedGenerator by evaluating the spec's
+// timeline against the virtual clock. Load phases gate coordinator
+// admission (Gate); hotspot drift rotates every generated key through
+// a per-table bijection (NextAt). Neither draws randomness, so a
+// scenario run replays exactly under the same seed — and under a
+// trivial timeline both collapse to the inner generator's behaviour,
+// byte for byte.
+package scenario
+
+import (
+	"math/rand"
+
+	"crest/internal/engine"
+	"crest/internal/layout"
+	"crest/internal/sim"
+	"crest/internal/workload"
+)
+
+// Generator drives an inner workload generator through a scenario's
+// timeline. It implements workload.TimedGenerator.
+type Generator struct {
+	spec  *Spec
+	inner workload.Generator
+	// spans maps each table to its loaded record count — the modulus
+	// of the drift bijection. Keys at or above the span (none today)
+	// would stay put.
+	spans map[layout.TableID]uint64
+	// drift is false when no phase drifts, letting NextAt skip the
+	// per-op remap loop entirely.
+	drift bool
+}
+
+var _ workload.TimedGenerator = (*Generator)(nil)
+
+// NewGenerator wraps inner with spec's timeline.
+func NewGenerator(spec *Spec, inner workload.Generator) *Generator {
+	g := &Generator{spec: spec, inner: inner, spans: map[layout.TableID]uint64{}}
+	for _, def := range inner.Tables() {
+		g.spans[def.Schema.ID] = uint64(def.Capacity)
+	}
+	for i := range spec.Timeline {
+		if spec.Timeline[i].Hotspot != 0 {
+			g.drift = true
+		}
+	}
+	return g
+}
+
+// Spec returns the scenario driving this generator.
+func (g *Generator) Spec() *Spec { return g.spec }
+
+// Name implements workload.Generator.
+func (g *Generator) Name() string { return "scenario:" + g.spec.Name }
+
+// Tables implements workload.Generator.
+func (g *Generator) Tables() []workload.TableDef { return g.inner.Tables() }
+
+// Load implements workload.Generator.
+func (g *Generator) Load(fn func(layout.TableID, layout.Key, [][]byte)) { g.inner.Load(fn) }
+
+// Next implements workload.Generator: the inner generator at timeline
+// origin (no drift applied).
+func (g *Generator) Next(rng *rand.Rand) *engine.Txn { return g.inner.Next(rng) }
+
+// NextAt implements workload.TimedGenerator: one transaction as of
+// virtual time now, with the current phase's hotspot drift applied.
+func (g *Generator) NextAt(now sim.Time, rng *rand.Rand) *engine.Txn {
+	txn := g.inner.Next(rng)
+	if !g.drift {
+		return txn
+	}
+	frac := g.spec.HotspotAt(now)
+	if frac == 0 {
+		return txn
+	}
+	// Rotate every plain key by frac of its table's key space. The
+	// rotation is a bijection, so distinct keys stay distinct and the
+	// hot set migrates without changing the workload's shape. Key
+	// dependencies (resolved mid-transaction) and insert claims keep
+	// their semantic targets.
+	for bi := range txn.Blocks {
+		ops := txn.Blocks[bi].Ops
+		for oi := range ops {
+			op := &ops[oi]
+			if op.KeyFn != nil || op.Insert {
+				continue
+			}
+			n := g.spans[op.Table]
+			if n == 0 {
+				continue
+			}
+			if k := uint64(op.Key); k < n {
+				op.Key = layout.Key((k + uint64(frac*float64(n))) % n)
+			}
+		}
+	}
+	return txn
+}
+
+// Gate implements workload.TimedGenerator by delegating to the spec's
+// timeline.
+func (g *Generator) Gate(now sim.Time, coord, total int) sim.Duration {
+	return g.spec.Gate(now, coord, total)
+}

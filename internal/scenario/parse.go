@@ -1,0 +1,238 @@
+// The .spec parser. The format is the properties style of YCSB
+// workload files: one key=value per line, # or ! comments, blank
+// lines ignored. The core keys are godb-bench/YCSB-compatible
+// (recordcount, readproportion, updateproportion, insertproportion,
+// scanproportion, requestdistribution, fieldcount, fieldlength,
+// operationcount, readallfields, workload=core); extensions cover the
+// knobs this repository sweeps (theta, recordspertxn, warehouses,
+// preloaded, resolution) and the phase.<i>.* traffic timeline. See
+// DESIGN.md §9 for the grammar.
+package scenario
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"crest/internal/sim"
+)
+
+// Parse reads a .spec document. name seeds Spec.Name when the file
+// has no name= property (ParseFile passes the file's base name).
+func Parse(r io.Reader, name string) (*Spec, error) {
+	s := &Spec{Name: name}
+	phases := map[int]map[string]string{}
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line[0] == '#' || line[0] == '!' {
+			continue
+		}
+		eq := strings.IndexByte(line, '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("scenario: line %d: %q is not key=value", lineNo, line)
+		}
+		key := strings.ToLower(strings.TrimSpace(line[:eq]))
+		val := strings.TrimSpace(line[eq+1:])
+		if strings.HasPrefix(key, "phase.") {
+			idx, field, err := phaseKey(key)
+			if err != nil {
+				return nil, fmt.Errorf("scenario: line %d: %w", lineNo, err)
+			}
+			if phases[idx] == nil {
+				phases[idx] = map[string]string{}
+			}
+			if _, dup := phases[idx][field]; dup {
+				return nil, fmt.Errorf("scenario: line %d: duplicate %s", lineNo, key)
+			}
+			phases[idx][field] = val
+			continue
+		}
+		if err := s.setProperty(key, val); err != nil {
+			return nil, fmt.Errorf("scenario: line %d: %w", lineNo, err)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	timeline, err := buildTimeline(phases)
+	if err != nil {
+		return nil, err
+	}
+	s.Timeline = timeline
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// ParseFile reads a .spec file, naming the scenario after the file
+// when it has no name= property.
+func ParseFile(path string) (*Spec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	name := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	return Parse(f, name)
+}
+
+// setProperty applies one non-phase key.
+func (s *Spec) setProperty(key, val string) error {
+	switch key {
+	case "name":
+		s.Name = val
+	case "workload":
+		if val == "core" { // YCSB's own name for its core workload
+			val = WLYCSB
+		}
+		s.Workload = strings.ToLower(val)
+	case "recordcount":
+		return setInt(&s.RecordCount, key, val)
+	case "fieldcount":
+		return setInt(&s.FieldCount, key, val)
+	case "fieldlength":
+		return setInt(&s.FieldLength, key, val)
+	case "recordspertxn":
+		return setInt(&s.RecordsPerTxn, key, val)
+	case "preloaded":
+		return setInt(&s.PreLoaded, key, val)
+	case "warehouses":
+		return setInt(&s.Warehouses, key, val)
+	case "readproportion":
+		return setFloat(&s.ReadProportion, key, val)
+	case "updateproportion":
+		return setFloat(&s.UpdateProportion, key, val)
+	case "insertproportion":
+		return setFloat(&s.InsertProportion, key, val)
+	case "scanproportion":
+		var scan float64
+		if err := setFloat(&scan, key, val); err != nil {
+			return err
+		}
+		if scan != 0 {
+			return fmt.Errorf("scanproportion is unsupported (must be 0)")
+		}
+	case "requestdistribution":
+		s.Distribution = strings.ToLower(val)
+	case "theta", "zipfian.theta":
+		return setFloat(&s.Theta, key, val)
+	case "resolution":
+		return setDuration(&s.Resolution, key, val)
+	case "operationcount", "readallfields", "insertorder":
+		// Accepted for YCSB spec compatibility, ignored: runs are
+		// bounded by virtual time, all fields are always read, and
+		// insert order is the frontier's.
+	default:
+		return fmt.Errorf("unknown key %q", key)
+	}
+	return nil
+}
+
+// phaseKey splits "phase.<i>.<field>".
+func phaseKey(key string) (idx int, field string, err error) {
+	rest := strings.TrimPrefix(key, "phase.")
+	dot := strings.IndexByte(rest, '.')
+	if dot < 0 {
+		return 0, "", fmt.Errorf("phase key %q wants phase.<i>.<field>", key)
+	}
+	idx, err = strconv.Atoi(rest[:dot])
+	if err != nil || idx < 1 {
+		return 0, "", fmt.Errorf("bad phase index in %q", key)
+	}
+	return idx, rest[dot+1:], nil
+}
+
+// buildTimeline assembles phases 1..K (contiguous) from their fields.
+func buildTimeline(phases map[int]map[string]string) ([]Phase, error) {
+	if len(phases) == 0 {
+		return nil, nil
+	}
+	idxs := make([]int, 0, len(phases))
+	for i := range phases {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for want, got := range idxs {
+		if got != want+1 {
+			return nil, fmt.Errorf("scenario: phase indices must be contiguous from 1 (missing phase.%d)", want+1)
+		}
+	}
+	out := make([]Phase, len(idxs))
+	for _, i := range idxs {
+		ph := &out[i-1]
+		for field, val := range phases[i] {
+			var err error
+			switch field {
+			case "type":
+				ph.Kind = strings.ToLower(val)
+			case "duration":
+				err = setDuration(&ph.Duration, field, val)
+			case "load":
+				err = setFloat(&ph.Load, field, val)
+			case "from":
+				err = setFloat(&ph.From, field, val)
+			case "to":
+				err = setFloat(&ph.To, field, val)
+			case "min":
+				err = setFloat(&ph.Min, field, val)
+			case "max":
+				err = setFloat(&ph.Max, field, val)
+			case "period":
+				err = setDuration(&ph.Period, field, val)
+			case "base":
+				err = setFloat(&ph.Base, field, val)
+			case "peak":
+				err = setFloat(&ph.Peak, field, val)
+			case "burst":
+				err = setDuration(&ph.Burst, field, val)
+			case "every":
+				err = setDuration(&ph.Every, field, val)
+			case "hotspot":
+				err = setFloat(&ph.Hotspot, field, val)
+			default:
+				err = fmt.Errorf("unknown field %q", field)
+			}
+			if err != nil {
+				return nil, fmt.Errorf("scenario: phase.%d.%s: %w", i, field, err)
+			}
+		}
+	}
+	return out, nil
+}
+
+func setInt(dst *int, key, val string) error {
+	n, err := strconv.Atoi(val)
+	if err != nil {
+		return fmt.Errorf("%s: bad integer %q", key, val)
+	}
+	*dst = n
+	return nil
+}
+
+func setFloat(dst *float64, key, val string) error {
+	f, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return fmt.Errorf("%s: bad number %q", key, val)
+	}
+	*dst = f
+	return nil
+}
+
+func setDuration(dst *sim.Duration, key, val string) error {
+	d, err := time.ParseDuration(val)
+	if err != nil || d < 0 {
+		return fmt.Errorf("%s: bad duration %q (Go syntax, e.g. 2ms, 500us)", key, val)
+	}
+	*dst = sim.Duration(d)
+	return nil
+}

@@ -10,6 +10,7 @@ import (
 
 	"crest/internal/engine"
 	"crest/internal/layout"
+	"crest/internal/sim"
 )
 
 // TableDef describes one table a workload needs: its schema and how
@@ -29,6 +30,24 @@ type Generator interface {
 	Load(fn func(table layout.TableID, key layout.Key, cells [][]byte))
 	// Next generates one transaction using rng for all randomness.
 	Next(rng *rand.Rand) *engine.Txn
+}
+
+// TimedGenerator is a Generator whose traffic varies over virtual
+// time: the harness gates each coordinator's admission through Gate
+// and generates through NextAt so the generator can see the virtual
+// clock (scenario timelines: load phases and hotspot drift). Both
+// methods are deterministic functions of their arguments plus rng —
+// they draw no randomness beyond what Next would — so a timed run is
+// exactly as reproducible as a plain one.
+type TimedGenerator interface {
+	Generator
+	// NextAt generates one transaction as of virtual time now.
+	NextAt(now sim.Time, rng *rand.Rand) *engine.Txn
+	// Gate reports how long coordinator coord (of total) must wait
+	// before admitting its next transaction at virtual time now: 0
+	// admits immediately, a positive duration parks the coordinator
+	// until the next admission decision point.
+	Gate(now sim.Time, coord, total int) sim.Duration
 }
 
 // U64 encodes v as the 8 leading bytes of a cell of size n (the rest

@@ -3,6 +3,15 @@
 // records with four 40-byte cells; each transaction selects N distinct
 // records (Zipf-distributed); read transactions read all cells of each
 // record, write transactions update one random cell of each record.
+//
+// Beyond the paper's fixed mix, the generator supports YCSB's three
+// request distributions (uniform, zipfian, latest) and logical
+// inserts: insert transactions claim the next record at a
+// monotonically advancing frontier, and the latest distribution skews
+// selection toward the most recently inserted records. Rows are
+// physically pre-allocated at load time, so inserts exercise the
+// normal write path of every engine while the frontier models table
+// growth.
 package ycsb
 
 import (
@@ -16,6 +25,13 @@ import (
 // TableID is the YCSB table.
 const TableID layout.TableID = 10
 
+// Request distributions a Config can name.
+const (
+	DistUniform = "uniform"
+	DistZipfian = "zipfian"
+	DistLatest  = "latest"
+)
+
 // Config sizes the workload. The zero value is unusable; use
 // DefaultConfig.
 type Config struct {
@@ -25,6 +41,27 @@ type Config struct {
 	Theta      float64 // Zipfian constant (0 = uniform)
 	CellSize   int     // bytes per cell (paper: 40)
 	NumCells   int     // cells per record (paper: 4)
+
+	// Distribution selects request key selection: "uniform",
+	// "zipfian" or "latest". Empty keeps the historical behaviour
+	// (uniform when Theta == 0, zipfian otherwise). "latest" skews
+	// selection toward the most recently inserted records and draws
+	// its recency ranks from a Zipf with constant Theta (0.99 when
+	// Theta is 0).
+	Distribution string
+	// InsertProportion is the fraction of transactions that insert:
+	// each insert claims the next record at the logical frontier by
+	// writing all of its cells. Rows are physically pre-allocated, so
+	// the frontier models table growth without engine-level space
+	// allocation; once it reaches Records, inserts degrade to
+	// rewriting the newest record.
+	InsertProportion float64
+	// PreLoaded is the number of records logically present before the
+	// run when inserts are enabled (0 or > Records means all of them).
+	// Only the latest distribution restricts selection to the
+	// logically present prefix; uniform and zipfian select over the
+	// whole key space.
+	PreLoaded int
 }
 
 // DefaultConfig matches the paper's setup at a laptop-scale record
@@ -44,6 +81,12 @@ func DefaultConfig() Config {
 type Generator struct {
 	cfg    Config
 	picker *workload.KeyPicker
+	// recency draws ranks-behind-the-frontier for the latest
+	// distribution; frontier is the number of logically inserted
+	// records (keys < frontier exist, keys ≥ frontier are unclaimed
+	// pre-allocated rows).
+	recency  *workload.Zipf
+	frontier int
 }
 
 // New builds a generator.
@@ -51,7 +94,33 @@ func New(cfg Config) *Generator {
 	if cfg.Records <= 0 || cfg.N <= 0 || cfg.NumCells <= 0 || cfg.CellSize < 8 {
 		panic("ycsb: invalid config")
 	}
-	return &Generator{cfg: cfg, picker: workload.NewKeyPicker(cfg.Records, cfg.Theta)}
+	g := &Generator{cfg: cfg, frontier: cfg.Records}
+	if cfg.PreLoaded > 0 && cfg.PreLoaded < cfg.Records {
+		g.frontier = cfg.PreLoaded
+	}
+	switch cfg.Distribution {
+	case "", DistZipfian, DistUniform:
+		theta := cfg.Theta
+		if cfg.Distribution == DistUniform {
+			theta = 0
+		}
+		if cfg.Distribution == DistZipfian && theta == 0 {
+			theta = 0.99
+		}
+		g.picker = workload.NewKeyPicker(cfg.Records, theta)
+	case DistLatest:
+		theta := cfg.Theta
+		if theta == 0 {
+			theta = 0.99
+		}
+		if g.frontier < cfg.N {
+			panic("ycsb: latest distribution needs PreLoaded >= N")
+		}
+		g.recency = workload.NewZipf(uint64(cfg.Records), theta)
+	default:
+		panic("ycsb: unknown request distribution " + cfg.Distribution)
+	}
+	return g
 }
 
 // Name implements workload.Generator.
@@ -59,6 +128,10 @@ func (g *Generator) Name() string { return "ycsb" }
 
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
+
+// Frontier reports the number of logically inserted records: the next
+// insert transaction claims key Frontier() (until the table is full).
+func (g *Generator) Frontier() int { return g.frontier }
 
 // Tables implements workload.Generator.
 func (g *Generator) Tables() []workload.TableDef {
@@ -83,9 +156,73 @@ func (g *Generator) Load(fn func(layout.TableID, layout.Key, [][]byte)) {
 	}
 }
 
+// pickKeys draws N distinct keys under the configured distribution.
+func (g *Generator) pickKeys(rng *rand.Rand) []layout.Key {
+	if g.recency == nil {
+		return g.picker.PickDistinct(rng, g.cfg.N)
+	}
+	// Latest: rank r means "r-th most recently inserted record", so
+	// hot keys hug the frontier and migrate as inserts land.
+	out := make([]layout.Key, 0, g.cfg.N)
+	seen := map[layout.Key]bool{}
+	for len(out) < g.cfg.N {
+		r := g.recency.Next(rng) % uint64(g.frontier)
+		key := layout.Key(uint64(g.frontier) - 1 - r)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, key)
+		}
+	}
+	return out
+}
+
+// insertTxn claims the next record at the frontier by writing every
+// cell. The row is physically pre-allocated, so engines execute it as
+// a plain read-modify-write of all cells; when the table is full the
+// newest record is rewritten instead (the frontier stops moving).
+func (g *Generator) insertTxn() *engine.Txn {
+	key := g.frontier
+	if key >= g.cfg.Records {
+		key = g.cfg.Records - 1
+	} else {
+		g.frontier++
+	}
+	all := make([]int, g.cfg.NumCells)
+	for c := range all {
+		all[c] = c
+	}
+	v := uint64(key)
+	size := g.cfg.CellSize
+	return &engine.Txn{
+		Label: "ycsb-insert",
+		Blocks: []engine.Block{{Ops: []engine.Op{{
+			Table: TableID,
+			Key:   layout.Key(key),
+			// Insert marks the claim so scenario drift never remaps a
+			// frontier key; engines execute it as a plain full-row
+			// read-modify-write (the row is pre-allocated).
+			Insert:     true,
+			ReadCells:  all,
+			WriteCells: all,
+			Hook: func(_ any, read [][]byte) [][]byte {
+				cells := make([][]byte, len(read))
+				for c := range cells {
+					cells[c] = workload.U64(v, size)
+				}
+				return cells
+			},
+		}}}},
+	}
+}
+
 // Next implements workload.Generator.
 func (g *Generator) Next(rng *rand.Rand) *engine.Txn {
-	keys := g.picker.PickDistinct(rng, g.cfg.N)
+	// The insert draw is guarded so configurations without inserts
+	// keep the historical RNG draw sequence byte-for-byte.
+	if g.cfg.InsertProportion > 0 && rng.Float64() < g.cfg.InsertProportion {
+		return g.insertTxn()
+	}
+	keys := g.pickKeys(rng)
 	isWrite := rng.Float64() < g.cfg.WriteRatio
 	t := &engine.Txn{Label: "ycsb-read", ReadOnly: !isWrite}
 	if isWrite {

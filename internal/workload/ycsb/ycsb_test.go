@@ -2,6 +2,7 @@ package ycsb
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 
 	"crest/internal/layout"
@@ -111,5 +112,111 @@ func TestUniformThetaZero(t *testing.T) {
 	}
 	if len(seen) < 60 {
 		t.Fatalf("uniform selection covered only %d keys", len(seen))
+	}
+}
+
+func TestLatestSelectionTracksInsertFrontier(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 2000
+	cfg.N = 2
+	cfg.Distribution = DistLatest
+	cfg.InsertProportion = 0.3
+	cfg.PreLoaded = 400
+	g := New(cfg)
+	if g.Frontier() != 400 {
+		t.Fatalf("initial frontier = %d, want PreLoaded", g.Frontier())
+	}
+	rng := rand.New(rand.NewSource(7))
+	inserts := 0
+	var distances []int
+	beyondPreload := 0
+	for i := 0; i < 3000; i++ {
+		frontierBefore := g.Frontier()
+		txn := g.Next(rng)
+		if txn.Label == "ycsb-insert" {
+			inserts++
+			op := txn.Blocks[0].Ops[0]
+			if g.Frontier() <= cfg.Records && int(op.Key) != frontierBefore {
+				t.Fatalf("insert claimed key %d, frontier was %d", op.Key, frontierBefore)
+			}
+			continue
+		}
+		for _, op := range txn.Blocks[0].Ops {
+			if int(op.Key) >= frontierBefore {
+				t.Fatalf("selected un-inserted key %d at frontier %d", op.Key, frontierBefore)
+			}
+			distances = append(distances, frontierBefore-1-int(op.Key))
+			if int(op.Key) >= cfg.PreLoaded {
+				beyondPreload++
+			}
+		}
+	}
+	if inserts < 600 {
+		t.Fatalf("only %d inserts in 3000 txns at proportion 0.3", inserts)
+	}
+	if g.Frontier() != cfg.PreLoaded+inserts {
+		t.Fatalf("frontier %d after %d inserts from %d", g.Frontier(), inserts, cfg.PreLoaded)
+	}
+	// Selection must skew toward the frontier: the median distance
+	// behind it should be far smaller than the loaded prefix.
+	sort.Ints(distances)
+	if med := distances[len(distances)/2]; med > cfg.PreLoaded/4 {
+		t.Fatalf("median recency distance %d does not track the frontier", med)
+	}
+	// And records inserted during the run must themselves be selected.
+	if beyondPreload == 0 {
+		t.Fatal("no selections of records inserted during the run")
+	}
+}
+
+func TestLatestWithoutInsertsStaysInRange(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 100
+	cfg.Distribution = DistLatest
+	g := New(cfg)
+	rng := rand.New(rand.NewSource(8))
+	hot := 0
+	for i := 0; i < 400; i++ {
+		for _, op := range g.Next(rng).Blocks[0].Ops {
+			if int(op.Key) >= cfg.Records {
+				t.Fatalf("key %d out of range", op.Key)
+			}
+			if int(op.Key) >= cfg.Records-10 {
+				hot++
+			}
+		}
+	}
+	// Rank 0 is the newest record; the top 10% of the key space must
+	// absorb well over half the selections at theta 0.99.
+	if hot < 500 {
+		t.Fatalf("only %d/1600 selections in the newest 10%% of keys", hot)
+	}
+}
+
+func TestInsertFallsBackWhenFull(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Records = 50
+	cfg.N = 2
+	cfg.Distribution = DistLatest
+	cfg.InsertProportion = 1.0
+	cfg.PreLoaded = 48
+	g := New(cfg)
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10; i++ {
+		txn := g.Next(rng)
+		if txn.Label != "ycsb-insert" {
+			t.Fatalf("txn %d: %s, want insert", i, txn.Label)
+		}
+		key := int(txn.Blocks[0].Ops[0].Key)
+		if i < 2 {
+			if key != 48+i {
+				t.Fatalf("insert %d claimed %d", i, key)
+			}
+		} else if key != cfg.Records-1 {
+			t.Fatalf("full-table insert rewrote %d, want newest record", key)
+		}
+	}
+	if g.Frontier() != cfg.Records {
+		t.Fatalf("frontier %d, want clamped at Records", g.Frontier())
 	}
 }
