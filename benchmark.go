@@ -45,8 +45,20 @@ type BenchmarkConfig struct {
 	WriteRatio   float64
 	RecordsPerTx int
 
+	// MemoryNodes is the number of memory nodes per shard group.
 	MemoryNodes  int
 	ComputeNodes int
+	// Shards is the number of independent shard groups (default 1, the
+	// classic single-group topology; 1 with hash placement is
+	// byte-identical to the pre-sharding harness).
+	Shards int
+	// Placement names the data-placement policy routing records to
+	// shard groups and nodes ("" = "hash"; see PlacementPolicies).
+	// The "hotspot" policy seeds itself from PlacementHotKeys, or —
+	// when none are given — from a short deterministic contention
+	// probe of the same workload under modulo placement.
+	Placement        string
+	PlacementHotKeys []PlacementHotKey
 	// Coordinators is the total coordinator count across compute
 	// nodes; totals that do not divide the node count are spread by
 	// giving the first nodes one extra coordinator, so exactly this
@@ -156,6 +168,9 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		Workload:     gen,
 		MemNodes:     cfg.MemoryNodes,
 		CompNodes:    cfg.ComputeNodes,
+		Shards:       cfg.Shards,
+		Placement:    cfg.Placement,
+		HotKeys:      cfg.PlacementHotKeys,
 		Coordinators: cfg.Coordinators,
 		CoordsPerCN:  cfg.CoordinatorsPerNode,
 		Replicas:     cfg.Replicas,

@@ -78,6 +78,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		workload = fs.String("workload", "tpcc", "workload: tpcc, smallbank, ycsb")
 		specPath = fs.String("spec", "", "with -run: drive the run from a declarative scenario .spec file (overrides -workload and its knobs)")
 		coords   = fs.Int("coords", 240, "total coordinators (across 3 compute nodes)")
+		shards   = fs.Int("shards", 1, "shard groups of independent memory nodes (1 = the classic single-group topology)")
+		placePol = fs.String("placement", "hash", "data placement policy: "+strings.Join(crest.PlacementPolicies(), ", "))
 		wh       = fs.Int("warehouses", 40, "TPC-C warehouses")
 		theta    = fs.Float64("theta", 0.99, "Zipfian constant (smallbank/ycsb)")
 		writes   = fs.Float64("writes", 0.5, "YCSB write ratio")
@@ -106,6 +108,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "usage: crestbench -exp <id> [flags] | crestbench -run [flags] | crestbench -list\n")
 		fs.Usage()
 		return 2
+	}
+
+	// Topology flags are validated up front so a typo fails with usage
+	// instead of deep in the harness.
+	if *shards < 1 {
+		return usageErr("-shards must be at least 1, got %d", *shards)
+	}
+	if *shards > crest.MaxShards {
+		return usageErr("-shards %d exceeds the maximum of %d", *shards, crest.MaxShards)
+	}
+	placement := strings.ToLower(*placePol)
+	if !oneOf(placement, crest.PlacementPolicies()) {
+		return usageErr("unknown placement %q (%s)", *placePol, strings.Join(crest.PlacementPolicies(), ", "))
 	}
 
 	// The simulator's steady state allocates little, so the default GC
@@ -164,6 +179,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *expID != "":
 		if *specPath != "" {
 			return usageErr("-spec only applies to -run")
+		}
+		if *shards != 1 || placement != "hash" {
+			return usageErr("-shards/-placement only apply to -run; experiments set topology per spec (see the crossover experiment)")
 		}
 		var ids []string
 		if *expID != "all" {
@@ -235,6 +253,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Theta:         *theta,
 			WriteRatio:    *writes,
 			RecordsPerTx:  *perTxn,
+			Shards:        *shards,
+			Placement:     placement,
 			Coordinators:  *coords,
 			Duration:      *duration,
 			Warmup:        *warmup,

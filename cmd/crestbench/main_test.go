@@ -62,6 +62,66 @@ func TestRunValidatesWorkloadUpFront(t *testing.T) {
 	}
 }
 
+func TestTopologyFlagsValidatedUpFront(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"zero shards", []string{"-run", "-shards", "0"},
+			"-shards must be at least 1, got 0"},
+		{"negative shards", []string{"-run", "-shards", "-3"},
+			"-shards must be at least 1, got -3"},
+		{"too many shards", []string{"-run", "-shards", "65"},
+			"-shards 65 exceeds the maximum of 64"},
+		{"unknown placement", []string{"-run", "-placement", "roundrobin"},
+			`unknown placement "roundrobin"`},
+		{"unknown placement under exp", []string{"-exp", "exp1", "-placement", "striped"},
+			`unknown placement "striped"`},
+		{"exp rejects topology", []string{"-exp", "exp1", "-shards", "2"},
+			"-shards/-placement only apply to -run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, _, stderr := dispatch(tc.args...)
+			if code != 2 {
+				t.Fatalf("exit code %d, want 2\n%s", code, stderr)
+			}
+			if !strings.Contains(stderr, tc.want) {
+				t.Fatalf("stderr lacks %q:\n%s", tc.want, stderr)
+			}
+			if !strings.Contains(stderr, "usage:") {
+				t.Fatalf("stderr lacks usage:\n%s", stderr)
+			}
+		})
+	}
+	// The unknown-placement diagnosis lists the valid policies.
+	_, _, stderr := dispatch("-run", "-placement", "nope")
+	if !strings.Contains(stderr, "hash, hotspot, modulo, range") {
+		t.Fatalf("stderr lacks the valid set:\n%s", stderr)
+	}
+}
+
+// The byte-stability contract at the CLI seam: explicitly routing a
+// run through the sharded topology at its defaults (-shards 1
+// -placement hash) must produce byte-identical stdout to a run that
+// never mentions topology at all.
+func TestShardsOneHashMatchesDefaultRun(t *testing.T) {
+	args := []string{"-run", "-quick", "-system", "crest", "-workload", "ycsb",
+		"-coords", "12", "-duration", "2ms", "-warmup", "500us"}
+	code, def, stderr := dispatch(args...)
+	if code != 0 {
+		t.Fatalf("default run failed (%d):\n%s", code, stderr)
+	}
+	code, sharded, stderr := dispatch(append(args, "-shards", "1", "-placement", "hash")...)
+	if code != 0 {
+		t.Fatalf("sharded run failed (%d):\n%s", code, stderr)
+	}
+	if def != sharded {
+		t.Fatalf("-shards 1 -placement hash diverged from the default run:\n--- default\n%s--- sharded\n%s", def, sharded)
+	}
+}
+
 func TestExpRejectsSpec(t *testing.T) {
 	code, _, stderr := dispatch("-exp", "exp1", "-spec", "x.spec")
 	if code != 2 {

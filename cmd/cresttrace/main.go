@@ -93,6 +93,8 @@ type benchFlags struct {
 	duration *time.Duration
 	warmup   *time.Duration
 	seed     *int64
+	shards   *int
+	place    *string
 }
 
 func addBenchFlags(fs *flag.FlagSet) *benchFlags {
@@ -105,6 +107,8 @@ func addBenchFlags(fs *flag.FlagSet) *benchFlags {
 		duration: fs.Duration("duration", 2*time.Millisecond, "recorded virtual time"),
 		warmup:   fs.Duration("warmup", 200*time.Microsecond, "virtual warmup before the recorded window"),
 		seed:     fs.Int64("seed", 1, "simulation seed"),
+		shards:   fs.Int("shards", 1, "shard groups of independent memory nodes"),
+		place:    fs.String("placement", "hash", "data placement policy: "+strings.Join(crest.PlacementPolicies(), ", ")),
 	}
 }
 
@@ -115,6 +119,8 @@ func (bf *benchFlags) config() crest.BenchmarkConfig {
 		Warehouses:          *bf.wh,
 		Theta:               *bf.theta,
 		CoordinatorsPerNode: (*bf.coords + 2) / 3,
+		Shards:              *bf.shards,
+		Placement:           strings.ToLower(*bf.place),
 		Duration:            *bf.duration,
 		Warmup:              *bf.warmup,
 		Seed:                *bf.seed,

@@ -47,6 +47,7 @@ import (
 	"crest/internal/memnode"
 	"crest/internal/metrics"
 	"crest/internal/motor"
+	"crest/internal/placement"
 	"crest/internal/rdma"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -75,7 +76,9 @@ const (
 // shape running full CREST: two memory nodes, three compute nodes,
 // f=1 primary-backup replication, a 2µs-RTT 100Gbps fabric.
 type Config struct {
-	System              System
+	System System
+	// MemoryNodes is the number of memory nodes per shard group (the
+	// whole pool with Shards == 1).
 	MemoryNodes         int
 	ComputeNodes        int
 	CoordinatorsPerNode int
@@ -83,6 +86,22 @@ type Config struct {
 	Seed                int64         // deterministic virtual-time seed
 	RTT                 time.Duration // fabric round-trip (default 2µs)
 	PoolBytes           int           // per-node region size (default sized from tables)
+	// Shards is the number of independent shard groups of MemoryNodes
+	// memory nodes each (default 1, the classic single-cluster
+	// topology; at 1 with hash placement every run is byte-identical
+	// to the pre-sharding cluster). Replication and recovery never
+	// cross groups; write transactions spanning groups pay a
+	// cross-shard prepare round at commit.
+	Shards int
+	// Placement names the data-placement policy routing records to
+	// shard groups and nodes: "hash" (default, the historical layout),
+	// "modulo", "range" or "hotspot". See PlacementPolicies.
+	Placement string
+	// PlacementHotKeys seeds the "hotspot" policy's override table
+	// (ignored by other policies): each entry pins one record to a
+	// shard group, typically derived from a causality hotspot ranking
+	// via PlacementSeedFromWhy.
+	PlacementHotKeys []PlacementHotKey
 	// Trace records a deterministic event trace of everything the
 	// cluster does (transaction spans, phases, RDMA verbs, lock
 	// traffic); read it back with TraceSnapshot. Tracing consumes no
@@ -130,7 +149,35 @@ func (c Config) withDefaults() Config {
 	if c.Seed == 0 {
 		c.Seed = 1
 	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Placement == "" {
+		c.Placement = "hash"
+	}
 	return c
+}
+
+// validate rejects impossible topologies with descriptive errors —
+// every misconfiguration that would otherwise surface as a panic deep
+// inside the memory pool is caught here instead.
+func (c Config) validate() error {
+	if c.MemoryNodes < 1 {
+		return fmt.Errorf("crest: need at least one memory node per shard group, got %d", c.MemoryNodes)
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("crest: need at least one shard group, got %d", c.Shards)
+	}
+	if c.Shards > memnode.MaxShards {
+		return fmt.Errorf("crest: %d shard groups exceed the maximum of %d", c.Shards, memnode.MaxShards)
+	}
+	if c.Replicas < 0 || c.Replicas >= c.MemoryNodes {
+		return fmt.Errorf("crest: %d replicas needs more than %d memory nodes", c.Replicas, c.MemoryNodes)
+	}
+	if _, err := placement.New(c.Placement); err != nil {
+		return err
+	}
+	return nil
 }
 
 // TableSpec declares a table: one size per cell (column), and the
@@ -165,8 +212,8 @@ type Cluster struct {
 // before Finalize; transactions run after.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Replicas < 0 || cfg.Replicas >= cfg.MemoryNodes {
-		return nil, fmt.Errorf("crest: %d replicas needs more than %d memory nodes", cfg.Replicas, cfg.MemoryNodes)
+	if err := cfg.validate(); err != nil {
+		return nil, err
 	}
 	c := &Cluster{cfg: cfg, env: sim.NewEnv(cfg.Seed)}
 	params := rdma.DefaultParams()
@@ -227,10 +274,24 @@ func (c *Cluster) ensureSystem() error {
 		})
 	}
 	size := c.cfg.PoolBytes
+	need := bench.PoolBytes(defs, c.cfg.ComputeNodes*c.cfg.CoordinatorsPerNode)
 	if size == 0 {
-		size = bench.PoolBytes(defs, c.cfg.ComputeNodes*c.cfg.CoordinatorsPerNode)
+		size = need
+	} else if size < need {
+		return fmt.Errorf("crest: pool of %d bytes per node cannot hold the declared tables and logs (need at least %d)", size, need)
 	}
-	c.pool = memnode.NewPool(c.fabric, c.cfg.MemoryNodes, size, c.cfg.Replicas)
+	pol, err := placement.New(c.cfg.Placement)
+	if err != nil {
+		return err
+	}
+	if hs, ok := pol.(*placement.Hotspot); ok && len(c.cfg.PlacementHotKeys) > 0 {
+		hs.Seed(c.cfg.PlacementHotKeys)
+	}
+	pool, err := memnode.NewShardedPool(c.fabric, c.cfg.Shards, c.cfg.MemoryNodes, size, c.cfg.Replicas, pol)
+	if err != nil {
+		return err
+	}
+	c.pool = pool
 	c.db = engine.NewDB(c.pool)
 	c.db.Trace = c.trace
 	c.db.Why = c.why
@@ -522,6 +583,36 @@ func WriteWhyJSON(w io.Writer, s *WhySnapshot) error { return causality.WriteJSO
 
 // ReadWhyJSON parses a document written by WriteWhyJSON.
 func ReadWhyJSON(r io.Reader) (*WhySnapshot, error) { return causality.ReadJSON(r) }
+
+// MaxShards bounds Config.Shards (shard-group membership travels as a
+// 64-bit set through the commit path).
+const MaxShards = memnode.MaxShards
+
+// PlacementHotKey pins one record to a shard group; a slice of them
+// seeds the "hotspot" placement policy (Config.PlacementHotKeys).
+type PlacementHotKey = placement.HotKey
+
+// PlacementPolicies lists the registered placement policy names, in
+// sorted order, for Config.Placement.
+func PlacementPolicies() []string { return placement.Names() }
+
+// PlacementSeedFromWhy converts a causality snapshot's hotspot ranking
+// (a live WhySnapshot or a prior run's -why JSON export read back with
+// ReadWhyJSON) into a seed for the "hotspot" placement policy: the
+// limit most-contended keys are pinned to shard group 0, colocating
+// the hot set so transactions over it stay single-shard. A limit ≤ 0
+// keeps every ranked hotspot.
+func PlacementSeedFromWhy(s *WhySnapshot, limit int) []PlacementHotKey {
+	hs := s.Graph().Hotspots
+	if limit <= 0 || limit > len(hs) {
+		limit = len(hs)
+	}
+	keys := make([]PlacementHotKey, 0, limit)
+	for _, h := range hs[:limit] {
+		keys = append(keys, PlacementHotKey{Table: h.Table, Key: h.Key, Shard: 0})
+	}
+	return keys
+}
 
 // Coordinators reports the number of coordinators available.
 func (c *Cluster) Coordinators() int { return len(c.coords) }

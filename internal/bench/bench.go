@@ -21,6 +21,7 @@ import (
 	"crest/internal/memnode"
 	"crest/internal/metrics"
 	"crest/internal/motor"
+	"crest/internal/placement"
 	"crest/internal/rdma"
 	"crest/internal/scenario"
 	"crest/internal/sim"
@@ -43,10 +44,25 @@ const (
 
 // Config describes one benchmark run.
 type Config struct {
-	System    SystemKind
-	Workload  func() workload.Generator // fresh generator per run
+	System   SystemKind
+	Workload func() workload.Generator // fresh generator per run
+	// MemNodes is the number of memory nodes per shard group (the
+	// whole pool when Shards == 1).
 	MemNodes  int
 	CompNodes int
+	// Shards is the number of independent shard groups (default 1 —
+	// the classic topology; 1 with hash placement is byte-identical to
+	// the pre-sharding harness).
+	Shards int
+	// Placement names the data-placement policy ("" = "hash"; see
+	// internal/placement).
+	Placement string
+	// HotKeys seeds the "hotspot" placement policy. When the policy is
+	// "hotspot" and HotKeys is empty, Run derives a seed by first
+	// executing a short deterministic probe of the same workload under
+	// modulo placement with a causality recorder and pinning its
+	// hottest keys to shard group 0.
+	HotKeys []placement.HotKey
 	// CoordsPerCN is the number of coordinators per compute node; the
 	// paper sweeps the total (CompNodes × CoordsPerCN) from 24 to 240.
 	CoordsPerCN int
@@ -111,6 +127,9 @@ func (c Config) WithDefaults() Config {
 	}
 	if c.Seed == 0 {
 		c.Seed = 1
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
 	}
 	return c
 }
@@ -260,9 +279,25 @@ func Run(cfg Config) (Result, error) {
 	defs := gen.Tables()
 
 	totalCoords := cfg.TotalCoordinators()
+	pol, err := placement.New(cfg.Placement)
+	if err != nil {
+		return Result{}, err
+	}
+	if hs, ok := pol.(*placement.Hotspot); ok {
+		keys := cfg.HotKeys
+		if len(keys) == 0 {
+			if keys, err = probeHotKeys(cfg); err != nil {
+				return Result{}, err
+			}
+		}
+		hs.Seed(keys)
+	}
 	env := sim.NewEnv(cfg.Seed)
 	fabric := rdma.NewFabric(env, cfg.Params)
-	pool := memnode.NewPool(fabric, cfg.MemNodes, PoolBytes(defs, totalCoords), cfg.Replicas)
+	pool, err := memnode.NewShardedPool(fabric, cfg.Shards, cfg.MemNodes, PoolBytes(defs, totalCoords), cfg.Replicas, pol)
+	if err != nil {
+		return Result{}, err
+	}
 	db := engine.NewDB(pool)
 	if cfg.Trace != nil {
 		env.SetObserver(cfg.Trace)
@@ -411,6 +446,38 @@ func Run(cfg Config) (Result, error) {
 		res.History = db.History
 	}
 	return res, nil
+}
+
+// probeHotKeys derives a hotspot-placement seed when the caller gave
+// none: it runs a short deterministic slice of the same workload under
+// modulo placement with a causality recorder and pins the recorder's
+// hottest keys (at most memnode.MaxShards of them) to shard group 0,
+// colocating the hot set. The probe is a separate simulation with its
+// own virtual clock, so it adds no events and no randomness to the
+// measured run.
+func probeHotKeys(cfg Config) ([]placement.HotKey, error) {
+	probe := cfg
+	probe.Placement = "modulo"
+	probe.HotKeys = nil
+	probe.Why = causality.NewRecorder(causality.Options{})
+	probe.Trace = nil
+	probe.Metrics = nil
+	probe.CheckHistory = false
+	probe.Duration = 4 * sim.Millisecond
+	probe.Warmup = sim.Millisecond
+	if _, err := Run(probe); err != nil {
+		return nil, fmt.Errorf("bench: hotspot placement probe: %w", err)
+	}
+	hs := probe.Why.Snapshot().Graph().Hotspots
+	limit := memnode.MaxShards
+	if len(hs) < limit {
+		limit = len(hs)
+	}
+	keys := make([]placement.HotKey, 0, limit)
+	for _, h := range hs[:limit] {
+		keys = append(keys, placement.HotKey{Table: h.Table, Key: h.Key, Shard: 0})
+	}
+	return keys, nil
 }
 
 // CRESTSystem unwraps a System adapter into the concrete CREST engine

@@ -610,23 +610,68 @@ func Exp8(p Profile, get Getter) ([]Table, error) {
 	return out, nil
 }
 
+// ExpCrossover is the sharding crossover study (not in the paper; it
+// exercises the topology layer): a hot Zipfian YCSB mix (θ=1.22, 50%
+// writes, 4 records per transaction) swept over shard-group counts
+// under modulo versus hotspot-aware placement, per engine. Modulo
+// placement scatters the hot set across groups, so at higher shard
+// counts nearly every write transaction pays the cross-shard prepare
+// round and holds its locks longer; hotspot-aware placement colocates
+// the hot keys on one group and recovers most of the loss. The
+// shards=1 row is the classic single-group spec (hash placement),
+// shared by both placement columns as the common baseline.
+func ExpCrossover(p Profile, get Getter) ([]Table, error) {
+	wl := YCSBSpec(1.22, 0.5, 4)
+	var out []Table
+	for _, system := range mainSystems {
+		tab := Table{ID: "crossover-" + string(system),
+			Title:  fmt.Sprintf("%s: YCSB θ=1.22 throughput (KOPS) and cross-shard txn share vs shard groups", system),
+			Header: []string{"shards", "modulo KOPS", "modulo xshard", "hotspot KOPS", "hotspot xshard"}}
+		for _, shards := range []int{1, 2, 3, 4, 6} {
+			row := []string{fmt.Sprint(shards)}
+			for _, policy := range []string{"modulo", "hotspot"} {
+				spec := p.Spec(system, wl, p.MaxCoords)
+				if shards > 1 {
+					spec.Shards = shards
+					spec.Placement = policy
+				}
+				rec, err := get(spec)
+				if err != nil {
+					return nil, err
+				}
+				share := 0.0
+				if attempts := rec.Committed + rec.Aborted; attempts > 0 {
+					share = float64(rec.CrossShard) / float64(attempts)
+				}
+				row = append(row, f1(rec.KOPS), pct(share))
+			}
+			tab.Rows = append(tab.Rows, row)
+		}
+		tab.Notes = append(tab.Notes,
+			"shards=1 is the single-group baseline; hotspot seeds itself from a modulo-placement contention probe")
+		out = append(out, tab)
+	}
+	return out, nil
+}
+
 // Experiments is the registry mapping experiment ids to their
 // implementations, in the paper's order.
 var Experiments = map[string]Experiment{
-	"fig2":     {ID: "fig2", Render: Fig2},
-	"fig3":     {ID: "fig3", Render: Fig3},
-	"fig4":     {ID: "fig4", Render: Fig4},
-	"table1":   {ID: "table1", Render: Table1},
-	"table2":   {ID: "table2", Render: Table2},
-	"exp1":     {ID: "exp1", Render: Exp1},
-	"exp2":     {ID: "exp2", Render: Exp2},
-	"exp3":     {ID: "exp3", Render: Exp3},
-	"exp4":     {ID: "exp4", Render: Exp4},
-	"exp5":     {ID: "exp5", Render: Exp5},
-	"exp6":     {ID: "exp6", Render: Exp6},
-	"exp7":     {ID: "exp7", Render: Exp7},
-	"exp8":     {ID: "exp8", Render: Exp8},
-	"scenario": {ID: "scenario", Render: ExpScenario},
+	"fig2":      {ID: "fig2", Render: Fig2},
+	"fig3":      {ID: "fig3", Render: Fig3},
+	"fig4":      {ID: "fig4", Render: Fig4},
+	"table1":    {ID: "table1", Render: Table1},
+	"table2":    {ID: "table2", Render: Table2},
+	"exp1":      {ID: "exp1", Render: Exp1},
+	"exp2":      {ID: "exp2", Render: Exp2},
+	"exp3":      {ID: "exp3", Render: Exp3},
+	"exp4":      {ID: "exp4", Render: Exp4},
+	"exp5":      {ID: "exp5", Render: Exp5},
+	"exp6":      {ID: "exp6", Render: Exp6},
+	"exp7":      {ID: "exp7", Render: Exp7},
+	"exp8":      {ID: "exp8", Render: Exp8},
+	"scenario":  {ID: "scenario", Render: ExpScenario},
+	"crossover": {ID: "crossover", Render: ExpCrossover},
 }
 
 // ExperimentIDs lists the registry in canonical order.
@@ -645,7 +690,7 @@ func expOrder(id string) string {
 		"table1": "04", "table2": "05",
 		"exp1": "06", "exp2": "07", "exp3": "08", "exp4": "09",
 		"exp5": "10", "exp6": "11", "exp7": "12", "exp8": "13",
-		"scenario": "14",
+		"scenario": "14", "crossover": "15",
 	}
 	return order[id]
 }

@@ -135,6 +135,13 @@ type RunSpec struct {
 	// hash-stable Key() joins the run key, so equal scenarios dedupe
 	// across experiments exactly like equal workloads do.
 	Scenario *scenario.Spec `json:"scenario,omitempty"`
+	// Shards is the number of shard groups of MemNodes memory nodes
+	// each (0 and 1 both mean the classic single-group topology), and
+	// Placement names the data-placement policy ("" means "hash").
+	// Both join the run key only when non-default, so every
+	// pre-sharding key, cache entry and JSON record is unchanged.
+	Shards    int    `json:"shards,omitempty"`
+	Placement string `json:"placement,omitempty"`
 }
 
 // Key is the canonical identity of the run; it is the memoization and
@@ -145,6 +152,17 @@ func (s RunSpec) Key() string {
 		s.Replicas, int64(s.Duration), int64(s.Warmup), s.Seed, s.Profile, s.OneTxn)
 	if s.Scenario != nil {
 		key += "|scn:" + s.Scenario.Key()
+	}
+	if s.Shards > 1 || (s.Placement != "" && s.Placement != "hash") {
+		shards := s.Shards
+		if shards < 1 {
+			shards = 1
+		}
+		pl := s.Placement
+		if pl == "" {
+			pl = "hash"
+		}
+		key += fmt.Sprintf("|sh%d|pl%s", shards, pl)
 	}
 	return key
 }
@@ -184,6 +202,8 @@ func (s RunSpec) config(p Profile) (Config, error) {
 		Workload:     gen,
 		MemNodes:     s.MemNodes,
 		CompNodes:    s.CompNodes,
+		Shards:       s.Shards,
+		Placement:    s.Placement,
 		Coordinators: s.Coordinators,
 		Replicas:     s.Replicas,
 		Seed:         s.Seed,
@@ -238,6 +258,11 @@ type RunRecord struct {
 	// ScenarioPhases is the per-phase breakdown of scenario-driven
 	// runs (absent otherwise; additive, so the schema version holds).
 	ScenarioPhases []PhaseStat `json:"scenario_phases,omitempty"`
+	// CrossShard counts measured attempts whose writes spanned shard
+	// groups; CrossShardAborts is the aborted subset. Both are absent
+	// on single-group runs (additive, so the schema version holds).
+	CrossShard       uint64 `json:"cross_shard,omitempty"`
+	CrossShardAborts uint64 `json:"cross_shard_aborts,omitempty"`
 }
 
 // newRunRecord digests a Result into its durable record.
@@ -257,10 +282,12 @@ func newRunRecord(spec RunSpec, res Result) *RunRecord {
 		Phases: PhaseSummaryUs{
 			Exec: res.Phases.AvgExec(), Validate: res.Phases.AvgValidate(), Commit: res.Phases.AvgCommit(),
 		},
-		Verbs:          res.Verbs,
-		ElapsedUs:      res.Elapsed.Micros(),
-		Events:         res.Events,
-		ScenarioPhases: res.ScenarioPhases,
+		Verbs:            res.Verbs,
+		ElapsedUs:        res.Elapsed.Micros(),
+		Events:           res.Events,
+		ScenarioPhases:   res.ScenarioPhases,
+		CrossShard:       res.CrossShard,
+		CrossShardAborts: res.CrossShardAborts,
 	}
 }
 

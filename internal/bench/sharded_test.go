@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"crest/internal/metrics"
+	"crest/internal/sim"
+)
+
+func shardedCfg(system SystemKind, shards int, pl string) Config {
+	cfg := shortCfg(system, tinySmallBank)
+	cfg.MemNodes = 2
+	cfg.Shards = shards
+	cfg.Placement = pl
+	cfg.Duration = 3 * sim.Millisecond
+	cfg.Warmup = 500 * sim.Microsecond
+	return cfg
+}
+
+// Satellite guarantee: metering a sharded run must not change the
+// simulated schedule — the per-shard gauges and cross-shard counters
+// are observers, not participants.
+func TestShardedMeteredByteIdenticalToPlain(t *testing.T) {
+	for _, system := range []SystemKind{CREST, FORD, Motor} {
+		system := system
+		t.Run(string(system), func(t *testing.T) {
+			run := func(reg *metrics.Registry) Result {
+				cfg := shardedCfg(system, 3, "modulo")
+				cfg.Metrics = reg
+				res, err := Run(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			reg := metrics.NewRegistry(metrics.Options{Window: 100 * sim.Microsecond})
+			plain, metered := run(nil), run(reg)
+			if plain.Events != metered.Events {
+				t.Fatalf("metrics changed the schedule: %d vs %d events", plain.Events, metered.Events)
+			}
+			if plain.Verbs != metered.Verbs {
+				t.Fatalf("metrics changed fabric traffic: %+v vs %+v", plain.Verbs, metered.Verbs)
+			}
+			if plain.Committed != metered.Committed || plain.Aborted != metered.Aborted ||
+				plain.CrossShard != metered.CrossShard || plain.CrossShardAborts != metered.CrossShardAborts {
+				t.Fatalf("metrics changed outcomes: %+v vs %+v", plain.Run, metered.Run)
+			}
+
+			snap := reg.Snapshot()
+			if se := snap.Find("crest_txn_cross_shard_total", ""); se == nil || se.Total == 0 {
+				t.Fatalf("cross-shard counter missing or empty on a 3-group run: %+v", se)
+			}
+			// Every shard group exposes labeled per-shard series.
+			for _, labels := range []string{`shard="0"`, `shard="1"`, `shard="2"`} {
+				if snap.Find("crest_shard_commits_total", labels) == nil {
+					t.Fatalf("per-shard commit counter {%s} missing", labels)
+				}
+				if snap.Find("crest_shard_txn_active", labels) == nil {
+					t.Fatalf("per-shard active gauge {%s} missing", labels)
+				}
+			}
+		})
+	}
+}
+
+// A single-group run must not grow new series: the historical metric
+// set is part of the shards=1 byte-stability contract, and cross-shard
+// counters stay zero.
+func TestSingleGroupMetricsUnchanged(t *testing.T) {
+	reg := metrics.NewRegistry(metrics.Options{Window: 100 * sim.Microsecond})
+	cfg := shardedCfg(CREST, 1, "")
+	cfg.Metrics = reg
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CrossShard != 0 || res.CrossShardAborts != 0 {
+		t.Fatalf("single-group run counted cross-shard txns: %d/%d", res.CrossShard, res.CrossShardAborts)
+	}
+	snap := reg.Snapshot()
+	for i := range snap.Series {
+		if strings.HasPrefix(snap.Series[i].Name, "crest_shard_") {
+			t.Fatalf("single-group run exposes per-shard series %s{%s}", snap.Series[i].Name, snap.Series[i].Labels)
+		}
+	}
+	if se := snap.Find("crest_txn_cross_shard_total", ""); se == nil {
+		t.Fatal("cross-shard counter series should register (at zero) for schema stability")
+	} else if se.Total != 0 {
+		t.Fatalf("single-group cross-shard counter = %v", se.Total)
+	}
+}
+
+// Scattering a skewed workload across groups by key modulo makes write
+// transactions span groups; colocating the probed hot set (hotspot
+// placement) brings a measurable share of them back to one group.
+func TestHotspotPlacementReducesCrossShardShare(t *testing.T) {
+	share := func(pl string) float64 {
+		res, err := Run(shardedCfg(CREST, 4, pl))
+		if err != nil {
+			t.Fatal(err)
+		}
+		attempts := res.Committed + res.Aborted
+		if attempts == 0 {
+			t.Fatal("no attempts measured")
+		}
+		return float64(res.CrossShard) / float64(attempts)
+	}
+	modulo, hotspot := share("modulo"), share("hotspot")
+	if modulo == 0 {
+		t.Fatal("modulo placement produced no cross-shard transactions on 4 groups")
+	}
+	if hotspot >= modulo {
+		t.Fatalf("hotspot placement did not reduce the cross-shard share: %.3f vs modulo %.3f", hotspot, modulo)
+	}
+}
+
+// RunSpec keys: pre-sharding specs keep their exact historical keys
+// (cache and golden compatibility), sharded specs append the topology
+// segments.
+func TestRunSpecKeyTopologySegments(t *testing.T) {
+	p := Quick()
+	base := p.Spec(CREST, SmallBankSpec(0.99), 24)
+	want := "crest|smallbank(theta=0.9900)|c24|mn2|cn3|r1|d5000000|w1000000|s1|pquick|oncefalse"
+	if got := base.Key(); got != want {
+		t.Fatalf("classic key changed:\n got %s\nwant %s", got, want)
+	}
+	one := base
+	one.Shards = 1
+	one.Placement = "hash"
+	if one.Key() != want {
+		t.Fatalf("explicit shards=1/hash changed the key: %s", one.Key())
+	}
+	sharded := base
+	sharded.Shards = 3
+	sharded.Placement = "modulo"
+	if got := sharded.Key(); got != want+"|sh3|plmodulo" {
+		t.Fatalf("sharded key = %s", got)
+	}
+	polOnly := base
+	polOnly.Placement = "range"
+	if got := polOnly.Key(); got != want+"|sh1|plrange" {
+		t.Fatalf("placement-only key = %s", got)
+	}
+}

@@ -19,6 +19,7 @@ type Coordinator struct {
 	qps  *engine.QPCache
 	log  *memnode.LogSegment
 	logN []*memnode.Node
+	home int // shard group holding the log (commit decision)
 	// scFree recycles attempt scratch (see execScratch).
 	scFree []*execScratch
 }
@@ -34,12 +35,22 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 		qps: engine.NewQPCache(db.Fabric),
 		log: pool.AllocLog(logSegmentSize),
 	}
-	nodes := pool.Nodes()
-	for i := 0; i <= pool.Replicas(); i++ {
-		c.logN = append(c.logN, nodes[(id+i)%len(nodes)])
-	}
+	c.logN = pool.LogNodes(id, pool.Replicas()+1)
+	c.home = pool.ShardOfNode(c.logN[0].ID)
 	cn.sys.logs = append(cn.sys.logs, recoveryLog{seg: c.log, nodes: c.logN})
 	return c
+}
+
+// writeShardsAccs returns the shard groups of every written record.
+func (c *Coordinator) writeShardsAccs(accs []*access) engine.ShardSet {
+	pool := c.cn.sys.db.Pool
+	var parts engine.ShardSet
+	for _, acc := range accs {
+		if acc.intentWrite {
+			parts.Add(pool.ShardOfNode(acc.obj.primary.ID))
+		}
+	}
+	return parts
 }
 
 // valCheck is one cell read that must be validated against the memory
@@ -110,7 +121,7 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 // execution, dependency tracking and parallel commits.
 func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
-	at := engine.BeginAttempt(db, p, c.gid, t)
+	at := engine.BeginAttempt(db, p, c.gid, c.home, t)
 	sc := c.getScratch()
 	defer c.putScratch(sc)
 
@@ -133,6 +144,9 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 		blk := &t.Blocks[bi]
 		if gated := c.prepare(p, t, blk, sc); gated {
 			return abortTxn(engine.AbortWait, false)
+		}
+		if db.Pool.Shards() > 1 && c.writeShardsAccs(sc.accs).Beyond(c.home) {
+			at.MarkCrossShard()
 		}
 		at.Phase(trace.PhaseLock)
 		admitReason, admitFalse := c.admit(p, sc, sc.blockAccs)
@@ -811,6 +825,12 @@ func (c *Coordinator) writeRedoLog(p *sim.Proc, sc *execScratch, me *txnState, t
 	entry := appendLogEntry(sc.logBuf[:0], me.id, ts, sc.depIDs, sc.recs[:nr])
 	sc.logBuf = entry
 	off := c.log.Reserve(len(entry))
+	// Cross-shard commits pay a prepare round first: the entry lands
+	// on every other participating group's log mirrors before the
+	// home group's decision write.
+	if parts := c.writeShardsAccs(accs); parts.Beyond(c.home) {
+		engine.PrepareCrossShard(p, c.cn.sys.db, c.qps, c.logN, c.home, parts, off, entry)
+	}
 	c.postLog(p, sc, off, entry)
 }
 

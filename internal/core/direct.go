@@ -19,7 +19,7 @@ import (
 // granularity via the CREST record structure.
 func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
-	at := engine.BeginAttempt(db, p, c.gid, t)
+	at := engine.BeginAttempt(db, p, c.gid, c.home, t)
 	sc := c.getScratch()
 	defer c.putScratch(sc)
 
@@ -27,6 +27,9 @@ func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
 		blk := &t.Blocks[bi]
 		blockWs := c.dPrepare(p, t, blk, sc)
 		sc.dWs = append(sc.dWs, blockWs...)
+		if db.Pool.Shards() > 1 && c.writeShardsDworks(sc.dWs).Beyond(c.home) {
+			at.MarkCrossShard()
+		}
 		at.Phase(trace.PhaseLock)
 		reason, falseC := c.dFetch(p, sc, blockWs)
 		at.Phase(trace.PhaseExec)
@@ -372,7 +375,26 @@ func (c *Coordinator) dWriteLog(p *sim.Proc, sc *execScratch, ws []*dwork, ts ui
 	entry := appendLogEntry(sc.logBuf[:0], c.gid<<32, ts, nil, sc.recs[:nr])
 	sc.logBuf = entry
 	off := c.log.Reserve(len(entry))
+	// Cross-shard commits pay a prepare round first: the entry lands
+	// on every other participating group's log mirrors before the
+	// home group's decision write.
+	if parts := c.writeShardsDworks(ws); parts.Beyond(c.home) {
+		engine.PrepareCrossShard(p, c.cn.sys.db, c.qps, c.logN, c.home, parts, off, entry)
+	}
 	c.postLog(p, sc, off, entry)
+}
+
+// writeShardsDworks returns the shard groups of every written record
+// on the direct path.
+func (c *Coordinator) writeShardsDworks(ws []*dwork) engine.ShardSet {
+	pool := c.cn.sys.db.Pool
+	var parts engine.ShardSet
+	for _, w := range ws {
+		if len(w.op.WriteCells) > 0 {
+			parts.Add(pool.ShardOfNode(w.primary.ID))
+		}
+	}
+	return parts
 }
 
 // dInstall writes updated cells, bumps their epoch numbers and unlocks

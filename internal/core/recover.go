@@ -227,8 +227,11 @@ func (s *System) Resync(nodeID int) (records int, err error) {
 		if copyErr != nil {
 			return records, copyErr
 		}
-		// Mirror the table's index region from the source node.
-		src := otherHealthy(nodes, target)
+		// Mirror the table's index region from a healthy node of the
+		// target's own shard group — each group's index copy holds only
+		// the keys that group owns, so another group's copy would
+		// resurrect the wrong entries.
+		src := otherHealthy(s.db.Pool.GroupNodes(s.db.Pool.ShardOfNode(nodeID)), target)
 		if src == nil {
 			return records, fmt.Errorf("core: no healthy node to copy indexes from")
 		}

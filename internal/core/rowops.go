@@ -128,8 +128,9 @@ func (c *Coordinator) DeleteRow(p *sim.Proc, table layout.TableID, key layout.Ke
 	if _, err := rdma.PostMulti(p, batches); err != nil {
 		return err
 	}
-	// Tombstone the mirrored index.
-	for _, n := range db.Pool.Nodes() {
+	// Tombstone the mirrored index on the owning shard group (only its
+	// nodes carry the entry).
+	for _, n := range db.Pool.GroupNodes(db.Pool.ShardOf(table, key)) {
 		if err := tab.Index.Delete(p, c.qps.Get(n.Region), key); err != nil {
 			return err
 		}

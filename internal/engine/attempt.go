@@ -36,20 +36,38 @@ type AttemptTimer struct {
 	failed bool
 	reason AbortReason
 	falseC bool
+	shard  int
+	cross  bool
 }
 
 // BeginAttempt starts timing one attempt of t on coordinator coord,
-// opening (or, on a retry of the same *Txn, resuming) its trace span.
-func BeginAttempt(db *DB, p *sim.Proc, coord uint64, t *Txn) AttemptTimer {
-	at := AttemptTimer{db: db, p: p, verbs0: db.Fabric.Stats(), start: p.Now(), mark: p.Now(), cur: trace.PhaseExec}
+// whose log (and therefore commit decision) lives on home shard
+// group home, opening (or, on a retry of the same *Txn, resuming) its
+// trace span.
+func BeginAttempt(db *DB, p *sim.Proc, coord uint64, home int, t *Txn) AttemptTimer {
+	at := AttemptTimer{db: db, p: p, verbs0: db.Fabric.Stats(), start: p.Now(), mark: p.Now(), cur: trace.PhaseExec, shard: home}
 	if db.Trace != nil {
 		at.span = db.Trace.StartSpan(p, coord, t.Label, t)
 		db.Trace.EnterPhase(at.mark, at.span, trace.PhaseExec)
 	}
 	at.why = db.Why.Begin(p, coord, t.Label, t)
-	db.Met.beginAttempt()
+	db.Met.beginAttempt(home)
 	return at
 }
+
+// MarkCrossShard records that the attempt's write set spans shard
+// groups (it will pay the cross-shard prepare round at commit). The
+// first call per attempt counts; repeats are no-ops.
+func (at *AttemptTimer) MarkCrossShard() {
+	if at.cross {
+		return
+	}
+	at.cross = true
+	at.db.Met.crossShard()
+}
+
+// CrossShard reports whether MarkCrossShard was called this attempt.
+func (at *AttemptTimer) CrossShard() bool { return at.cross }
 
 // WhyID returns the attempt's causality txn id (0 when recording is
 // off), for engines that need to stamp holder identity onto shared
@@ -89,7 +107,7 @@ func (at *AttemptTimer) Fail(reason AbortReason, falseConflict bool) {
 		at.db.Trace.EnterPhase(now, at.span, trace.PhaseRelease)
 	}
 	at.db.Why.Abort(now, at.why, reason.String())
-	at.db.Met.fail(reason, falseConflict)
+	at.db.Met.fail(reason, falseConflict, at.cross)
 }
 
 // Done closes the attempt and returns its outcome. The verb diff is
@@ -102,11 +120,12 @@ func (at *AttemptTimer) Done() Attempt {
 		at.db.Trace.Commit(now, at.span)
 		at.db.Why.Commit(now, at.why)
 	}
-	at.db.Met.done(!at.failed, now.Sub(at.start))
+	at.db.Met.done(!at.failed, now.Sub(at.start), at.shard)
 	return Attempt{
 		Committed:     !at.failed,
 		Reason:        at.reason,
 		FalseConflict: at.falseC,
+		CrossShard:    at.cross,
 		Exec:          at.dur[trace.PhaseExec] + at.dur[trace.PhaseLock],
 		Validate:      at.dur[trace.PhaseValidate],
 		Commit:        at.dur[trace.PhaseLog] + at.dur[trace.PhaseApply],

@@ -8,6 +8,7 @@ import (
 	"crest/internal/layout"
 	"crest/internal/memnode"
 	"crest/internal/metrics"
+	"crest/internal/placement"
 	"crest/internal/rdma"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -118,6 +119,11 @@ func (db *DB) CreateTable(s layout.Schema, recSize, capacity int) *Table {
 	}
 	if _, dup := db.Tables[s.ID]; dup {
 		panic(fmt.Sprintf("engine: duplicate table id %d", s.ID))
+	}
+	// Range-style placement policies size their shard boundaries from
+	// table capacities; report them before any record is placed.
+	if cs, ok := db.Pool.Policy().(placement.CapacitySetter); ok {
+		cs.SetCapacity(s.ID, capacity)
 	}
 	t := &Table{
 		Schema:  s,

@@ -133,6 +133,10 @@ type Attempt struct {
 	// conflict" (§2.3). Filled by instrumentation, never consulted by
 	// protocol code.
 	FalseConflict bool
+	// CrossShard is set on write attempts whose records spanned shard
+	// groups (they paid, or would have paid, the cross-shard prepare
+	// round). Always false on single-group topologies.
+	CrossShard bool
 
 	// Phase durations of this attempt (virtual time).
 	Exec     sim.Duration

@@ -1,6 +1,8 @@
 package engine
 
 import (
+	"strconv"
+
 	"crest/internal/metrics"
 	"crest/internal/sim"
 )
@@ -41,6 +43,18 @@ type Metrics struct {
 	// LatencyUs is the committed-attempt latency distribution in virtual
 	// microseconds.
 	LatencyUs *metrics.Histogram
+
+	// CrossShardTxns counts write attempts whose records span shard
+	// groups (they pay the cross-shard prepare round at commit);
+	// CrossShardAborts counts the subset that aborted.
+	CrossShardTxns   *metrics.Counter
+	CrossShardAborts *metrics.Counter
+	// ShardActive and ShardCommits break attempts down by home shard
+	// group, one labeled series per group. Registered only on sharded
+	// topologies so single-group runs export exactly the historical
+	// series set.
+	ShardActive  []*metrics.Gauge
+	ShardCommits []*metrics.Counter
 }
 
 // SetMetrics registers the engine instruments in r and installs the
@@ -79,17 +93,40 @@ func (db *DB) SetMetrics(r *metrics.Registry) {
 			`reason="`+reason.String()+`"`,
 			"Transaction attempts aborted, by reason.")
 	}
+	m.CrossShardTxns = r.Counter("crest_txn_cross_shard_total", "",
+		"Write attempts whose records span shard groups.")
+	m.CrossShardAborts = r.Counter("crest_txn_cross_shard_aborts_total", "",
+		"Cross-shard write attempts that aborted.")
+	if db.Pool != nil && db.Pool.Shards() > 1 {
+		for g := 0; g < db.Pool.Shards(); g++ {
+			label := `shard="` + strconv.Itoa(g) + `"`
+			m.ShardActive = append(m.ShardActive, r.Gauge(
+				"crest_shard_txn_active", label,
+				"Attempts currently executing, by home shard group."))
+			m.ShardCommits = append(m.ShardCommits, r.Counter(
+				"crest_shard_commits_total", label,
+				"Committed attempts, by home shard group."))
+		}
+	}
 	db.Met = m
 }
 
-// beginAttempt records an attempt starting.
-func (m *Metrics) beginAttempt() {
+// beginAttempt records an attempt starting on home shard group.
+func (m *Metrics) beginAttempt(shard int) {
 	m.Active.Inc()
 	m.Attempts.Inc()
+	if shard >= 0 && shard < len(m.ShardActive) {
+		m.ShardActive[shard].Inc()
+	}
+}
+
+// crossShard records an attempt discovering it spans shard groups.
+func (m *Metrics) crossShard() {
+	m.CrossShardTxns.Inc()
 }
 
 // fail records an attempt aborting for reason.
-func (m *Metrics) fail(reason AbortReason, falseConflict bool) {
+func (m *Metrics) fail(reason AbortReason, falseConflict, crossShard bool) {
 	m.Retries.Inc()
 	if reason >= AbortNone && int(reason) < len(m.Aborts) {
 		m.Aborts[reason].Inc()
@@ -97,14 +134,23 @@ func (m *Metrics) fail(reason AbortReason, falseConflict bool) {
 	if falseConflict {
 		m.FalseAborts.Inc()
 	}
+	if crossShard {
+		m.CrossShardAborts.Inc()
+	}
 }
 
 // done records an attempt finishing; committed attempts contribute
-// their latency.
-func (m *Metrics) done(committed bool, latency sim.Duration) {
+// their latency and their home shard group's commit counter.
+func (m *Metrics) done(committed bool, latency sim.Duration, shard int) {
 	m.Active.Dec()
+	if shard >= 0 && shard < len(m.ShardActive) {
+		m.ShardActive[shard].Dec()
+	}
 	if committed {
 		m.Commits.Inc()
 		m.LatencyUs.Observe(int64(latency) / int64(sim.Microsecond))
+		if shard >= 0 && shard < len(m.ShardCommits) {
+			m.ShardCommits[shard].Inc()
+		}
 	}
 }

@@ -5,9 +5,10 @@
 // The index is laid out so a lookup costs one READ in the common case:
 // buckets are one cacheline (four 16-byte entries) and collisions
 // spill to the next bucket by linear probing. Index contents are
-// mirrored on every memory node (allocation in the pool is mirrored),
-// so a coordinator probes the node it is about to read the record
-// from.
+// mirrored on every memory node of the shard group owning the key
+// (allocation in the pool is symmetric across groups), so a
+// coordinator probes the node it is about to read the record from.
+// With one shard group that is every node — the historical layout.
 //
 // Compute nodes keep an address cache in front of the index — the
 // usual deployment for all three systems — so steady-state
@@ -111,7 +112,10 @@ func (ix *Index) loadOne(pool *memnode.Pool, key layout.Key, off uint64) error {
 	if ix.used >= ix.cap {
 		return fmt.Errorf("hashindex: table %d over capacity %d", ix.table, ix.cap)
 	}
-	first := pool.Nodes()[0].Region.Bytes()
+	// Each group's index copy holds only the keys that group owns, so
+	// probe chains resolve against the owning group's first node.
+	group := pool.GroupNodes(pool.ShardOf(ix.table, key))
+	first := group[0].Region.Bytes()
 	for probe := uint64(0); probe < maxProbeBuckets; probe++ {
 		b := (ix.home(key) + probe) & (ix.buckets - 1)
 		bOff := ix.bucketOff(b)
@@ -123,7 +127,7 @@ func (ix *Index) loadOne(pool *memnode.Pool, key layout.Key, off uint64) error {
 			if binary.LittleEndian.Uint64(first[eOff+8:]) != 0 {
 				continue
 			}
-			for _, n := range pool.Nodes() {
+			for _, n := range group {
 				buf := n.Region.Bytes()
 				binary.LittleEndian.PutUint64(buf[eOff:], storedKey(key))
 				binary.LittleEndian.PutUint64(buf[eOff+8:], off|validBit)
@@ -208,10 +212,10 @@ func packMeta(off uint64) []byte {
 	return b
 }
 
-// InsertAll performs Insert against every node in the pool, keeping
-// the mirrored copies identical.
+// InsertAll performs Insert against every node of the shard group
+// owning key, keeping that group's mirrored copies identical.
 func (ix *Index) InsertAll(p *sim.Proc, fabric *rdma.Fabric, pool *memnode.Pool, key layout.Key, off uint64) error {
-	for _, n := range pool.Nodes() {
+	for _, n := range pool.GroupNodes(pool.ShardOf(ix.table, key)) {
 		if err := ix.Insert(p, fabric.Connect(n.Region), key, off); err != nil {
 			return err
 		}

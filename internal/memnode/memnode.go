@@ -2,20 +2,34 @@
 // architecture: passive nodes that expose registered memory regions to
 // one-sided RDMA and perform no transaction logic themselves.
 //
-// Allocation across the pool is mirrored: every node performs the same
-// allocation sequence, so one offset addresses the same object (a
-// table heap, an index, a log segment) on every node. That is how
-// (f+1)-primary-backup replication stays a pure data-plane concern: a
-// record's replicas live at the same offset on the f nodes following
-// its primary.
+// The pool is organized as shard groups: shards independent groups of
+// nodesPerShard nodes each. A placement.Policy decides which group
+// owns a record and which node inside the group holds its primary
+// copy; replicas follow the primary in ring order inside the group.
+// The classic single-cluster topology is the one-group case.
+//
+// Allocation across the pool is symmetric: every node of every group
+// performs the same allocation sequence, so one offset addresses the
+// same object (a table heap, an index, a log segment) on every node.
+// That keeps (f+1)-primary-backup replication a pure data-plane
+// concern — a record's replicas live at the same offset on the f
+// group nodes following its primary — and it is what makes the
+// sharded refactor byte-stable: group membership only changes which
+// nodes are written, never where anything lives.
 package memnode
 
 import (
+	"errors"
 	"fmt"
 
 	"crest/internal/layout"
+	"crest/internal/placement"
 	"crest/internal/rdma"
 )
+
+// MaxShards bounds the shard-group count (participant sets travel as
+// 64-bit masks through the commit path).
+const MaxShards = 64
 
 // Node is one memory node: an id plus its registered region.
 type Node struct {
@@ -23,44 +37,103 @@ type Node struct {
 	Region *rdma.Region
 }
 
-// Pool is the memory pool: all memory nodes plus the replication
-// factor.
+// Pool is the memory pool: all memory nodes, organized in shard
+// groups, plus the replication factor and the placement policy that
+// routes records to nodes.
 type Pool struct {
-	nodes    []*Node
-	replicas int // f: number of backup copies per record
+	nodes    []*Node // group-major: group g owns nodes[g*perGroup : (g+1)*perGroup]
+	replicas int     // f: number of backup copies per record
+	shards   int
+	perGroup int
+	policy   placement.Policy
 	fabric   *rdma.Fabric
 	allocOff uint64
 	size     uint64
 }
 
-// NewPool registers regions of size bytes on mns memory nodes.
-// replicas is f, the number of synchronously updated backups per
-// record; it must leave at least one distinct node per replica.
+// NewPool registers regions of size bytes on mns memory nodes as a
+// single shard group under hash placement — the historical topology,
+// bit-for-bit. replicas is f, the number of synchronously updated
+// backups per record; it must leave at least one distinct node per
+// replica.
 func NewPool(fabric *rdma.Fabric, mns int, size int, replicas int) *Pool {
-	if mns <= 0 {
-		panic("memnode: need at least one memory node")
+	p, err := NewShardedPool(fabric, 1, mns, size, replicas, nil)
+	if err != nil {
+		panic(err.Error())
 	}
-	if replicas < 0 || replicas >= mns {
-		panic(fmt.Sprintf("memnode: %d backups impossible with %d nodes", replicas, mns))
+	return p
+}
+
+// NewShardedPool registers shards independent groups of nodesPerShard
+// memory nodes each, with size bytes per node, routing records through
+// pol (nil selects hash placement). replicas is f, the per-record
+// backup count, and replication never leaves a group, so it must
+// leave at least one distinct node per replica inside one group.
+// Invalid topologies return errors rather than panicking so the
+// public config layer can surface them.
+func NewShardedPool(fabric *rdma.Fabric, shards, nodesPerShard, size, replicas int, pol placement.Policy) (*Pool, error) {
+	if shards < 1 {
+		return nil, fmt.Errorf("memnode: need at least one shard group, got %d", shards)
 	}
-	p := &Pool{fabric: fabric, replicas: replicas, size: uint64(size)}
-	for i := 0; i < mns; i++ {
+	if shards > MaxShards {
+		return nil, fmt.Errorf("memnode: %d shard groups exceed the maximum of %d", shards, MaxShards)
+	}
+	if nodesPerShard <= 0 {
+		return nil, errors.New("memnode: need at least one memory node")
+	}
+	if replicas < 0 || replicas >= nodesPerShard {
+		return nil, fmt.Errorf("memnode: %d backups impossible with %d nodes", replicas, nodesPerShard)
+	}
+	if pol == nil {
+		pol = placement.Hash{}
+	}
+	p := &Pool{
+		fabric:   fabric,
+		replicas: replicas,
+		shards:   shards,
+		perGroup: nodesPerShard,
+		policy:   pol,
+		size:     uint64(size),
+	}
+	for i := 0; i < shards*nodesPerShard; i++ {
 		p.nodes = append(p.nodes, &Node{
 			ID:     i,
 			Region: fabric.Register(fmt.Sprintf("mn%d", i), size),
 		})
 	}
-	return p
+	return p, nil
 }
 
-// Nodes returns the pool's memory nodes.
+// Nodes returns the pool's memory nodes (all groups, group-major).
 func (p *Pool) Nodes() []*Node { return p.nodes }
 
-// NumNodes returns the number of memory nodes.
+// NumNodes returns the total number of memory nodes across groups.
 func (p *Pool) NumNodes() int { return len(p.nodes) }
 
 // Replicas returns f, the number of backups per record.
 func (p *Pool) Replicas() int { return p.replicas }
+
+// Shards returns the number of shard groups.
+func (p *Pool) Shards() int { return p.shards }
+
+// NodesPerShard returns the number of memory nodes in each group.
+func (p *Pool) NodesPerShard() int { return p.perGroup }
+
+// Policy returns the placement policy routing records to nodes.
+func (p *Pool) Policy() placement.Policy { return p.policy }
+
+// GroupNodes returns shard group g's memory nodes.
+func (p *Pool) GroupNodes(g int) []*Node {
+	return p.nodes[g*p.perGroup : (g+1)*p.perGroup]
+}
+
+// ShardOf returns the shard group owning (table, key).
+func (p *Pool) ShardOf(table layout.TableID, key layout.Key) int {
+	return p.policy.Shard(table, key, p.shards)
+}
+
+// ShardOfNode returns the shard group node id belongs to.
+func (p *Pool) ShardOfNode(id int) int { return id / p.perGroup }
 
 // Fabric returns the pool's interconnect.
 func (p *Pool) Fabric() *rdma.Fabric { return p.fabric }
@@ -85,30 +158,62 @@ func (p *Pool) PrimaryOf(table layout.TableID, key layout.Key) *Node {
 	return p.nodes[p.primaryIndex(table, key)]
 }
 
+// primaryIndex routes (table, key) through the placement policy: the
+// policy picks the owning group and the primary position inside it.
+// With one group this is exactly the historical policy.Primary over
+// all nodes.
 func (p *Pool) primaryIndex(table layout.TableID, key layout.Key) int {
-	return int(mix(uint64(table), uint64(key)) % uint64(len(p.nodes)))
+	g := p.policy.Shard(table, key, p.shards)
+	return g*p.perGroup + p.policy.Primary(table, key, p.perGroup)
 }
 
 // ReplicaNodes returns the primary followed by the f backup nodes for
-// (table, key), in replication order.
+// (table, key), in replication order. Replication never leaves the
+// owning shard group.
 func (p *Pool) ReplicaNodes(table layout.TableID, key layout.Key) []*Node {
-	pi := p.primaryIndex(table, key)
+	g := p.policy.Shard(table, key, p.shards)
+	pi := p.policy.Primary(table, key, p.perGroup)
+	base := g * p.perGroup
 	out := make([]*Node, 0, p.replicas+1)
 	for i := 0; i <= p.replicas; i++ {
-		out = append(out, p.nodes[(pi+i)%len(p.nodes)])
+		out = append(out, p.nodes[base+(pi+i)%p.perGroup])
 	}
 	return out
 }
 
-// mix is a 64-bit finalizer-style hash combining table and key.
-func mix(a, b uint64) uint64 {
-	x := a*0x9e3779b97f4a7c15 ^ b
-	x ^= x >> 30
-	x *= 0xbf58476d1ce4e5b9
-	x ^= x >> 27
-	x *= 0x94d049bb133111eb
-	x ^= x >> 31
-	return x
+// LogNodes returns the count nodes hosting coordinator id's log
+// segment, starting at the node the id hashes to and following in
+// ring order. With one shard group the ring spans the whole pool
+// (the historical layout, byte-for-byte); with more, each
+// coordinator's log lives entirely inside its home group — the group
+// its id maps to — so recovery of a group never depends on another
+// group's nodes.
+func (p *Pool) LogNodes(id, count int) []*Node {
+	out := make([]*Node, count)
+	if p.shards == 1 {
+		for i := range out {
+			out[i] = p.nodes[(id+i)%len(p.nodes)]
+		}
+		return out
+	}
+	g := id % p.shards
+	gn := p.GroupNodes(g)
+	for i := range out {
+		out[i] = gn[(id/p.shards+i)%p.perGroup]
+	}
+	return out
+}
+
+// MirrorNodes returns shard group g's nodes at the same in-group
+// positions as ns. The symmetric allocation guarantees any offset
+// valid on ns is valid on the mirror — this is how the cross-shard
+// prepare addresses a remote group's log replicas.
+func (p *Pool) MirrorNodes(ns []*Node, g int) []*Node {
+	out := make([]*Node, len(ns))
+	for i, n := range ns {
+		out[i] = p.nodes[g*p.perGroup+n.ID%p.perGroup]
+	}
+	return out
 }
 
 // Heap is a table's record heap: count fixed-size slots starting at a

@@ -118,6 +118,7 @@ type Coordinator struct {
 	qps  *engine.QPCache
 	log  *memnode.LogSegment
 	logN []*memnode.Node
+	home int // shard group holding the log (commit decision)
 	// scFree recycles attempt scratch (see execScratch).
 	scFree []*execScratch
 }
@@ -132,11 +133,21 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 		qps: engine.NewQPCache(db.Fabric),
 		log: pool.AllocLog(logSegmentSize),
 	}
-	nodes := pool.Nodes()
-	for i := 0; i <= pool.Replicas(); i++ {
-		c.logN = append(c.logN, nodes[(id+i)%len(nodes)])
-	}
+	c.logN = pool.LogNodes(id, pool.Replicas()+1)
+	c.home = pool.ShardOfNode(c.logN[0].ID)
 	return c
+}
+
+// writeShards returns the shard groups of every written record in ws.
+func (c *Coordinator) writeShards(ws []*work) engine.ShardSet {
+	pool := c.cn.sys.db.Pool
+	var parts engine.ShardSet
+	for _, w := range ws {
+		if w.op.IsWrite() {
+			parts.Add(pool.ShardOfNode(w.primary.ID))
+		}
+	}
+	return parts
 }
 
 type recKey struct {
@@ -167,7 +178,7 @@ func (w *work) table() layout.TableID { return w.lay.Schema.ID }
 // Execute runs one attempt of t.
 func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 	db := c.cn.sys.db
-	at := engine.BeginAttempt(db, p, c.gid, t)
+	at := engine.BeginAttempt(db, p, c.gid, c.home, t)
 
 	var snapshot uint64
 	if t.ReadOnly {
@@ -180,6 +191,9 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 		blk := &t.Blocks[bi]
 		newWork := c.prepareBlock(p, t, blk, sc)
 		sc.ws = append(sc.ws, newWork...)
+		if db.Pool.Shards() > 1 && c.writeShards(sc.ws).Beyond(c.home) {
+			at.MarkCrossShard()
+		}
 		at.Phase(trace.PhaseLock)
 		abort, falseC := c.fetchBlock(p, sc, newWork, t.ReadOnly, snapshot)
 		at.Phase(trace.PhaseExec)
@@ -554,6 +568,12 @@ func (c *Coordinator) writeLog(p *sim.Proc, sc *execScratch, ws []*work, ts uint
 	}
 	sc.logBuf = buf
 	off := c.log.Reserve(len(buf))
+	// Cross-shard commits pay a prepare round first: the entry lands
+	// on every other participating group's log mirrors before the
+	// home group's decision write below.
+	if parts := c.writeShards(ws); parts.Beyond(c.home) {
+		engine.PrepareCrossShard(p, c.cn.sys.db, c.qps, c.logN, c.home, parts, off, buf)
+	}
 	// Distinct batches per replica even when log nodes share a region:
 	// merging them would change the fabric's batch count.
 	if cap(sc.logBatches) < len(c.logN) {

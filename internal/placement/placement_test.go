@@ -1,0 +1,164 @@
+package placement
+
+import (
+	"strings"
+	"testing"
+
+	"crest/internal/layout"
+)
+
+// Mix is the layout's load-bearing hash: the hash policy's node and
+// shard choices — and therefore every committed byte of a hash-placed
+// run — depend on these exact outputs. Pin them.
+func TestMixPinned(t *testing.T) {
+	cases := []struct {
+		a, b uint64
+		want uint64
+	}{
+		{0, 0, 0x0},
+		{1, 0, 0xe220a8397b1dcdaf},
+		{1, 1, 0xe4d971771b652c20},
+		{10, 42, 0x82bf139aa66fd91},
+		{2, 123456789, 0x39818ac236c73fbf},
+	}
+	for _, tc := range cases {
+		if got := Mix(tc.a, tc.b); got != tc.want {
+			t.Fatalf("Mix(%d, %d) = %#x, want %#x", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestRegistry(t *testing.T) {
+	names := Names()
+	want := []string{"hash", "hotspot", "modulo", "range"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names()[%d] = %q, want %q", i, names[i], want[i])
+		}
+	}
+	for _, name := range names {
+		pol, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pol.Name() != name {
+			t.Fatalf("New(%q).Name() = %q", name, pol.Name())
+		}
+	}
+	if pol, err := New(""); err != nil || pol.Name() != "hash" {
+		t.Fatalf(`New("") = %v, %v; want the hash default`, pol, err)
+	}
+	_, err := New("striped")
+	if err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+	for _, name := range append(names, "unknown policy") {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not mention %q", err, name)
+		}
+	}
+}
+
+// Property: under hash placement every node is primary for roughly
+// 1/N of the keys, and every shard group owns roughly 1/S — no node
+// or group is starved or doubly loaded.
+func TestHashBalance(t *testing.T) {
+	const keys, nodes, shards = 100_000, 8, 6
+	nodeHits := make([]int, nodes)
+	shardHits := make([]int, shards)
+	pol := Hash{}
+	for k := 0; k < keys; k++ {
+		nodeHits[pol.Primary(10, layout.Key(k), nodes)]++
+		shardHits[pol.Shard(10, layout.Key(k), shards)]++
+	}
+	for n, hits := range nodeHits {
+		if lo, hi := keys/nodes*8/10, keys/nodes*12/10; hits < lo || hits > hi {
+			t.Fatalf("node %d is primary for %d of %d keys, want within [%d, %d]", n, hits, keys, lo, hi)
+		}
+	}
+	for s, hits := range shardHits {
+		if lo, hi := keys/shards*8/10, keys/shards*12/10; hits < lo || hits > hi {
+			t.Fatalf("shard %d owns %d of %d keys, want within [%d, %d]", s, hits, keys, lo, hi)
+		}
+	}
+}
+
+// Every policy must return in-range shard and node choices, and the
+// same input must always map to the same place (determinism).
+func TestPoliciesInRangeAndDeterministic(t *testing.T) {
+	for _, name := range Names() {
+		pol, err := New(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cs, ok := pol.(CapacitySetter); ok {
+			cs.SetCapacity(7, 10_000)
+		}
+		for k := 0; k < 10_000; k++ {
+			s := pol.Shard(7, layout.Key(k), 5)
+			if s < 0 || s >= 5 {
+				t.Fatalf("%s.Shard = %d out of [0,5)", name, s)
+			}
+			if again := pol.Shard(7, layout.Key(k), 5); again != s {
+				t.Fatalf("%s.Shard not deterministic: %d then %d", name, s, again)
+			}
+			n := pol.Primary(7, layout.Key(k), 4)
+			if n < 0 || n >= 4 {
+				t.Fatalf("%s.Primary = %d out of [0,4)", name, n)
+			}
+		}
+		// One shard group degenerates to shard 0 for every policy.
+		if s := pol.Shard(7, 12345, 1); s != 0 {
+			t.Fatalf("%s.Shard(…, 1) = %d, want 0", name, s)
+		}
+	}
+}
+
+// Range placement carves the declared key space into S contiguous
+// slabs once it knows the table's capacity.
+func TestRangeContiguous(t *testing.T) {
+	pol := NewRange()
+	pol.SetCapacity(3, 900)
+	prev := 0
+	for k := 0; k < 900; k++ {
+		s := pol.Shard(3, layout.Key(k), 3)
+		if s < prev {
+			t.Fatalf("range shard regressed at key %d: %d after %d", k, s, prev)
+		}
+		prev = s
+	}
+	if pol.Shard(3, 0, 3) != 0 || pol.Shard(3, 899, 3) != 2 {
+		t.Fatal("range endpoints misplaced")
+	}
+}
+
+// Hotspot placement honors its seeded overrides and falls back to
+// modulo for everything else; a later seed wins.
+func TestHotspotOverrides(t *testing.T) {
+	pol := NewHotspot([]HotKey{{Table: 1, Key: 9, Shard: 2}})
+	if s := pol.Shard(1, 9, 4); s != 2 {
+		t.Fatalf("seeded key placed on shard %d, want 2", s)
+	}
+	if s := pol.Shard(1, 10, 4); s != 10%4 {
+		t.Fatalf("unseeded key placed on shard %d, want modulo fallback", s)
+	}
+	if s := pol.Shard(2, 9, 4); s != 9%4 {
+		t.Fatal("override leaked across tables")
+	}
+	hs := pol
+	hs.Seed([]HotKey{{Table: 1, Key: 9, Shard: 3}})
+	if s := pol.Shard(1, 9, 4); s != 3 {
+		t.Fatalf("re-seeded key placed on shard %d, want 3", s)
+	}
+	if hs.Seeded() != 1 {
+		t.Fatalf("Seeded() = %d, want 1", hs.Seeded())
+	}
+	// Overrides beyond the group count still land in range.
+	hs.Seed([]HotKey{{Table: 1, Key: 5, Shard: 9}})
+	if s := pol.Shard(1, 5, 4); s < 0 || s >= 4 {
+		t.Fatalf("out-of-range override produced shard %d", s)
+	}
+}

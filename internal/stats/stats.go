@@ -134,11 +134,16 @@ type Run struct {
 	Committed   uint64
 	Aborted     uint64
 	FalseAborts uint64
-	ByReason    map[engine.AbortReason]uint64
-	Lat         Latencies
-	Phases      Breakdown
-	Elapsed     sim.Duration
-	Verbs       rdma.Stats
+	// CrossShard counts attempts whose writes spanned shard groups;
+	// CrossShardAborts is the aborted subset. Both stay zero on
+	// single-group topologies.
+	CrossShard       uint64
+	CrossShardAborts uint64
+	ByReason         map[engine.AbortReason]uint64
+	Lat              Latencies
+	Phases           Breakdown
+	Elapsed          sim.Duration
+	Verbs            rdma.Stats
 }
 
 // NewRun returns an empty aggregate.
@@ -149,6 +154,12 @@ func NewRun() *Run {
 // RecordAttempt folds one attempt's outcome in.
 func (r *Run) RecordAttempt(a engine.Attempt) {
 	r.Phases.AddAttempt(a)
+	if a.CrossShard {
+		r.CrossShard++
+		if !a.Committed {
+			r.CrossShardAborts++
+		}
+	}
 	if a.Committed {
 		return
 	}
@@ -200,6 +211,8 @@ func (r *Run) Merge(other *Run) {
 	r.Committed += other.Committed
 	r.Aborted += other.Aborted
 	r.FalseAborts += other.FalseAborts
+	r.CrossShard += other.CrossShard
+	r.CrossShardAborts += other.CrossShardAborts
 	for k, v := range other.ByReason {
 		r.ByReason[k] += v
 	}

@@ -1,0 +1,185 @@
+package crest
+
+import (
+	"strings"
+	"testing"
+)
+
+// Satellite: every misconfiguration that used to surface as a panic
+// deep inside the memory pool is a validated error at the Config
+// layer, each with a descriptive message.
+func TestConfigValidationMessages(t *testing.T) {
+	cases := []struct {
+		name string
+		cfg  Config
+		want string
+	}{
+		{"negative memory nodes", Config{MemoryNodes: -1},
+			"need at least one memory node per shard group, got -1"},
+		{"replicas equal nodes", Config{MemoryNodes: 1, Replicas: 1},
+			"1 replicas needs more than 1 memory nodes"},
+		{"negative replicas", Config{MemoryNodes: 2, Replicas: -1},
+			"-1 replicas needs more than 2 memory nodes"},
+		{"negative shards", Config{Shards: -2},
+			"need at least one shard group, got -2"},
+		{"too many shards", Config{Shards: 65},
+			"65 shard groups exceed the maximum of 64"},
+		{"unknown placement", Config{Placement: "round-robin"},
+			`unknown policy "round-robin"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewCluster(tc.cfg)
+			if err == nil {
+				t.Fatalf("config %+v accepted", tc.cfg)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	// The unknown-placement error lists the valid policies.
+	_, err := NewCluster(Config{Placement: "nope"})
+	for _, name := range PlacementPolicies() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not list policy %q", err, name)
+		}
+	}
+}
+
+// Satellite: an explicitly undersized pool is rejected with an error
+// instead of the allocator's exhaustion panic.
+func TestUndersizedPoolValidated(t *testing.T) {
+	c, err := NewCluster(Config{PoolBytes: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreateTable(TableSpec{ID: 1, Name: "t", CellSizes: []int{8}, Capacity: 4096}); err != nil {
+		t.Fatal(err)
+	}
+	err = c.Load(1, 0, [][]byte{U64(1, 8)})
+	if err == nil {
+		t.Fatal("1 KiB pool accepted for a 4096-row table")
+	}
+	if !strings.Contains(err.Error(), "cannot hold the declared tables") {
+		t.Fatalf("error %q does not diagnose the undersized pool", err)
+	}
+}
+
+// newShardedBank is newBankCluster with an explicit topology.
+func newShardedBank(t *testing.T, system System, n int, cfg Config) *Cluster {
+	t.Helper()
+	cfg.System = system
+	if cfg.CoordinatorsPerNode == 0 {
+		cfg.CoordinatorsPerNode = 4
+	}
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range []TableSpec{
+		{ID: 1, Name: "savings", CellSizes: []int{8}, Capacity: n + 8},
+		{ID: 2, Name: "checking", CellSizes: []int{8, 8}, Capacity: n + 8},
+	} {
+		if err := c.CreateTable(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < n; k++ {
+		if err := c.Load(1, Key(k), [][]byte{U64(100, 8)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Load(2, Key(k), [][]byte{U64(100, 8), U64(0, 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// Every engine runs correctly on a multi-group topology under every
+// placement policy: transfers across the whole key space commit and
+// conserve money even when they span shard groups.
+func TestShardedClusterConservesMoney(t *testing.T) {
+	for _, system := range []System{SystemCREST, SystemFORD, SystemMotor} {
+		for _, pol := range PlacementPolicies() {
+			t.Run(string(system)+"/"+pol, func(t *testing.T) {
+				cfg := Config{Shards: 3, MemoryNodes: 2, Placement: pol}
+				if pol == "hotspot" {
+					cfg.PlacementHotKeys = []PlacementHotKey{{Table: 2, Key: 0, Shard: 0}, {Table: 2, Key: 1, Shard: 0}}
+				}
+				c := newShardedBank(t, system, 12, cfg)
+				var txns []*Txn
+				for i := 0; i < 24; i++ {
+					txns = append(txns, transfer(Key(i%12), Key((i+5)%12), 3))
+				}
+				results, err := c.ExecuteAll(txns...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range results {
+					if !r.Committed {
+						t.Fatalf("txn %d did not commit", i)
+					}
+				}
+				total := uint64(0)
+				for k := 0; k < 12; k++ {
+					row, err := c.ReadRow(2, Key(k), 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					total += GetU64(row[0])
+				}
+				if total != 1200 {
+					t.Fatalf("money not conserved: %d", total)
+				}
+			})
+		}
+	}
+}
+
+// The sharded topology keeps the simulation deterministic: same seed,
+// same virtual end time.
+func TestShardedClusterDeterminism(t *testing.T) {
+	run := func() int64 {
+		c := newShardedBank(t, SystemCREST, 8, Config{Shards: 2, MemoryNodes: 2, Placement: "modulo"})
+		var txns []*Txn
+		for i := 0; i < 16; i++ {
+			txns = append(txns, transfer(Key(i%4), Key(4+(i%4)), 2))
+		}
+		if _, err := c.ExecuteAll(txns...); err != nil {
+			t.Fatal(err)
+		}
+		return int64(c.Now())
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed, different virtual end times: %d vs %d", a, b)
+	}
+}
+
+// PlacementSeedFromWhy turns a recorded contention snapshot into a
+// hotspot-policy seed pinning the hottest keys to shard group 0.
+func TestPlacementSeedFromWhy(t *testing.T) {
+	c := newShardedBank(t, SystemCREST, 8, Config{Shards: 2, MemoryNodes: 2, Placement: "modulo", Why: true})
+	var txns []*Txn
+	for i := 0; i < 64; i++ {
+		txns = append(txns, transfer(Key(i%2), Key((i+1)%2), 1))
+	}
+	if _, err := c.ExecuteAll(txns...); err != nil {
+		t.Fatal(err)
+	}
+	seed := PlacementSeedFromWhy(c.WhySnapshot(), 4)
+	if len(seed) == 0 {
+		t.Fatal("contended run produced no hotspot seed")
+	}
+	if len(seed) > 4 {
+		t.Fatalf("limit 4 returned %d keys", len(seed))
+	}
+	for _, hk := range seed {
+		if hk.Shard != 0 {
+			t.Fatalf("seed pins %+v away from shard 0", hk)
+		}
+	}
+}
