@@ -95,6 +95,14 @@ type BenchmarkConfig struct {
 	Why bool
 	// WhyCapacity bounds the causality edge ring buffer (0 = default).
 	WhyCapacity int
+
+	// Workers is how many OS threads execute the simulation's
+	// shard-group partitions concurrently (sharded topologies with a
+	// partition-safe workload; other runs ignore it). It is an
+	// invocation-level performance knob: every worker count produces
+	// byte-identical results, so only WallMS and EventsPerSec change.
+	// 0 means 1.
+	Workers int
 }
 
 // BenchmarkResult aggregates a run, in the paper's units.
@@ -177,6 +185,7 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		Seed:         cfg.Seed,
 		Duration:     sim.Duration(cfg.Duration),
 		Warmup:       sim.Duration(cfg.Warmup),
+		Workers:      cfg.Workers,
 	}
 	var rec *trace.Recorder
 	if cfg.Trace {

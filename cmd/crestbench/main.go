@@ -79,6 +79,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		specPath = fs.String("spec", "", "with -run: drive the run from a declarative scenario .spec file (overrides -workload and its knobs)")
 		coords   = fs.Int("coords", 240, "total coordinators (across 3 compute nodes)")
 		shards   = fs.Int("shards", 1, "shard groups of independent memory nodes (1 = the classic single-group topology)")
+		workers  = fs.Int("workers", 1, "scheduler threads executing shard-group partitions concurrently (results are byte-identical at any count; 1 = sequential)")
+		big      = fs.Bool("big", false, "with -run: the million-transaction profile (1000 coordinators, 4 shard groups, 8 compute nodes, smallbank θ=0.5; explicit flags override)")
 		placePol = fs.String("placement", "hash", "data placement policy: "+strings.Join(crest.PlacementPolicies(), ", "))
 		wh       = fs.Int("warehouses", 40, "TPC-C warehouses")
 		theta    = fs.Float64("theta", 0.99, "Zipfian constant (smallbank/ycsb)")
@@ -110,6 +112,38 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	// The -big profile is a flag preset: the million-transaction
+	// topology (10³ coordinators on 4 shard groups, long enough to
+	// commit ~10⁶ transactions). Explicit flags override any part of
+	// it, so CI can run a scaled-down smoke with -big -duration 3ms.
+	// Only -run consumes the preset; -exp rejects -big below.
+	if *big && *runOne {
+		if !flagSet(fs, "workload") {
+			*workload = "smallbank"
+		}
+		if !flagSet(fs, "shards") {
+			*shards = 4
+		}
+		if !flagSet(fs, "placement") {
+			*placePol = "modulo"
+		}
+		if !flagSet(fs, "coords") {
+			*coords = 1000
+		}
+		// Moderate skew: the profile measures scheduler throughput at
+		// scale, not contention collapse — θ=0.99 at 10³ coordinators
+		// aborts ~95% of attempts and commits almost nothing.
+		if !flagSet(fs, "theta") {
+			*theta = 0.5
+		}
+		if !flagSet(fs, "duration") {
+			*duration = 25 * time.Millisecond
+		}
+		if !flagSet(fs, "warmup") {
+			*warmup = 2 * time.Millisecond
+		}
+	}
+
 	// Topology flags are validated up front so a typo fails with usage
 	// instead of deep in the harness.
 	if *shards < 1 {
@@ -121,6 +155,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	placement := strings.ToLower(*placePol)
 	if !oneOf(placement, crest.PlacementPolicies()) {
 		return usageErr("unknown placement %q (%s)", *placePol, strings.Join(crest.PlacementPolicies(), ", "))
+	}
+	if *workers < 1 {
+		return usageErr("-workers must be at least 1, got %d", *workers)
 	}
 
 	// The simulator's steady state allocates little, so the default GC
@@ -183,6 +220,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if *shards != 1 || placement != "hash" {
 			return usageErr("-shards/-placement only apply to -run; experiments set topology per spec (see the crossover experiment)")
 		}
+		if *big {
+			return usageErr("-big only applies to -run")
+		}
 		var ids []string
 		if *expID != "all" {
 			ids = []string{*expID}
@@ -193,8 +233,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		start := time.Now()
 		m, err := crest.RunMatrix(ids, quickProfile, crest.MatrixOptions{
-			Workers:  *jobs,
-			CacheDir: *cacheDir,
+			Workers:    *jobs,
+			SimWorkers: *workers,
+			CacheDir:   *cacheDir,
 		})
 		if err != nil {
 			return fatalf("%v", err)
@@ -260,10 +301,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Warmup:        *warmup,
 			Seed:          *seed,
 			Quick:         *quick,
+			Workers:       *workers,
 			Trace:         *traceOut != "",
 			Metrics:       *metOut != "",
 			MetricsWindow: *metWin,
 			Why:           *whyOut != "",
+		}
+		if *big {
+			// The preset's coordinator count wants more compute nodes
+			// than the default testbed shape, and every shard group
+			// should home at least one of them (coordinators land on
+			// groups round-robin by compute node).
+			cfg.ComputeNodes = 8
 		}
 		if *specPath != "" {
 			sc, err := crest.ParseScenarioFile(*specPath)

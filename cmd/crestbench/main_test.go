@@ -80,6 +80,14 @@ func TestTopologyFlagsValidatedUpFront(t *testing.T) {
 			`unknown placement "striped"`},
 		{"exp rejects topology", []string{"-exp", "exp1", "-shards", "2"},
 			"-shards/-placement only apply to -run"},
+		{"zero workers", []string{"-run", "-workers", "0"},
+			"-workers must be at least 1, got 0"},
+		{"negative workers", []string{"-run", "-workers", "-4"},
+			"-workers must be at least 1, got -4"},
+		{"zero workers under exp", []string{"-exp", "exp1", "-workers", "0"},
+			"-workers must be at least 1, got 0"},
+		{"exp rejects big", []string{"-exp", "exp1", "-big"},
+			"-big only applies to -run"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -119,6 +127,56 @@ func TestShardsOneHashMatchesDefaultRun(t *testing.T) {
 	}
 	if def != sharded {
 		t.Fatalf("-shards 1 -placement hash diverged from the default run:\n--- default\n%s--- sharded\n%s", def, sharded)
+	}
+}
+
+// -workers is invocation-level at the CLI seam: a single-group run
+// never consults it (-workers 8 is bit-for-bit the sequential
+// scheduler's output), and a sharded run produces identical stdout at
+// every worker count.
+func TestWorkersByteIdenticalAtCLI(t *testing.T) {
+	single := []string{"-run", "-quick", "-system", "crest", "-workload", "ycsb",
+		"-coords", "12", "-duration", "2ms", "-warmup", "500us"}
+	code, def, stderr := dispatch(single...)
+	if code != 0 {
+		t.Fatalf("default run failed (%d):\n%s", code, stderr)
+	}
+	code, w8, stderr := dispatch(append(single, "-workers", "8")...)
+	if code != 0 {
+		t.Fatalf("-workers 8 run failed (%d):\n%s", code, stderr)
+	}
+	if def != w8 {
+		t.Fatalf("-workers 8 diverged from the sequential run on one shard group:\n--- default\n%s--- workers 8\n%s", def, w8)
+	}
+
+	sharded := []string{"-run", "-quick", "-system", "crest", "-workload", "smallbank",
+		"-coords", "24", "-shards", "3", "-placement", "modulo",
+		"-duration", "2ms", "-warmup", "500us"}
+	var outs [3]string
+	for i, w := range []string{"1", "2", "8"} {
+		code, out, stderr := dispatch(append(sharded, "-workers", w)...)
+		if code != 0 {
+			t.Fatalf("-workers %s run failed (%d):\n%s", w, code, stderr)
+		}
+		outs[i] = out
+	}
+	if outs[0] != outs[1] || outs[0] != outs[2] {
+		t.Fatalf("sharded stdout differs across -workers 1/2/8:\n--- 1\n%s--- 2\n%s--- 8\n%s",
+			outs[0], outs[1], outs[2])
+	}
+}
+
+// The -big preset must parse and run at a smoke scale: explicit
+// -duration/-coords flags scale it down without leaving the
+// million-transaction topology (4 shard groups, 8 compute nodes).
+func TestBigProfileSmoke(t *testing.T) {
+	code, out, stderr := dispatch("-run", "-big", "-quick",
+		"-coords", "64", "-duration", "2ms", "-warmup", "500us")
+	if code != 0 {
+		t.Fatalf("-big smoke failed (%d):\n%s", code, stderr)
+	}
+	if !strings.Contains(out, "crest/smallbank @64 coordinators") {
+		t.Fatalf("-big smoke output unexpected:\n%s", out)
 	}
 }
 

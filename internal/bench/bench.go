@@ -98,6 +98,36 @@ type Config struct {
 	// forensics (see internal/causality). Like tracing and metrics,
 	// recording consumes no virtual time and no randomness.
 	Why *causality.Recorder
+	// Workers is how many OS threads execute shard-group partitions
+	// concurrently when the run is partitioned (see Partitioned). It is
+	// an invocation-level performance knob: every worker count produces
+	// byte-identical results, so it must never enter a cache key or a
+	// canonical record. 0 means 1.
+	Workers int
+}
+
+// Partitioned reports whether the run executes on the partitioned
+// parallel scheduler (sim.World): one partition per shard group. It
+// requires a sharded topology and a partition-safe workload generator.
+// The decision is a property of the topology alone — never of Workers
+// or of attached observability probes — so a partitioned run is
+// byte-identical at every worker count, and attaching trace, metrics
+// or abort forensics never changes the schedule (it only forces the
+// single-worker path, because those probes are scheduler-owned).
+func (c Config) Partitioned(gen workload.Generator) bool {
+	return c.Shards > 1 && workload.IsPartitionSafe(gen)
+}
+
+// workers resolves the effective worker count: the configured count,
+// clamped to one when scheduler-owned probes (trace, metrics, abort
+// forensics) are attached — observers record into shared buffers, so
+// they ride the deterministic single-worker execution of the same
+// partitioned schedule.
+func (c Config) workers() int {
+	if c.Trace != nil || c.Metrics != nil || c.Why != nil {
+		return 1
+	}
+	return c.Workers
 }
 
 // WithDefaults fills unset fields with the evaluation defaults: two
@@ -212,9 +242,22 @@ type ComputeNode interface {
 	NewCoordinator(id int) engine.Coordinator
 }
 
+// PartitionedSystem is the capability a system adapter needs for
+// partitioned runs: compute nodes bound to a partition view of the
+// database (engine.DB.PartitionView). part/parts let engines with
+// system-wide counters (CREST's transaction ids) switch to strided
+// partition-local sequences.
+type PartitionedSystem interface {
+	NewPartitionComputeNode(id int, db *engine.DB, part, parts int) ComputeNode
+}
+
 type crestSys struct{ *core.System }
 
 func (s crestSys) NewComputeNode(id int) ComputeNode { return crestCN{s.System.NewComputeNode(id)} }
+
+func (s crestSys) NewPartitionComputeNode(id int, db *engine.DB, part, parts int) ComputeNode {
+	return crestCN{s.System.NewPartitionComputeNode(id, db, part, parts)}
+}
 
 type crestCN struct{ *core.ComputeNode }
 
@@ -224,6 +267,10 @@ type fordSys struct{ *ford.System }
 
 func (s fordSys) NewComputeNode(id int) ComputeNode { return fordCN{s.System.NewComputeNode(id)} }
 
+func (s fordSys) NewPartitionComputeNode(id int, db *engine.DB, _, _ int) ComputeNode {
+	return fordCN{s.System.NewPartitionComputeNode(id, db)}
+}
+
 type fordCN struct{ *ford.ComputeNode }
 
 func (c fordCN) NewCoordinator(id int) engine.Coordinator { return c.ComputeNode.NewCoordinator(id) }
@@ -231,6 +278,10 @@ func (c fordCN) NewCoordinator(id int) engine.Coordinator { return c.ComputeNode
 type motorSys struct{ *motor.System }
 
 func (s motorSys) NewComputeNode(id int) ComputeNode { return motorCN{s.System.NewComputeNode(id)} }
+
+func (s motorSys) NewPartitionComputeNode(id int, db *engine.DB, _, _ int) ComputeNode {
+	return motorCN{s.System.NewPartitionComputeNode(id, db)}
+}
 
 type motorCN struct{ *motor.ComputeNode }
 
@@ -292,7 +343,20 @@ func Run(cfg Config) (Result, error) {
 		}
 		hs.Seed(keys)
 	}
-	env := sim.NewEnv(cfg.Seed)
+	// A partitioned run builds one scheduler partition per shard group
+	// (conservative lookahead = the fabric's one-way minimum); any
+	// other run uses the classic sequential scheduler, byte-for-byte.
+	parts := 0
+	var world *sim.World
+	var env *sim.Env
+	if cfg.Partitioned(gen) {
+		parts = cfg.Shards
+		world = sim.NewWorld(cfg.Seed, parts, cfg.Params.Lookahead())
+		world.SetWorkers(cfg.workers())
+		env = world.Env(0)
+	} else {
+		env = sim.NewEnv(cfg.Seed)
+	}
 	fabric := rdma.NewFabric(env, cfg.Params)
 	pool, err := memnode.NewShardedPool(fabric, cfg.Shards, cfg.MemNodes, PoolBytes(defs, totalCoords), cfg.Replicas, pol)
 	if err != nil {
@@ -301,6 +365,11 @@ func Run(cfg Config) (Result, error) {
 	db := engine.NewDB(pool)
 	if cfg.Trace != nil {
 		env.SetObserver(cfg.Trace)
+		if world != nil {
+			for i := 1; i < world.Parts(); i++ {
+				world.Env(i).SetObserver(cfg.Trace)
+			}
+		}
 		fabric.SetRecorder(cfg.Trace)
 		db.Trace = cfg.Trace
 	}
@@ -325,6 +394,21 @@ func Run(cfg Config) (Result, error) {
 	gen.Load(sys.Load)
 	if err := sys.FinishLoad(); err != nil {
 		return Result{}, err
+	}
+
+	// Partition views are created after the load so their timestamp
+	// oracles floor above every load-time draw.
+	var views []*engine.DB
+	var psys PartitionedSystem
+	if parts > 0 {
+		var ok bool
+		if psys, ok = sys.(PartitionedSystem); !ok {
+			return Result{}, fmt.Errorf("bench: system %q cannot run partitioned", cfg.System)
+		}
+		views = make([]*engine.DB, parts)
+		for i := range views {
+			views[i] = db.PartitionView(world.Env(i), i)
+		}
 	}
 
 	res := Result{
@@ -353,15 +437,57 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
+	// Measurement accumulators: the sequential scheduler records into
+	// the result directly; a partitioned run gives each partition its
+	// own accumulator — recording never crosses partitions — and merges
+	// them in partition order afterwards.
+	runs := []*stats.Run{res.Run}
+	phases := [][]PhaseStat{res.ScenarioPhases}
+	if parts > 0 {
+		runs = make([]*stats.Run, parts)
+		phases = make([][]PhaseStat, parts)
+		for i := range runs {
+			runs[i] = stats.NewRun()
+			if res.ScenarioPhases != nil {
+				ph := make([]PhaseStat, len(res.ScenarioPhases))
+				copy(ph, res.ScenarioPhases)
+				phases[i] = ph
+			}
+		}
+	}
+
 	coordID := 0
+	partSeq := make([]int, cfg.Shards)
 	for cn := 0; cn < cfg.CompNodes; cn++ {
-		node := sys.NewComputeNode(cn)
+		part := 0
+		var node ComputeNode
+		penv := env
+		if parts > 0 {
+			// Every coordinator of one compute node lives in one
+			// partition, so compute-node state (record caches, address
+			// caches) stays single-threaded.
+			part = cn % parts
+			node = psys.NewPartitionComputeNode(cn, views[part], part, parts)
+			penv = world.Env(part)
+		} else {
+			node = sys.NewComputeNode(cn)
+		}
 		node.WarmCache()
+		prun, pph := runs[part], phases[part]
 		for i := 0; i < cfg.coordsOnNode(cn); i++ {
-			coord := node.NewCoordinator(coordID)
+			id := coordID
+			if parts > 0 {
+				// Strided coordinator ids keep each coordinator's log
+				// in its own partition's shard group (the log home
+				// group is id mod shards), so commits stay
+				// partition-local.
+				id = part + parts*partSeq[part]
+				partSeq[part]++
+			}
+			coord := node.NewCoordinator(id)
 			rank := coordID
 			coordID++
-			env.Spawn(fmt.Sprintf("cn%d/coord%d", cn, i), func(p *sim.Proc) {
+			penv.Spawn(fmt.Sprintf("cn%d/coord%d", cn, i), func(p *sim.Proc) {
 				for !stop {
 					var txn *engine.Txn
 					if timed != nil {
@@ -386,14 +512,14 @@ func Run(cfg Config) (Result, error) {
 					start := p.Now()
 					measured := start >= sim.Time(cfg.Warmup)
 					var ps *PhaseStat
-					if measured && res.ScenarioPhases != nil {
-						ps = &res.ScenarioPhases[scn.PhaseAt(start)]
+					if measured && pph != nil {
+						ps = &pph[scn.PhaseAt(start)]
 					}
 					attempt := 0
 					for {
 						a := coord.Execute(p, txn)
 						if measured {
-							res.RecordAttempt(a)
+							prun.RecordAttempt(a)
 							if ps != nil {
 								ps.Attempts++
 								if !a.Committed {
@@ -418,7 +544,7 @@ func Run(cfg Config) (Result, error) {
 						p.Sleep(retry.Backoff(attempt, p.Rand()))
 					}
 					if measured {
-						res.RecordCommit(p.Now().Sub(start))
+						prun.RecordCommit(p.Now().Sub(start))
 						if ps != nil {
 							ps.Commits++
 						}
@@ -430,15 +556,43 @@ func Run(cfg Config) (Result, error) {
 
 	deadline := sim.Time(cfg.Duration)
 	wallStart := time.Now()
-	if err := env.RunUntil(deadline); err != nil {
-		return res, err
-	}
-	stop = true
-	if err := env.Run(); err != nil { // drain in-flight transactions
-		return res, err
+	if world != nil {
+		if err := world.RunUntil(deadline); err != nil {
+			return res, err
+		}
+		stop = true
+		if err := world.Run(); err != nil { // drain in-flight transactions
+			return res, err
+		}
+		res.Events = world.Dispatched()
+	} else {
+		if err := env.RunUntil(deadline); err != nil {
+			return res, err
+		}
+		stop = true
+		if err := env.Run(); err != nil { // drain in-flight transactions
+			return res, err
+		}
+		res.Events = env.Dispatched()
 	}
 	res.WallMS = float64(time.Since(wallStart)) / float64(time.Millisecond)
-	res.Events = env.Dispatched()
+	if parts > 0 {
+		// Fold the per-partition accumulators in partition order — a
+		// pure function of the simulation, independent of workers.
+		for _, r := range runs {
+			res.Run.Merge(r)
+		}
+		for _, ph := range phases {
+			for j := range ph {
+				res.ScenarioPhases[j].Attempts += ph[j].Attempts
+				res.ScenarioPhases[j].Commits += ph[j].Commits
+				res.ScenarioPhases[j].Aborts += ph[j].Aborts
+			}
+		}
+		for _, v := range views {
+			db.History.Absorb(v.History)
+		}
+	}
 	res.Elapsed = cfg.Duration - cfg.Warmup
 	res.Verbs = fabric.Stats().Sub(verbs0)
 	if cfg.CheckHistory {

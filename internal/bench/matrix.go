@@ -300,6 +300,12 @@ type Getter func(RunSpec) (*RunRecord, error)
 type MatrixOptions struct {
 	// Workers bounds concurrent simulations; ≤ 0 means GOMAXPROCS.
 	Workers int
+	// SimWorkers is the scheduler worker count inside each simulation
+	// (Config.Workers): partitioned runs execute that many shard-group
+	// partitions concurrently. Like Workers it is invocation-level —
+	// results are byte-identical at any value — so it never enters a
+	// spec key or a cached record. ≤ 0 means 1.
+	SimWorkers int
 	// CacheDir, when non-empty, persists records as JSON files keyed
 	// by spec so later invocations skip already-simulated cells.
 	CacheDir string
@@ -308,9 +314,10 @@ type MatrixOptions struct {
 // Runner executes run specs at most once each, keyed by RunSpec.Key,
 // and serves the memoized records.
 type Runner struct {
-	profile Profile
-	workers int
-	cache   string
+	profile    Profile
+	workers    int
+	simWorkers int
+	cache      string
 
 	mu        sync.Mutex
 	store     map[string]*RunRecord
@@ -328,7 +335,8 @@ func NewRunner(p Profile, opt MatrixOptions) *Runner {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{profile: p, workers: w, cache: opt.CacheDir, store: map[string]*RunRecord{}}
+	return &Runner{profile: p, workers: w, simWorkers: opt.SimWorkers,
+		cache: opt.CacheDir, store: map[string]*RunRecord{}}
 }
 
 // Get returns the record for spec, executing the run if it is not
@@ -423,6 +431,7 @@ func (r *Runner) execute(spec RunSpec) (*RunRecord, error) {
 	if err != nil {
 		return nil, err
 	}
+	cfg.Workers = r.simWorkers
 	if spec.OneTxn {
 		verbs, err := oneTxnVerbs(cfg)
 		if err != nil {

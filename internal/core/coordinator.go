@@ -27,7 +27,7 @@ type Coordinator struct {
 // NewCoordinator creates coordinator id (globally unique across
 // compute nodes).
 func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
-	db := cn.sys.db
+	db := cn.db
 	pool := db.Pool
 	c := &Coordinator{
 		cn:  cn,
@@ -43,7 +43,7 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 
 // writeShardsAccs returns the shard groups of every written record.
 func (c *Coordinator) writeShardsAccs(accs []*access) engine.ShardSet {
-	pool := c.cn.sys.db.Pool
+	pool := c.cn.db.Pool
 	var parts engine.ShardSet
 	for _, acc := range accs {
 		if acc.intentWrite {
@@ -120,12 +120,12 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 // executeLocalized is the full CREST path: record cache, pipelined
 // execution, dependency tracking and parallel commits.
 func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attempt {
-	db := c.cn.sys.db
+	db := c.cn.db
 	at := engine.BeginAttempt(db, p, c.gid, c.home, t)
 	sc := c.getScratch()
 	defer c.putScratch(sc)
 
-	me := &txnState{id: c.cn.sys.nextTxn(), whyID: at.WhyID()}
+	me := &txnState{id: c.cn.nextTxnID(), whyID: at.WhyID()}
 	at.Span().SetTxn(me.id)
 	// deps are the creators of versions this transaction read or
 	// overwrote (§5.1): it commits only after they commit, and aborts
@@ -335,7 +335,7 @@ func (c *Coordinator) getOrCreate(p *sim.Proc, rk recKey, lay *layout.Record) *o
 	if obj, ok := c.cn.objs[rk]; ok {
 		return obj
 	}
-	db := c.cn.sys.db
+	db := c.cn.db
 	primary := db.Pool.PrimaryOf(rk.table, rk.key)
 	off, err := db.ResolveAddr(p, c.cn.cache, c.qps.Get(primary.Region), rk.table, rk.key)
 	if err != nil {
@@ -351,7 +351,7 @@ func (c *Coordinator) getOrCreate(p *sim.Proc, rk recKey, lay *layout.Record) *o
 // batching everything per memory node into one round-trip. Only one
 // coordinator admits a given record at a time; others wait.
 func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (engine.AbortReason, bool) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	opts := c.cn.sys.opts
 	tries := 0
 	for {
@@ -566,7 +566,7 @@ func (c *Coordinator) track(acc *access) {
 		return
 	}
 	acc.tracked = true
-	c.cn.sys.db.Tracker.OnLock(acc.rk.table, acc.rk.key, accessMaskFor(acc.op))
+	c.cn.db.Tracker.OnLock(acc.rk.table, acc.rk.key, accessMaskFor(acc.op))
 }
 
 // execOp runs one op against the record cache under the block's local
@@ -712,7 +712,7 @@ func (c *Coordinator) validateLocal(accs []*access) bool {
 // the EN threshold it reads whole records and compares commit
 // timestamps instead (§4.2).
 func (c *Coordinator) validateRemote(p *sim.Proc, sc *execScratch, accs []*access, attemptStart sim.Time) (engine.AbortReason, bool) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	fallback := p.Now().Sub(attemptStart) > c.cn.sys.opts.ENThreshold
 	sc.bat.Begin()
 	for i := range sc.batchAccs {
@@ -829,7 +829,7 @@ func (c *Coordinator) writeRedoLog(p *sim.Proc, sc *execScratch, me *txnState, t
 	// on every other participating group's log mirrors before the
 	// home group's decision write.
 	if parts := c.writeShardsAccs(accs); parts.Beyond(c.home) {
-		engine.PrepareCrossShard(p, c.cn.sys.db, c.qps, c.logN, c.home, parts, off, entry)
+		engine.PrepareCrossShard(p, c.cn.db, c.qps, c.logN, c.home, parts, off, entry)
 	}
 	c.postLog(p, sc, off, entry)
 }
@@ -869,7 +869,7 @@ func sortByCell(idx []int, cells []int) {
 // newest committed cell values back (last-writer-wins, §6), and the
 // last reference releases the remote locks and destroys the object.
 func (c *Coordinator) applyRelease(p *sim.Proc, sc *execScratch, accs []*access) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	for _, acc := range accs {
 		if !acc.registered {
 			continue
@@ -1026,7 +1026,7 @@ type fin struct {
 // the data writes; the lock lives on the primary.
 func (c *Coordinator) buildFlushOps(sc *execScratch, f *fin) {
 	obj := f.obj
-	db := c.cn.sys.db
+	db := c.cn.db
 	for _, n := range db.Pool.ReplicaNodes(obj.table, obj.key) {
 		release := f.release && n == obj.primary && f.unlock != 0
 		if len(f.plans) > 0 || release {
@@ -1061,7 +1061,7 @@ func (c *Coordinator) buildFlushOps(sc *execScratch, f *fin) {
 // recordHistory feeds the committed transaction into the history
 // checker.
 func (c *Coordinator) recordHistory(t *engine.Txn, accs []*access, ts uint64) {
-	h := c.cn.sys.db.History
+	h := c.cn.db.History
 	if h == nil || !h.On {
 		return
 	}

@@ -189,8 +189,13 @@ func (s *System) FinishLoad() error { return s.db.FinishLoad() }
 
 // ComputeNode holds one compute node's shared state: the address
 // cache, the record cache of local objects, and the TS_exec counter.
+// Every coordinator of one compute node runs in the same simulation
+// partition, so this state needs no locking even under parallel
+// execution; db points at that partition's view of the database (the
+// root DB on sequential runs).
 type ComputeNode struct {
 	sys       *System
+	db        *engine.DB
 	id        int
 	cache     *hashindex.AddrCache
 	objs      map[recKey]*object
@@ -198,6 +203,12 @@ type ComputeNode struct {
 	// scanGen stamps objects during applyRelease's dedup scan,
 	// replacing a per-attempt map.
 	scanGen uint64
+	// txnSeq/txnStride allocate transaction ids partition-locally on
+	// partitioned runs (stride = partition count, so ids never collide
+	// across partitions); stride 0 falls back to the system-wide
+	// counter.
+	txnSeq    uint64
+	txnStride uint64
 }
 
 type recKey struct {
@@ -209,6 +220,7 @@ type recKey struct {
 func (s *System) NewComputeNode(id int) *ComputeNode {
 	cn := &ComputeNode{
 		sys:   s,
+		db:    s.db,
 		id:    id,
 		cache: hashindex.NewAddrCache(),
 		objs:  map[recKey]*object{},
@@ -217,8 +229,31 @@ func (s *System) NewComputeNode(id int) *ComputeNode {
 	return cn
 }
 
+// NewPartitionComputeNode creates compute node state bound to a
+// partition view of the database, drawing transaction ids from the
+// strided partition-local sequence part+1, part+1+parts, … so ids stay
+// system-wide unique without shared state.
+func (s *System) NewPartitionComputeNode(id int, db *engine.DB, part, parts int) *ComputeNode {
+	cn := s.NewComputeNode(id)
+	cn.db = db
+	cn.txnSeq = uint64(part) + 1
+	cn.txnStride = uint64(parts)
+	return cn
+}
+
+// nextTxnID draws a transaction id: partition-local strided ids on
+// partition-bound nodes, the system-wide counter otherwise.
+func (cn *ComputeNode) nextTxnID() uint64 {
+	if cn.txnStride == 0 {
+		return cn.sys.nextTxn()
+	}
+	id := cn.txnSeq
+	cn.txnSeq += cn.txnStride
+	return id
+}
+
 // WarmCache preloads the address cache with every record.
-func (cn *ComputeNode) WarmCache() { cn.sys.db.WarmCache(cn.cache) }
+func (cn *ComputeNode) WarmCache() { cn.db.WarmCache(cn.cache) }
 
 // CachedObjects reports the record cache's current size (diagnostics
 // and cache-management tests).

@@ -18,7 +18,7 @@ import (
 // remotely. With CellLevel on it still locks and validates at cell
 // granularity via the CREST record structure.
 func (c *Coordinator) executeDirect(p *sim.Proc, t *engine.Txn) engine.Attempt {
-	db := c.cn.sys.db
+	db := c.cn.db
 	at := engine.BeginAttempt(db, p, c.gid, c.home, t)
 	sc := c.getScratch()
 	defer c.putScratch(sc)
@@ -84,7 +84,7 @@ type dwork struct {
 func (w *dwork) table() layout.TableID { return w.lay.Schema.ID }
 
 func (c *Coordinator) dPrepare(p *sim.Proc, t *engine.Txn, blk *engine.Block, sc *execScratch) []*dwork {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.dBlock = sc.dBlock[:0]
 	for oi := range blk.Ops {
 		op := &blk.Ops[oi]
@@ -137,7 +137,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 	if len(ws) == 0 {
 		return engine.AbortNone, false
 	}
-	db := c.cn.sys.db
+	db := c.cn.db
 	opts := c.cn.sys.opts
 	todo := append(sc.dTodo[:0], ws...)
 	for tries := 0; ; tries++ {
@@ -228,7 +228,7 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 }
 
 func (c *Coordinator) dApplyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *dwork) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	read := w.readVals[:0]
 	for _, cell := range op.ReadCells {
 		read = append(read, append([]byte(nil), w.vals[cell]...))
@@ -251,7 +251,7 @@ func (c *Coordinator) dApplyOp(p *sim.Proc, t *engine.Txn, op *engine.Op, w *dwo
 // dValidate re-reads record headers and compares epoch numbers (or
 // full records and commit timestamps past the EN threshold).
 func (c *Coordinator) dValidate(p *sim.Proc, sc *execScratch, ws []*dwork, attemptStart sim.Time) (engine.AbortReason, bool) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	fallback := p.Now().Sub(attemptStart) > c.cn.sys.opts.ENThreshold
 	sc.bat.Begin()
 	for i := range sc.dBatchW {
@@ -314,7 +314,7 @@ func (c *Coordinator) dValidate(p *sim.Proc, sc *execScratch, ws []*dwork, attem
 
 // dRelease frees held locks (abort path), batched per node.
 func (c *Coordinator) dRelease(p *sim.Proc, sc *execScratch, ws []*dwork) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for _, w := range ws {
 		if w.lockBits == 0 {
@@ -379,7 +379,7 @@ func (c *Coordinator) dWriteLog(p *sim.Proc, sc *execScratch, ws []*dwork, ts ui
 	// on every other participating group's log mirrors before the
 	// home group's decision write.
 	if parts := c.writeShardsDworks(ws); parts.Beyond(c.home) {
-		engine.PrepareCrossShard(p, c.cn.sys.db, c.qps, c.logN, c.home, parts, off, entry)
+		engine.PrepareCrossShard(p, c.cn.db, c.qps, c.logN, c.home, parts, off, entry)
 	}
 	c.postLog(p, sc, off, entry)
 }
@@ -387,7 +387,7 @@ func (c *Coordinator) dWriteLog(p *sim.Proc, sc *execScratch, ws []*dwork, ts ui
 // writeShardsDworks returns the shard groups of every written record
 // on the direct path.
 func (c *Coordinator) writeShardsDworks(ws []*dwork) engine.ShardSet {
-	pool := c.cn.sys.db.Pool
+	pool := c.cn.db.Pool
 	var parts engine.ShardSet
 	for _, w := range ws {
 		if len(w.op.WriteCells) > 0 {
@@ -400,7 +400,7 @@ func (c *Coordinator) writeShardsDworks(ws []*dwork) engine.ShardSet {
 // dInstall writes updated cells, bumps their epoch numbers and unlocks
 // on every replica, ordered within one round-trip.
 func (c *Coordinator) dInstall(p *sim.Proc, sc *execScratch, ws []*dwork, ts uint64) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for _, w := range ws {
 		if w.lockBits == 0 {
@@ -456,7 +456,7 @@ func (c *Coordinator) dInstall(p *sim.Proc, sc *execScratch, ws []*dwork, ts uin
 
 // dRecord feeds the committed transaction into the history checker.
 func (c *Coordinator) dRecord(t *engine.Txn, ws []*dwork, ts uint64) {
-	h := c.cn.sys.db.History
+	h := c.cn.db.History
 	if h == nil || !h.On {
 		return
 	}

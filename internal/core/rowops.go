@@ -14,7 +14,7 @@ import (
 // publishes the key in the hash index of every memory node and
 // releases the locks.
 func (c *Coordinator) InsertRow(p *sim.Proc, table layout.TableID, key layout.Key, cells [][]byte) error {
-	db := c.cn.sys.db
+	db := c.cn.db
 	lay := c.cn.sys.layouts[table]
 	if lay == nil {
 		return fmt.Errorf("core: unknown table %d", table)
@@ -81,7 +81,7 @@ func (c *Coordinator) InsertRow(p *sim.Proc, table layout.TableID, key layout.Ke
 // every node. Readers that fetch the record afterwards observe the
 // delete bit and abort.
 func (c *Coordinator) DeleteRow(p *sim.Proc, table layout.TableID, key layout.Key) error {
-	db := c.cn.sys.db
+	db := c.cn.db
 	lay := c.cn.sys.layouts[table]
 	if lay == nil {
 		return fmt.Errorf("core: unknown table %d", table)

@@ -45,7 +45,7 @@ type AttemptTimer struct {
 // group home, opening (or, on a retry of the same *Txn, resuming) its
 // trace span.
 func BeginAttempt(db *DB, p *sim.Proc, coord uint64, home int, t *Txn) AttemptTimer {
-	at := AttemptTimer{db: db, p: p, verbs0: db.Fabric.Stats(), start: p.Now(), mark: p.Now(), cur: trace.PhaseExec, shard: home}
+	at := AttemptTimer{db: db, p: p, verbs0: db.VerbStats(), start: p.Now(), mark: p.Now(), cur: trace.PhaseExec, shard: home}
 	if db.Trace != nil {
 		at.span = db.Trace.StartSpan(p, coord, t.Label, t)
 		db.Trace.EnterPhase(at.mark, at.span, trace.PhaseExec)
@@ -129,6 +129,6 @@ func (at *AttemptTimer) Done() Attempt {
 		Exec:          at.dur[trace.PhaseExec] + at.dur[trace.PhaseLock],
 		Validate:      at.dur[trace.PhaseValidate],
 		Commit:        at.dur[trace.PhaseLog] + at.dur[trace.PhaseApply],
-		Verbs:         at.db.Fabric.Stats().Sub(at.verbs0),
+		Verbs:         at.db.VerbStats().Sub(at.verbs0),
 	}
 }

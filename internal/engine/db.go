@@ -96,6 +96,10 @@ type DB struct {
 	// nil-safe and host-side only: enabling it never changes virtual
 	// time, events or randomness.
 	Why *causality.Recorder
+
+	// lane is the fabric lane (simulation partition) this DB's verbs
+	// are counted in: 0 except on partition views.
+	lane int
 }
 
 // NewDB wraps a pool.
@@ -107,6 +111,41 @@ func NewDB(pool *memnode.Pool) *DB {
 		TSO:     &TSO{},
 		Tracker: NewConflictTracker(),
 		Cost:    DefaultCostModel(),
+	}
+}
+
+// VerbStats returns the fabric verb counters attributable to this DB's
+// partition: the whole fabric on the root DB of a single-partition
+// run, the partition's lane on a partition view. Attempt accounting
+// diffs it so per-attempt verb counts stay partition-local — and
+// therefore deterministic — when partitions execute in parallel.
+func (db *DB) VerbStats() rdma.Stats {
+	return db.Fabric.LaneStats(db.lane)
+}
+
+// PartitionView returns a shard-group-local view of the database for
+// partition part, whose coordinators run on env: shared immutable
+// placement (pool, fabric, tables, cost model) plus partition-private
+// mutable state — a hybrid-logical-clock timestamp oracle floored
+// above every load-time draw, a fresh conflict tracker, and a history
+// fork (fold it back with History.Absorb after the run). Observability
+// probes are shared with the root DB: they are scheduler-owned, so a
+// run that attaches any of them executes the partitions on a single
+// worker (the schedule is byte-identical either way).
+func (db *DB) PartitionView(env *sim.Env, part int) *DB {
+	return &DB{
+		Pool:    db.Pool,
+		Fabric:  db.Fabric,
+		Tables:  db.Tables,
+		TSO:     NewPartitionTSO(env, part, db.TSO.Last()),
+		Tracker: NewConflictTracker(),
+		History: db.History.Fork(),
+		Cost:    db.Cost,
+		Trace:   db.Trace,
+		Metrics: db.Metrics,
+		Met:     db.Met,
+		Why:     db.Why,
+		lane:    part,
 	}
 }
 

@@ -161,11 +161,57 @@ type Coordinator interface {
 // not pin down its clock source; a shared monotonic counter is the
 // standard substitution and is free of cost in the cooperative
 // simulator (exactly one process runs at a time).
-type TSO struct{ last uint64 }
+//
+// On a partitioned simulation a shared counter would be both a data
+// race and a nondeterminism source, so partition views substitute a
+// hybrid logical clock (NewPartitionTSO): timestamps embed the
+// partition's virtual clock in the high bits and the partition id in
+// the low bits. Uniqueness is structural (distinct low bits), and the
+// serial order stays externally consistent because any cross-partition
+// observation travels the fabric, which advances virtual time by at
+// least the world's lookahead — so an observer's timestamp always
+// exceeds the observed commit's.
+type TSO struct {
+	last uint64
+	env  *sim.Env // non-nil selects the hybrid-logical-clock mode
+	part uint64
+}
 
-// Next returns the next timestamp, starting from 1.
+// Hybrid-logical-clock timestamp layout for partitioned runs:
+// [ virtual ns : 34 ][ seq : 8 ][ partition : 6 ]. Six partition bits
+// cover memnode.MaxShards; eight sequence bits absorb draws within one
+// nanosecond (overflow carries into the clock bits, staying monotone).
+const (
+	hlcPartBits = 6
+	hlcSeqBits  = 8
+	hlcShift    = hlcPartBits + hlcSeqBits
+)
+
+// NewPartitionTSO returns partition part's oracle, drawing from env's
+// virtual clock and floored above every timestamp the root oracle has
+// issued (load-time draws), so runtime commits always serialize after
+// the initial state.
+func NewPartitionTSO(env *sim.Env, part int, floor uint64) *TSO {
+	if part < 0 || part >= 1<<hlcPartBits {
+		panic(fmt.Sprintf("engine: partition %d exceeds the TSO's %d partition bits", part, hlcPartBits))
+	}
+	return &TSO{env: env, part: uint64(part), last: floor<<hlcShift | uint64(part)}
+}
+
+// Next returns the next timestamp, starting from 1 (dense mode) or
+// above the hybrid-logical-clock floor (partition mode).
 func (t *TSO) Next() uint64 {
-	t.last++
+	if t.env == nil {
+		t.last++
+	} else {
+		cand := uint64(t.env.Now())<<hlcShift | t.part
+		if cand <= t.last {
+			// Same-instant redraw: bump the sequence field. The
+			// partition bits are below it, so they are preserved.
+			cand = t.last + 1<<hlcPartBits
+		}
+		t.last = cand
+	}
 	if t.last > layout.MaxTS48 {
 		panic("engine: timestamp oracle exceeded 48 bits")
 	}

@@ -73,6 +73,28 @@ func (h *History) SetInitial(c CellID, value []byte) {
 	h.Init[c] = HashValue(value)
 }
 
+// Fork returns a partition-private recorder sharing h's initial state:
+// commits append locally, and Absorb folds them back after the run, so
+// parallel partitions never contend on one slice. Forking a nil or
+// disabled history returns h itself (commits no-op everywhere).
+func (h *History) Fork() *History {
+	if h == nil || !h.On {
+		return h
+	}
+	return &History{On: true, Init: h.Init, label: h.label}
+}
+
+// Absorb appends a fork's commits to h. Callers fold forks in
+// partition order so the combined slice is deterministic (Check sorts
+// by serial position regardless; the order matters only for
+// byte-stable dumps).
+func (h *History) Absorb(sub *History) {
+	if h == nil || !h.On || sub == nil || sub == h {
+		return
+	}
+	h.Txns = append(h.Txns, sub.Txns...)
+}
+
 // Commit appends a committed transaction.
 func (h *History) Commit(t HTxn) {
 	if h == nil || !h.On {

@@ -84,22 +84,32 @@ func (s *System) Load(table layout.TableID, key layout.Key, cells [][]byte) {
 func (s *System) FinishLoad() error { return s.db.FinishLoad() }
 
 // ComputeNode groups the coordinators of one compute node; in FORD
-// they share only the address cache.
+// they share only the address cache. db is the partition view the
+// node's coordinators run against (the root DB on sequential runs).
 type ComputeNode struct {
 	sys   *System
+	db    *engine.DB
 	id    int
 	cache *hashindex.AddrCache
 }
 
 // NewComputeNode creates compute node state.
 func (s *System) NewComputeNode(id int) *ComputeNode {
-	cn := &ComputeNode{sys: s, id: id, cache: hashindex.NewAddrCache()}
+	cn := &ComputeNode{sys: s, db: s.db, id: id, cache: hashindex.NewAddrCache()}
 	s.nextCN++
 	return cn
 }
 
+// NewPartitionComputeNode creates compute node state bound to a
+// partition view of the database.
+func (s *System) NewPartitionComputeNode(id int, db *engine.DB) *ComputeNode {
+	cn := s.NewComputeNode(id)
+	cn.db = db
+	return cn
+}
+
 // WarmCache preloads the address cache with every record.
-func (cn *ComputeNode) WarmCache() { cn.sys.db.WarmCache(cn.cache) }
+func (cn *ComputeNode) WarmCache() { cn.db.WarmCache(cn.cache) }
 
 // Coordinator executes FORD transactions.
 type Coordinator struct {
@@ -116,7 +126,7 @@ type Coordinator struct {
 // NewCoordinator creates coordinator number id on the compute node.
 // Ids must be globally unique across compute nodes.
 func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
-	db := cn.sys.db
+	db := cn.db
 	pool := db.Pool
 	c := &Coordinator{
 		cn:  cn,
@@ -131,7 +141,7 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 
 // writeShards returns the shard groups of every written record in ws.
 func (c *Coordinator) writeShards(ws []*work) engine.ShardSet {
-	pool := c.cn.sys.db.Pool
+	pool := c.cn.db.Pool
 	var parts engine.ShardSet
 	for _, w := range ws {
 		if w.op.IsWrite() {
@@ -162,7 +172,7 @@ func (w *work) table() layout.TableID { return w.lay.Schema.ID }
 // Execute runs one attempt of t. It never retries; the caller owns
 // backoff and retry.
 func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
-	db := c.cn.sys.db
+	db := c.cn.db
 	at := engine.BeginAttempt(db, p, c.gid, c.home, t)
 	sc := c.getScratch()
 	defer c.putScratch(sc)
@@ -224,7 +234,7 @@ type recKey struct {
 // prepareBlock resolves keys and builds work entries for records not
 // yet fetched, sorted by (table, key) for deterministic batching.
 func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, sc *execScratch) ([]*work, error) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.block = sc.block[:0]
 	for oi := range blk.Ops {
 		op := &blk.Ops[oi]
@@ -287,7 +297,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work) (engi
 	if len(ws) == 0 {
 		return engine.AbortNone, false
 	}
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for i := range sc.batchW {
 		sc.batchW[i] = sc.batchW[i][:0]
@@ -356,7 +366,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work) (engi
 // live in the attempt arena: hooks may retain them only for the
 // attempt (record consumes them before the scratch is recycled).
 func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, sc *execScratch, op *engine.Op, w *work) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	read := w.readVals[:0]
 	for _, cell := range op.ReadCells {
 		src := w.data[w.lay.CellValueOff(cell):][:w.lay.Schema.CellSizes[cell]]
@@ -382,7 +392,7 @@ func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, sc *execScratch, op *e
 // validate re-reads lock+version of every read-only record, batched
 // per memory node in one round-trip.
 func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine.AbortReason, bool) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for i := range sc.batchW {
 		sc.batchW[i] = sc.batchW[i][:0]
@@ -436,7 +446,7 @@ func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine
 // releaseLocks clears every lock this attempt holds, batched per node
 // in one round-trip.
 func (c *Coordinator) releaseLocks(p *sim.Proc, sc *execScratch, ws []*work) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
@@ -476,7 +486,7 @@ func (c *Coordinator) writeLog(p *sim.Proc, sc *execScratch, ws []*work, ts uint
 	// on every other participating group's log mirrors before the
 	// home group's decision write below.
 	if parts := c.writeShards(ws); parts.Beyond(c.home) {
-		engine.PrepareCrossShard(p, c.cn.sys.db, c.qps, c.logN, c.home, parts, off, entry)
+		engine.PrepareCrossShard(p, c.cn.db, c.qps, c.logN, c.home, parts, off, entry)
 	}
 	// Distinct batches per replica even when log nodes share a region:
 	// merging them would change the fabric's batch count.
@@ -526,7 +536,7 @@ func (c *Coordinator) encodeLog(sc *execScratch, ws []*work, ts uint64) []byte {
 // one round-trip (delivery order makes the data visible before the
 // unlock).
 func (c *Coordinator) install(p *sim.Proc, sc *execScratch, ws []*work, ts uint64) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
@@ -576,7 +586,7 @@ func (c *Coordinator) install(p *sim.Proc, sc *execScratch, ws []*work, ts uint6
 // record feeds the committed transaction into the history checker,
 // using the values the hooks actually observed and produced.
 func (c *Coordinator) record(t *engine.Txn, ws []*work, ts uint64) {
-	h := c.cn.sys.db.History
+	h := c.cn.db.History
 	if h == nil || !h.On {
 		return
 	}

@@ -87,6 +87,10 @@ func NewShardedPool(fabric *rdma.Fabric, shards, nodesPerShard, size, replicas i
 	if pol == nil {
 		pol = placement.Hash{}
 	}
+	if fabric.Lanes() > 1 && fabric.Lanes() != shards {
+		return nil, fmt.Errorf("memnode: fabric has %d partitions but the pool has %d shard groups",
+			fabric.Lanes(), shards)
+	}
 	p := &Pool{
 		fabric:   fabric,
 		replicas: replicas,
@@ -96,9 +100,16 @@ func NewShardedPool(fabric *rdma.Fabric, shards, nodesPerShard, size, replicas i
 		size:     uint64(size),
 	}
 	for i := 0; i < shards*nodesPerShard; i++ {
+		// On a partitioned fabric each shard group's nodes live in the
+		// matching simulation partition; replication never leaves a
+		// group, so a replicated write stays single-partition too.
+		part := 0
+		if fabric.Lanes() > 1 {
+			part = i / nodesPerShard
+		}
 		p.nodes = append(p.nodes, &Node{
 			ID:     i,
-			Region: fabric.Register(fmt.Sprintf("mn%d", i), size),
+			Region: fabric.RegisterAt(fmt.Sprintf("mn%d", i), size, part),
 		})
 	}
 	return p, nil

@@ -96,20 +96,31 @@ func (s *System) Load(table layout.TableID, key layout.Key, cells [][]byte) {
 // FinishLoad publishes the hash indexes.
 func (s *System) FinishLoad() error { return s.db.FinishLoad() }
 
-// ComputeNode groups coordinators sharing an address cache.
+// ComputeNode groups coordinators sharing an address cache. db is the
+// partition view the node's coordinators run against (the root DB on
+// sequential runs).
 type ComputeNode struct {
 	sys   *System
+	db    *engine.DB
 	id    int
 	cache *hashindex.AddrCache
 }
 
 // NewComputeNode creates compute node state.
 func (s *System) NewComputeNode(id int) *ComputeNode {
-	return &ComputeNode{sys: s, id: id, cache: hashindex.NewAddrCache()}
+	return &ComputeNode{sys: s, db: s.db, id: id, cache: hashindex.NewAddrCache()}
+}
+
+// NewPartitionComputeNode creates compute node state bound to a
+// partition view of the database.
+func (s *System) NewPartitionComputeNode(id int, db *engine.DB) *ComputeNode {
+	cn := s.NewComputeNode(id)
+	cn.db = db
+	return cn
 }
 
 // WarmCache preloads the address cache with every record.
-func (cn *ComputeNode) WarmCache() { cn.sys.db.WarmCache(cn.cache) }
+func (cn *ComputeNode) WarmCache() { cn.db.WarmCache(cn.cache) }
 
 // Coordinator executes Motor transactions.
 type Coordinator struct {
@@ -125,7 +136,7 @@ type Coordinator struct {
 
 // NewCoordinator creates coordinator id (globally unique).
 func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
-	db := cn.sys.db
+	db := cn.db
 	pool := db.Pool
 	c := &Coordinator{
 		cn:  cn,
@@ -140,7 +151,7 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 
 // writeShards returns the shard groups of every written record in ws.
 func (c *Coordinator) writeShards(ws []*work) engine.ShardSet {
-	pool := c.cn.sys.db.Pool
+	pool := c.cn.db.Pool
 	var parts engine.ShardSet
 	for _, w := range ws {
 		if w.op.IsWrite() {
@@ -177,7 +188,7 @@ func (w *work) table() layout.TableID { return w.lay.Schema.ID }
 
 // Execute runs one attempt of t.
 func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
-	db := c.cn.sys.db
+	db := c.cn.db
 	at := engine.BeginAttempt(db, p, c.gid, c.home, t)
 
 	var snapshot uint64
@@ -236,7 +247,7 @@ func (c *Coordinator) Execute(p *sim.Proc, t *engine.Txn) engine.Attempt {
 // prepareBlock resolves keys into work entries, ordered by (table,
 // key).
 func (c *Coordinator) prepareBlock(p *sim.Proc, t *engine.Txn, blk *engine.Block, sc *execScratch) []*work {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.block = sc.block[:0]
 	for oi := range blk.Ops {
 		op := &blk.Ops[oi]
@@ -305,7 +316,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work, snaps
 	if len(ws) == 0 {
 		return engine.AbortNone, false
 	}
-	db := c.cn.sys.db
+	db := c.cn.db
 	todo := append(sc.todo[:0], ws...)
 	sc.todo = todo
 	for retry := 0; ; retry++ {
@@ -422,7 +433,7 @@ func chooseSlots(meta []byte, lay *layout.MotorRecord, snapshotRead bool, snapsh
 // only for the attempt (record consumes them before the scratch is
 // recycled).
 func (c *Coordinator) applyOp(p *sim.Proc, t *engine.Txn, sc *execScratch, op *engine.Op, w *work) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	read := w.readVals[:0]
 	for _, cell := range op.ReadCells {
 		src := w.data[w.cellOff(cell):][:w.lay.Schema.CellSizes[cell]]
@@ -458,7 +469,7 @@ func (w *work) cellOff(cell int) int {
 // validate re-reads lock+version hint of read-only records, batched
 // per node.
 func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine.AbortReason, bool) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for i := range sc.batchW {
 		sc.batchW[i] = sc.batchW[i][:0]
@@ -519,7 +530,7 @@ func (c *Coordinator) validate(p *sim.Proc, sc *execScratch, ws []*work) (engine
 
 // releaseLocks frees held locks in one round-trip.
 func (c *Coordinator) releaseLocks(p *sim.Proc, sc *execScratch, ws []*work) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
@@ -572,7 +583,7 @@ func (c *Coordinator) writeLog(p *sim.Proc, sc *execScratch, ws []*work, ts uint
 	// on every other participating group's log mirrors before the
 	// home group's decision write below.
 	if parts := c.writeShards(ws); parts.Beyond(c.home) {
-		engine.PrepareCrossShard(p, c.cn.sys.db, c.qps, c.logN, c.home, parts, off, buf)
+		engine.PrepareCrossShard(p, c.cn.db, c.qps, c.logN, c.home, parts, off, buf)
 	}
 	// Distinct batches per replica even when log nodes share a region:
 	// merging them would change the fabric's batch count.
@@ -594,7 +605,7 @@ func (c *Coordinator) writeLog(p *sim.Proc, sc *execScratch, ws []*work, ts uint
 // data, then the metadata word that makes it visible, then the version
 // hint, then the unlock CAS.
 func (c *Coordinator) install(p *sim.Proc, sc *execScratch, ws []*work, ts uint64) {
-	db := c.cn.sys.db
+	db := c.cn.db
 	sc.bat.Begin()
 	for _, w := range ws {
 		if !w.locked {
@@ -638,7 +649,7 @@ func (c *Coordinator) install(p *sim.Proc, sc *execScratch, ws []*work, ts uint6
 
 // record feeds the committed transaction into the history checker.
 func (c *Coordinator) record(t *engine.Txn, ws []*work, ts uint64, snapshot bool, snapshotTS uint64) {
-	h := c.cn.sys.db.History
+	h := c.cn.db.History
 	if h == nil || !h.On {
 		return
 	}

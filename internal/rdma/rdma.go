@@ -30,7 +30,9 @@ package rdma
 import (
 	"encoding/binary"
 	"fmt"
+	"math/rand"
 	"strconv"
+	"sync/atomic"
 
 	"crest/internal/metrics"
 	"crest/internal/sim"
@@ -174,21 +176,47 @@ func (s Stats) Add(t Stats) Stats {
 
 // Fabric is the interconnect: it owns the latency model, the registered
 // memory regions and the verb counters.
+//
+// On a partitioned simulation (sim.World) the fabric is the only seam
+// crossing partitions: regions belong to the partition of their memory
+// node's shard group, and a verb batch posted at a region owned by
+// another partition applies there via a cross-partition deferred call
+// at the round-trip midpoint, while the issuing process resumes in its
+// own partition at the completion instant. Every per-post mutable
+// resource (verb counters, descriptor pools) is striped into per-
+// partition lanes so partitions share nothing on the hot path; a
+// single-partition fabric has exactly one lane and behaves bit-for-bit
+// like the pre-partitioned implementation.
 type Fabric struct {
 	env     *sim.Env
+	world   *sim.World // nil when env is standalone
 	params  Params
 	regions []*Region
-	stats   Stats
-	nextQP  int
+	lanes   []*lane
+	nextQP  int64 // atomic: queue pairs may be connected from any partition
 	rec     *trace.Recorder
 	met     *fabricMetrics
-	free    []*pending // recycled in-flight descriptors
+}
+
+// lane is one partition's slice of the fabric: its scheduler, verb
+// counters and recycled descriptors. Only code running in the lane's
+// partition touches it.
+type lane struct {
+	env     *sim.Env
+	stats   Stats
+	free    []*pending  // recycled in-flight descriptors
+	subFree []*applySub // recycled cross-partition apply descriptors
 }
 
 // SetRecorder attaches a trace recorder; every subsequent verb emits
 // issue/complete events and every batch an RTT event. A nil recorder
-// disables emission.
-func (f *Fabric) SetRecorder(rec *trace.Recorder) { f.rec = rec }
+// disables emission. Recorders are scheduler-owned probes: on a
+// partitioned fabric the caller must execute partitions on a single
+// worker (sim.World enforces this for its own observers; the bench
+// clamps Workers when any probe is attached).
+func (f *Fabric) SetRecorder(rec *trace.Recorder) {
+	f.rec = rec
+}
 
 // fabricMetrics is the fabric's instrument bundle: in-flight verbs,
 // per-verb and per-node counters, and doorbell batch shape histograms.
@@ -277,6 +305,9 @@ func (fm *fabricMetrics) complete(ops []Op) {
 }
 
 // NewFabric creates a fabric on env with the given latency parameters.
+// When env belongs to a sim.World, the fabric stripes itself into one
+// lane per partition and supports cross-partition posts; the world's
+// lookahead must not exceed params.Lookahead().
 func NewFabric(env *sim.Env, params Params) *Fabric {
 	if params.RTT <= 0 {
 		panic("rdma: Params.RTT must be positive")
@@ -284,11 +315,51 @@ func NewFabric(env *sim.Env, params Params) *Fabric {
 	if params.GbpsBandwidth <= 0 {
 		panic("rdma: Params.GbpsBandwidth must be positive")
 	}
-	return &Fabric{env: env, params: params}
+	f := &Fabric{env: env, params: params}
+	if w := env.World(); w != nil && w.Parts() > 1 {
+		if w.Lookahead() > params.Lookahead() {
+			panic(fmt.Sprintf("rdma: world lookahead %v exceeds fabric one-way minimum %v",
+				w.Lookahead(), params.Lookahead()))
+		}
+		f.world = w
+		f.lanes = make([]*lane, w.Parts())
+		for i := range f.lanes {
+			f.lanes[i] = &lane{env: w.Env(i)}
+		}
+	} else {
+		f.lanes = []*lane{{env: env}}
+	}
+	return f
 }
 
-// Stats returns a snapshot of the fabric counters.
-func (f *Fabric) Stats() Stats { return f.stats }
+// Lookahead is the minimum one-way latency of any verb: the base RTT's
+// midpoint. Payload, per-op cost and jitter are strictly additive, so
+// no batch can apply at a memory node earlier than this after it was
+// posted — which makes it a safe conservative lookahead for
+// partitioning the simulation along the fabric.
+func (p Params) Lookahead() sim.Duration { return p.RTT / 2 }
+
+// Stats returns a snapshot of the fabric counters, summed over lanes.
+func (f *Fabric) Stats() Stats {
+	s := f.lanes[0].stats
+	for _, l := range f.lanes[1:] {
+		s = s.Add(l.stats)
+	}
+	return s
+}
+
+// LaneStats returns partition part's verb counters: the verbs posted
+// by processes running in that partition. On a single-partition fabric
+// it equals Stats. Engines diff it per attempt so the measurement
+// stays partition-local (and therefore deterministic) under parallel
+// execution.
+func (f *Fabric) LaneStats(part int) Stats { return f.lanes[part].stats }
+
+// Lanes returns the number of partition lanes.
+func (f *Fabric) Lanes() int { return len(f.lanes) }
+
+// laneOf returns the lane of the partition that p runs in.
+func (f *Fabric) laneOf(p *sim.Proc) *lane { return f.lanes[p.Env().Part()] }
 
 // Params returns the fabric's latency parameters.
 func (f *Fabric) Params() Params { return f.params }
@@ -298,20 +369,36 @@ func (f *Fabric) Params() Params { return f.params }
 type Region struct {
 	fabric *Fabric
 	id     int
+	part   int // owning partition: verbs against the region apply there
 	name   string
 	buf    []byte
 	failed bool
 }
 
-// Register allocates and registers a memory region of size bytes.
+// Register allocates and registers a memory region of size bytes,
+// owned by partition 0.
 func (f *Fabric) Register(name string, size int) *Region {
-	r := &Region{fabric: f, id: len(f.regions), name: name, buf: make([]byte, size)}
+	return f.RegisterAt(name, size, 0)
+}
+
+// RegisterAt allocates and registers a memory region owned by
+// partition part: verbs posted from other partitions apply at the
+// region through the cross-partition seam. On a single-partition
+// fabric part must be 0.
+func (f *Fabric) RegisterAt(name string, size, part int) *Region {
+	if part < 0 || part >= len(f.lanes) {
+		panic(fmt.Sprintf("rdma: RegisterAt partition %d of %d", part, len(f.lanes)))
+	}
+	r := &Region{fabric: f, id: len(f.regions), part: part, name: name, buf: make([]byte, size)}
 	f.regions = append(f.regions, r)
 	if f.met != nil {
 		f.met.addNode(r)
 	}
 	return r
 }
+
+// Part returns the partition owning the region.
+func (r *Region) Part() int { return r.part }
 
 // ID returns the region's registration index.
 func (r *Region) ID() int { return r.id }
@@ -347,13 +434,15 @@ type QP struct {
 	id     int
 }
 
-// Connect creates a queue pair targeting region r.
+// Connect creates a queue pair targeting region r. The connection
+// counter is atomic because engines may connect lazily from any
+// partition; the id feeds only trace output (which partitioned runs
+// disable), never the simulation schedule.
 func (f *Fabric) Connect(r *Region) *QP {
 	if r.fabric != f {
 		panic("rdma: Connect across fabrics")
 	}
-	f.nextQP++
-	return &QP{fabric: f, region: r, id: f.nextQP}
+	return &QP{fabric: f, region: r, id: int(atomic.AddInt64(&f.nextQP, 1))}
 }
 
 // Region returns the queue pair's target region.
@@ -362,15 +451,17 @@ func (qp *QP) Region() *Region { return qp.region }
 // ID returns the queue pair's connection index (1-based, per fabric).
 func (qp *QP) ID() int { return qp.id }
 
-// latency returns the virtual time one batch costs.
-func (f *Fabric) latency(payload int, ops int) sim.Duration {
+// latency returns the virtual time one batch costs, drawing jitter
+// from rng — the issuing partition's stream, so parallel partitions
+// never contend on (or nondeterministically interleave) one source.
+func (f *Fabric) latency(rng *rand.Rand, payload int, ops int) sim.Duration {
 	d := f.params.RTT + sim.Duration(ops)*f.params.PerOp
 	if payload > 0 {
 		ns := float64(payload*8) / f.params.GbpsBandwidth // bits / (Gbps) = ns
 		d += sim.Duration(ns)
 	}
 	if f.params.JitterPct > 0 {
-		d += sim.Duration(f.env.Rand().Float64() * f.params.JitterPct / 100 * float64(d))
+		d += sim.Duration(rng.Float64() * f.params.JitterPct / 100 * float64(d))
 	}
 	return d
 }
@@ -433,6 +524,7 @@ func batchPayload(ops []Op) int {
 // bound once so a post allocates no closure.
 type pending struct {
 	f        *Fabric
+	lane     *lane // issuing partition's lane (owns the descriptor)
 	proc     *sim.Proc
 	qp       *QP  // single-batch post (nil for PostMulti)
 	ops      []Op // single-batch post
@@ -441,32 +533,97 @@ type pending struct {
 	err      error
 	resumeAt sim.Time
 	fire     func() // pre-bound (*pending).run
+	wake     func() // pre-bound (*pending).resume, for cross-partition posts
 
 	op1      [1]Op      // single-verb scratch for the convenience wrappers
 	out      [][]Result // PostMulti result scratch, reused
-	resBuf   []Result   // Result scratch carved by applyInto, reused
+	resBuf   []Result   // Result scratch carved by the apply step, reused
 	arena    []byte     // READ payload scratch, reused
 	resLen   int
 	arenaLen int
+
+	// Cross-partition post state: one applySub per distinct target
+	// partition, and a per-batch error slot filled by the subs.
+	subs      []*applySub
+	batchErrs []error
 }
 
-func (f *Fabric) getPending() *pending {
-	if n := len(f.free); n > 0 {
-		d := f.free[n-1]
-		f.free[n-1] = nil
-		f.free = f.free[:n-1]
+// applySub is the target-partition half of one cross-partition post:
+// the batches owned by one partition, with pre-carved result and arena
+// destinations, applied at the round-trip midpoint by the target's
+// scheduler. Stats accrue locally in the sub and are folded into the
+// issuing lane at the completion instant — one window later, after the
+// barrier — so no counter is ever touched by two partitions at once.
+type applySub struct {
+	stats   Stats
+	batches []subBatch
+	fire    func() // pre-bound (*applySub).run
+}
+
+type subBatch struct {
+	qp    *QP
+	ops   []Op
+	out   []Result
+	arena []byte
+	errp  *error
+}
+
+func (s *applySub) run() {
+	for i := range s.batches {
+		b := &s.batches[i]
+		copyRes := b.qp.fabric.params.CopyResults
+		if _, err := applyOps(b.qp.region, b.ops, b.out, b.arena, copyRes, &s.stats); err != nil {
+			*b.errp = err
+		}
+		s.stats.RTTs++
+	}
+}
+
+func (l *lane) getPending(f *Fabric) *pending {
+	if n := len(l.free); n > 0 {
+		d := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
 		return d
 	}
-	d := &pending{f: f}
+	d := &pending{f: f, lane: l}
 	d.fire = d.run
+	d.wake = d.resume
 	return d
 }
 
-func (f *Fabric) putPending(d *pending) {
+func (l *lane) putPending(d *pending) {
 	d.proc, d.qp, d.ops, d.batches = nil, nil, nil, nil
 	d.res, d.err = nil, nil
-	// The out/resBuf/arena backing arrays are kept for reuse.
-	f.free = append(f.free, d)
+	for i := range d.subs {
+		sub := d.subs[i]
+		sub.batches = sub.batches[:0]
+		sub.stats = Stats{}
+		l.subFree = append(l.subFree, sub)
+		d.subs[i] = nil
+	}
+	d.subs = d.subs[:0]
+	// The out/resBuf/arena/batchErrs backing arrays are kept for reuse.
+	l.free = append(l.free, d)
+}
+
+func (l *lane) getSub() *applySub {
+	if n := len(l.subFree); n > 0 {
+		s := l.subFree[n-1]
+		l.subFree[n-1] = nil
+		l.subFree = l.subFree[:n-1]
+		return s
+	}
+	s := &applySub{}
+	s.fire = s.run
+	return s
+}
+
+// resume wakes the issuing process at the completion instant of a
+// cross-partition post. It runs in the issuing partition, scheduled at
+// post time, so the target partition never touches this scheduler.
+func (d *pending) resume() {
+	d.lane.env.Resume(d.proc, d.resumeAt)
 }
 
 // readBytes totals the payload bytes the batch's READs will occupy in
@@ -490,6 +647,26 @@ func readBytes(ops []Op) int {
 func (d *pending) run() {
 	// Size the descriptor scratch once, for the whole post, before any
 	// carving: carved sub-slices must never be moved by a later grow.
+	d.sizeScratch()
+	if d.qp != nil {
+		d.res, d.err = d.applyBatch(d.qp, d.ops)
+		d.lane.stats.RTTs++
+	} else {
+		for i, b := range d.batches {
+			res, err := d.applyBatch(b.QP, b.Ops)
+			d.lane.stats.RTTs++
+			if err != nil && d.err == nil {
+				d.err = err
+			}
+			d.out[i] = res
+		}
+	}
+	d.lane.env.Resume(d.proc, d.resumeAt)
+}
+
+// sizeScratch grows the descriptor's result and arena buffers to the
+// whole post's footprint, so later carving never moves a live slice.
+func (d *pending) sizeScratch() {
 	nops, nbytes := 0, 0
 	if d.qp != nil {
 		nops, nbytes = len(d.ops), readBytes(d.ops)
@@ -506,20 +683,23 @@ func (d *pending) run() {
 		d.arena = make([]byte, nbytes)
 	}
 	d.resLen, d.arenaLen = 0, 0
-	if d.qp != nil {
-		d.res, d.err = d.qp.applyInto(d.ops, d)
-		d.f.stats.RTTs++
-	} else {
-		for i, b := range d.batches {
-			res, err := b.QP.applyInto(b.Ops, d)
-			d.f.stats.RTTs++
-			if err != nil && d.err == nil {
-				d.err = err
-			}
-			d.out[i] = res
-		}
+}
+
+// applyBatch carves the batch's destinations out of the descriptor
+// scratch and applies the verbs, charging the issuing lane's counters.
+func (d *pending) applyBatch(qp *QP, ops []Op) ([]Result, error) {
+	out := d.resBuf[d.resLen : d.resLen+len(ops)]
+	d.resLen += len(ops)
+	var arena []byte
+	if !d.f.params.CopyResults {
+		arena = d.arena[d.arenaLen:]
 	}
-	d.f.env.Resume(d.proc, d.resumeAt)
+	used, err := applyOps(qp.region, ops, out, arena, d.f.params.CopyResults, &d.lane.stats)
+	d.arenaLen += used
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Post issues a doorbell batch: all ops execute against the target
@@ -530,16 +710,24 @@ func (qp *QP) Post(p *sim.Proc, ops []Op) ([]Result, error) {
 	if len(ops) == 0 {
 		return nil, nil
 	}
-	return qp.postWith(p, qp.fabric.getPending(), ops)
+	return qp.postWith(p, qp.fabric.laneOf(p).getPending(qp.fabric), ops)
 }
 
 // postWith runs one single-batch round-trip on descriptor d: the verbs
 // land on the memory node halfway through the round-trip (so other
 // coordinators can interleave before and after the apply instant) and
-// the issuing process parks once, until the completion instant.
+// the issuing process parks once, until the completion instant. A
+// batch whose region lives in another partition takes the cross-
+// partition seam instead.
 func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	f := qp.fabric
-	lat := f.latency(batchPayload(ops), len(ops))
+	if f.world != nil && qp.region.part != p.Env().Part() {
+		d.qp, d.ops = qp, ops
+		res, _, err := d.crossPost(p)
+		return res, err
+	}
+	lane := d.lane
+	lat := f.latency(lane.env.Rand(), batchPayload(ops), len(ops))
 	if f.rec != nil {
 		f.emitIssue(p, qp, ops)
 	}
@@ -549,7 +737,7 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	d.proc, d.qp, d.ops = p, qp, ops
 	now := p.Now()
 	d.resumeAt = now.Add(lat)
-	f.env.CallAt(now.Add(lat/2), d.fire)
+	lane.env.CallAt(now.Add(lat/2), d.fire)
 	p.Suspend()
 	res, err := d.res, d.err
 	if f.rec != nil {
@@ -558,38 +746,207 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	if f.met != nil {
 		f.met.complete(ops)
 	}
-	f.putPending(d)
+	lane.putPending(d)
 	return res, err
 }
 
-// applyInto executes ops against the queue pair's region at one
-// instant of virtual time (it runs inside the midpoint call, without
-// yielding, so the batch is atomic), carving Results and READ payloads
-// out of the post's descriptor scratch unless the fabric was
-// configured with CopyResults.
-func (qp *QP) applyInto(ops []Op, d *pending) ([]Result, error) {
-	r := qp.region
-	if r.failed {
-		return nil, fmt.Errorf("rdma: region %q (node %d) unreachable", r.name, r.id)
+// crossPost runs a post (single-batch or multi-batch) whose targets
+// include regions owned by other partitions. The protocol:
+//
+//   - at post time, in the issuing partition: draw the latency (local
+//     random stream), size and pre-carve every batch's result and
+//     arena destinations from the descriptor scratch, group batches by
+//     target partition into pooled applySubs, hand each remote sub to
+//     its target via the mailbox seam (sim.Env.Send) for the midpoint
+//     instant, schedule the local wakeup at the completion instant,
+//     and park;
+//   - at the midpoint, in each target partition: the sub applies its
+//     batches into the pre-carved destinations and counts verbs into
+//     its own scratch — disjoint memory per target, no shared writes;
+//   - at the completion instant, back in the issuing partition: fold
+//     the subs' counters into the lane (the midpoint lies at least one
+//     window earlier, so the barrier ordered those writes), surface
+//     the first error in batch order, and recycle everything.
+//
+// The issuing process parks exactly once, like a local post.
+//
+// Trace and metrics, when attached, are emitted from the issuing
+// partition exactly as on the local path. They are scheduler-owned
+// probes, so a run with either attached executes the partitions on a
+// single worker; without them the hot path stays probe-free behind one
+// pointer check.
+func (d *pending) crossPost(p *sim.Proc) ([]Result, [][]Result, error) {
+	f := d.f
+	lane := d.lane
+	single := d.qp != nil
+	var maxLat sim.Duration
+	if single {
+		maxLat = f.latency(lane.env.Rand(), batchPayload(d.ops), len(d.ops))
+	} else {
+		for _, b := range d.batches {
+			if lat := f.latency(lane.env.Rand(), batchPayload(b.Ops), len(b.Ops)); lat > maxLat {
+				maxLat = lat
+			}
+		}
 	}
-	f := qp.fabric
-	st := &f.stats
-	out := d.resBuf[d.resLen : d.resLen+len(ops)]
-	d.resLen += len(ops)
+	d.sizeScratch()
+	nb := 1
+	if !single {
+		nb = len(d.batches)
+	}
+	if cap(d.batchErrs) < nb {
+		d.batchErrs = make([]error, nb)
+	}
+	d.batchErrs = d.batchErrs[:nb]
+	for i := range d.batchErrs {
+		d.batchErrs[i] = nil
+	}
+	for i := 0; i < nb; i++ {
+		qp, ops := d.qp, d.ops
+		if !single {
+			qp, ops = d.batches[i].QP, d.batches[i].Ops
+		}
+		out := d.resBuf[d.resLen : d.resLen+len(ops)]
+		d.resLen += len(ops)
+		var arena []byte
+		if !f.params.CopyResults {
+			n := readBytes(ops)
+			arena = d.arena[d.arenaLen : d.arenaLen+n]
+			d.arenaLen += n
+		}
+		sub := d.subFor(qp.region.part)
+		sub.batches = append(sub.batches, subBatch{
+			qp: qp, ops: ops, out: out, arena: arena, errp: &d.batchErrs[i],
+		})
+		if single {
+			d.res = out
+		} else {
+			d.out[i] = out
+		}
+	}
+	if f.rec != nil || f.met != nil {
+		d.emitPost(p)
+	}
+	d.proc = p
+	now := p.Now()
+	mid := now.Add(maxLat / 2)
+	d.resumeAt = now.Add(maxLat)
+	for _, sub := range d.subs {
+		target := f.lanes[sub.batches[0].qp.region.part].env
+		lane.env.Send(target, mid, sub.fire)
+	}
+	lane.env.CallAt(d.resumeAt, d.wake)
+	p.Suspend()
+	if f.rec != nil || f.met != nil {
+		d.emitDone(p, maxLat)
+	}
+	for _, sub := range d.subs {
+		lane.stats = lane.stats.Add(sub.stats)
+	}
+	for i := 0; i < nb; i++ {
+		if d.batchErrs[i] == nil {
+			continue
+		}
+		if d.err == nil {
+			d.err = d.batchErrs[i]
+		}
+		if single {
+			d.res = nil
+		} else {
+			d.out[i] = nil
+		}
+	}
+	res, out, err := d.res, d.out, d.err
+	lane.putPending(d)
+	return res, out, err
+}
+
+// emitPost records issue-side trace events and metrics for every batch
+// of a cross-partition post. Called only when a probe is attached.
+func (d *pending) emitPost(p *sim.Proc) {
+	f := d.f
+	if d.qp != nil {
+		if f.rec != nil {
+			f.emitIssue(p, d.qp, d.ops)
+		}
+		if f.met != nil {
+			f.met.post(d.qp, d.ops)
+		}
+		return
+	}
+	for _, b := range d.batches {
+		if f.rec != nil {
+			f.emitIssue(p, b.QP, b.Ops)
+		}
+		if f.met != nil {
+			f.met.post(b.QP, b.Ops)
+		}
+	}
+}
+
+// emitDone records completion-side trace events and metrics for every
+// batch of a cross-partition post.
+func (d *pending) emitDone(p *sim.Proc, lat sim.Duration) {
+	f := d.f
+	if d.qp != nil {
+		if f.rec != nil {
+			f.emitComplete(p, d.qp, d.ops, lat)
+		}
+		if f.met != nil {
+			f.met.complete(d.ops)
+		}
+		return
+	}
+	for _, b := range d.batches {
+		if f.rec != nil {
+			f.emitComplete(p, b.QP, b.Ops, lat)
+		}
+		if f.met != nil {
+			f.met.complete(b.Ops)
+		}
+	}
+}
+
+// subFor returns the post's applySub for target partition part,
+// creating it from the lane pool on first use.
+func (d *pending) subFor(part int) *applySub {
+	for _, s := range d.subs {
+		if s.batches[0].qp.region.part == part {
+			return s
+		}
+	}
+	s := d.lane.getSub()
+	d.subs = append(d.subs, s)
+	return s
+}
+
+// applyOps executes ops against region r at one instant of virtual
+// time (it runs inside a midpoint call, without yielding, so the batch
+// is atomic), writing completions into out and carving READ payloads
+// from the front of arena unless copyResults. It returns the arena
+// bytes consumed. st receives the verb counters as ops apply — always
+// a location owned by the partition the apply runs in (the issuing
+// lane for local posts, the sub's fold-later scratch for cross-
+// partition posts).
+func applyOps(r *Region, ops []Op, out []Result, arena []byte, copyResults bool, st *Stats) (int, error) {
+	if r.failed {
+		return 0, fmt.Errorf("rdma: region %q (node %d) unreachable", r.name, r.id)
+	}
+	used := 0
 	for i := range ops {
 		op := &ops[i]
 		switch op.Kind {
 		case OpRead:
 			if err := r.check(op.Off, op.Len); err != nil {
-				return nil, err
+				return used, err
 			}
 			var data []byte
-			if f.params.CopyResults {
+			if copyResults {
 				data = make([]byte, op.Len)
 			} else {
-				end := d.arenaLen + op.Len
-				data = d.arena[d.arenaLen:end:end]
-				d.arenaLen = end
+				end := used + op.Len
+				data = arena[used:end:end]
+				used = end
 			}
 			copy(data, r.buf[op.Off:])
 			out[i] = Result{Data: data}
@@ -597,7 +954,7 @@ func (qp *QP) applyInto(ops []Op, d *pending) ([]Result, error) {
 			st.BytesRead += uint64(op.Len)
 		case OpWrite:
 			if err := r.check(op.Off, len(op.Data)); err != nil {
-				return nil, err
+				return used, err
 			}
 			copy(r.buf[op.Off:], op.Data)
 			out[i] = Result{}
@@ -605,7 +962,7 @@ func (qp *QP) applyInto(ops []Op, d *pending) ([]Result, error) {
 			st.BytesWrite += uint64(len(op.Data))
 		case OpCAS:
 			if err := r.checkAtomic(op.Off); err != nil {
-				return nil, err
+				return used, err
 			}
 			cur := binary.LittleEndian.Uint64(r.buf[op.Off:])
 			ok := cur == op.Compare
@@ -616,7 +973,7 @@ func (qp *QP) applyInto(ops []Op, d *pending) ([]Result, error) {
 			st.CASes++
 		case OpMaskedCAS:
 			if err := r.checkAtomic(op.Off); err != nil {
-				return nil, err
+				return used, err
 			}
 			cur := binary.LittleEndian.Uint64(r.buf[op.Off:])
 			ok := cur&op.Mask == op.Compare&op.Mask
@@ -627,10 +984,10 @@ func (qp *QP) applyInto(ops []Op, d *pending) ([]Result, error) {
 			out[i] = Result{Old: cur, OK: ok}
 			st.MaskedCASes++
 		default:
-			return nil, fmt.Errorf("rdma: unknown op kind %d", op.Kind)
+			return used, fmt.Errorf("rdma: unknown op kind %d", op.Kind)
 		}
 	}
-	return out, nil
+	return used, nil
 }
 
 func (r *Region) check(off uint64, n int) error {
@@ -651,7 +1008,7 @@ func (r *Region) checkAtomic(off uint64) error {
 // post1 issues a single-verb batch with the op held in the post's own
 // descriptor, so the convenience wrappers allocate nothing.
 func (qp *QP) post1(p *sim.Proc, op Op) ([]Result, error) {
-	d := qp.fabric.getPending()
+	d := qp.fabric.laneOf(p).getPending(qp.fabric)
 	d.op1[0] = op
 	return qp.postWith(p, d, d.op1[:1])
 }
@@ -706,12 +1063,30 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 		return nil, nil
 	}
 	f := batches[0].QP.fabric
-	var maxLat sim.Duration
+	part := p.Env().Part()
+	cross := false
 	for _, b := range batches {
 		if b.QP.fabric != f {
 			panic("rdma: PostMulti across fabrics")
 		}
-		if lat := f.latency(batchPayload(b.Ops), len(b.Ops)); lat > maxLat {
+		if f.world != nil && b.QP.region.part != part {
+			cross = true
+		}
+	}
+	lane := f.lanes[part]
+	if cross {
+		d := lane.getPending(f)
+		d.batches = batches
+		if cap(d.out) < len(batches) {
+			d.out = make([][]Result, len(batches))
+		}
+		d.out = d.out[:len(batches)]
+		_, out, err := d.crossPost(p)
+		return out, err
+	}
+	var maxLat sim.Duration
+	for _, b := range batches {
+		if lat := f.latency(lane.env.Rand(), batchPayload(b.Ops), len(b.Ops)); lat > maxLat {
 			maxLat = lat
 		}
 	}
@@ -725,7 +1100,7 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 			f.met.post(b.QP, b.Ops)
 		}
 	}
-	d := f.getPending()
+	d := lane.getPending(f)
 	d.proc, d.batches = p, batches
 	if cap(d.out) < len(batches) {
 		d.out = make([][]Result, len(batches))
@@ -733,7 +1108,7 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 	d.out = d.out[:len(batches)]
 	now := p.Now()
 	d.resumeAt = now.Add(maxLat)
-	f.env.CallAt(now.Add(maxLat/2), d.fire)
+	lane.env.CallAt(now.Add(maxLat/2), d.fire)
 	p.Suspend()
 	out, err := d.out, d.err
 	if f.rec != nil {
@@ -746,7 +1121,7 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 			f.met.complete(b.Ops)
 		}
 	}
-	f.putPending(d)
+	lane.putPending(d)
 	return out, err
 }
 

@@ -285,7 +285,9 @@ func TestPostMultiParallelLatency(t *testing.T) {
 }
 
 // latencyForTest exposes the internal latency model to tests.
-func (f *Fabric) latencyForTest(payload, ops int) sim.Duration { return f.latency(payload, ops) }
+func (f *Fabric) latencyForTest(payload, ops int) sim.Duration {
+	return f.latency(f.lanes[0].env.Rand(), payload, ops)
+}
 
 // Property: masked-CAS with full mask behaves exactly like CAS.
 func TestQuickMaskedCASFullMaskIsCAS(t *testing.T) {

@@ -53,6 +53,11 @@ func (g *Generator) Spec() *Spec { return g.spec }
 // Name implements workload.Generator.
 func (g *Generator) Name() string { return "scenario:" + g.spec.Name }
 
+// PartitionSafe implements workload.PartitionSafe: the timeline
+// evaluation is pure (spec and spans are immutable after
+// construction), so safety is exactly the inner generator's.
+func (g *Generator) PartitionSafe() bool { return workload.IsPartitionSafe(g.inner) }
+
 // Tables implements workload.Generator.
 func (g *Generator) Tables() []workload.TableDef { return g.inner.Tables() }
 

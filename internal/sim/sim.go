@@ -175,6 +175,13 @@ type Env struct {
 	// dispatchHook, when non-nil, observes every dispatched event
 	// (tests use it to assert full-sequence determinism).
 	dispatchHook func(at Time, seq uint64, p *Proc)
+
+	// world/part/outs wire the environment into a partitioned World
+	// (see world.go): part is the partition index and outs the per-pair
+	// cross-partition mailboxes. All nil/zero for a standalone Env.
+	world *World
+	part  int
+	outs  []outbox
 }
 
 // SetObserver installs obs to receive scheduler lifecycle events. A

@@ -65,6 +65,10 @@ func (g *Generator) Tables() []workload.TableDef {
 	}
 }
 
+// PartitionSafe implements workload.PartitionSafe: every transaction
+// is a pure function of the caller's rng.
+func (g *Generator) PartitionSafe() bool { return true }
+
 // Load implements workload.Generator.
 func (g *Generator) Load(fn func(layout.TableID, layout.Key, [][]byte)) {
 	for k := 0; k < g.cfg.Accounts; k++ {

@@ -50,6 +50,25 @@ type TimedGenerator interface {
 	Gate(now sim.Time, coord, total int) sim.Duration
 }
 
+// PartitionSafe is the capability a generator declares when its
+// Next/NextAt draws are pure functions of their arguments — no
+// generator state is mutated and none of the read state ever changes
+// after construction — so coordinators running in different simulation
+// partitions (internal/sim.World) may share one generator instance
+// concurrently. Generators without the method, or answering false
+// (e.g. YCSB with inserts, whose frontier moves; TPC-C, whose history
+// sequence advances), force the harness onto the sequential scheduler.
+type PartitionSafe interface {
+	PartitionSafe() bool
+}
+
+// IsPartitionSafe reports whether g declares the PartitionSafe
+// capability and answers true.
+func IsPartitionSafe(g Generator) bool {
+	ps, ok := g.(PartitionSafe)
+	return ok && ps.PartitionSafe()
+}
+
 // U64 encodes v as the 8 leading bytes of a cell of size n (the rest
 // is zero padding). Workload cells store integers this way so hooks
 // can do arithmetic on fixed-size cells.

@@ -126,6 +126,11 @@ func New(cfg Config) *Generator {
 // Name implements workload.Generator.
 func (g *Generator) Name() string { return "ycsb" }
 
+// PartitionSafe implements workload.PartitionSafe: draws are pure
+// unless inserts move the frontier (which both the insert path and the
+// latest distribution read).
+func (g *Generator) PartitionSafe() bool { return g.cfg.InsertProportion == 0 }
+
 // Config returns the generator's configuration.
 func (g *Generator) Config() Config { return g.cfg }
 
