@@ -100,7 +100,10 @@ type BenchmarkConfig struct {
 	// shard-group partitions concurrently (sharded topologies with a
 	// partition-safe workload; other runs ignore it). It is an
 	// invocation-level performance knob: every worker count produces
-	// byte-identical results, so only WallMS and EventsPerSec change.
+	// byte-identical results — including trace, metrics and why
+	// snapshots, which record into per-partition shards and merge
+	// deterministically — so only the wall-clock measurements (WallMS,
+	// EventsPerSec, the nondeterministic RuntimeStats fields) change.
 	// 0 means 1.
 	Workers int
 }
@@ -155,6 +158,12 @@ type BenchmarkResult struct {
 	// ScenarioPhases is the per-phase breakdown (attempts, commits,
 	// aborts) when the run was scenario-driven, nil otherwise.
 	ScenarioPhases []ScenarioPhaseStat
+
+	// Runtime is the window executor's introspection when the run was
+	// partitioned (Shards > 1 with a partition-safe workload), nil
+	// otherwise. Its wall-clock fields are nondeterministic; see
+	// RuntimeStats for which fields are schedule-derived.
+	Runtime *RuntimeStats
 }
 
 // String summarizes the result in one line.
@@ -245,6 +254,7 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		WallMS:         res.WallMS,
 		EventsPerSec:   eventsPerSec(res.Events, res.WallMS),
 		ScenarioPhases: res.ScenarioPhases,
+		Runtime:        newRuntimeStats(res.Runtime, res.WallMS, res.Events),
 	}, nil
 }
 

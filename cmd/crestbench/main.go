@@ -93,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut = fs.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
 		metOut   = fs.String("metrics", "", "with -run: write the run's windowed metrics to this file (.csv, .json or .prom by extension)")
 		whyOut   = fs.String("why", "", "with -run: write the run's contention graph for abort forensics to this file (.dot or crest-why .json by extension)")
+		rtStats  = fs.String("runtime-stats", "", "with -run: write the window executor's runtime introspection (crest-runtime JSON) to this file (partitioned runs only)")
 		metWin   = fs.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
 		memProf  = fs.String("memprofile", "", "write a pprof heap profile (taken at exit) to this file")
@@ -156,8 +157,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !oneOf(placement, crest.PlacementPolicies()) {
 		return usageErr("unknown placement %q (%s)", *placePol, strings.Join(crest.PlacementPolicies(), ", "))
 	}
-	if *workers < 1 {
-		return usageErr("-workers must be at least 1, got %d", *workers)
+	if err := crest.ValidateWorkers(*workers); err != nil {
+		return usageErr("%v", err)
 	}
 
 	// The simulator's steady state allocates little, so the default GC
@@ -216,6 +217,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case *expID != "":
 		if *specPath != "" {
 			return usageErr("-spec only applies to -run")
+		}
+		if *rtStats != "" {
+			return usageErr("-runtime-stats only applies to -run")
 		}
 		if *shards != 1 || placement != "hash" {
 			return usageErr("-shards/-placement only apply to -run; experiments set topology per spec (see the crossover experiment)")
@@ -363,6 +367,26 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stderr, "[why: %d txns, %d edges -> %s]\n",
 				len(res.Why.Txns), len(res.Why.Edges), *whyOut)
+		}
+		if *rtStats != "" {
+			// Runtime introspection goes to its file and stderr only, like
+			// the other observer outputs; the wall-clock fields inside it
+			// are the nondeterministic part of the document.
+			if res.Runtime == nil {
+				return fatalf("-runtime-stats: run was not partitioned (needs -shards > 1 with a partition-safe workload)")
+			}
+			f, err := os.Create(*rtStats)
+			if err != nil {
+				return fatalf("%v", err)
+			}
+			if err := crest.WriteRuntimeStats(f, res.Runtime); err != nil {
+				return fatalf("writing runtime stats: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				return fatalf("%v", err)
+			}
+			fmt.Fprintf(stderr, "[runtime: %d windows, %d partitions, %d workers -> %s]\n",
+				res.Runtime.Windows, res.Runtime.Parts, res.Runtime.Workers, *rtStats)
 		}
 		fmt.Fprintln(stdout, res)
 		fmt.Fprintf(stdout, "  committed=%d aborted=%d false-abort=%.1f%%\n", res.Committed, res.Aborted, 100*res.FalseAbortRate)

@@ -81,11 +81,11 @@ func TestTopologyFlagsValidatedUpFront(t *testing.T) {
 		{"exp rejects topology", []string{"-exp", "exp1", "-shards", "2"},
 			"-shards/-placement only apply to -run"},
 		{"zero workers", []string{"-run", "-workers", "0"},
-			"-workers must be at least 1, got 0"},
+			"-workers must be >= 1 (got 0)"},
 		{"negative workers", []string{"-run", "-workers", "-4"},
-			"-workers must be at least 1, got -4"},
+			"-workers must be >= 1 (got -4)"},
 		{"zero workers under exp", []string{"-exp", "exp1", "-workers", "0"},
-			"-workers must be at least 1, got 0"},
+			"-workers must be >= 1 (got 0)"},
 		{"exp rejects big", []string{"-exp", "exp1", "-big"},
 			"-big only applies to -run"},
 	}

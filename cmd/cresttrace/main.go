@@ -29,8 +29,17 @@
 //	cresttrace graph -workload smallbank -theta 0.99 -o why.dot
 //	cresttrace graph -in why.json -format json
 //
+// Render the window executor's window/barrier timeline for a
+// partitioned run, from a fresh run or from a saved crestbench
+// -runtime-stats export:
+//
+//	cresttrace windows -workload smallbank -shards 4 -workers 4
+//	cresttrace windows -in runtime.json
+//
 // Output is deterministic: the same seed and configuration produce
-// byte-identical traces, blame chains and graphs.
+// byte-identical traces, blame chains, graphs and timelines — at any
+// -workers count (observers record into per-partition shards and merge
+// deterministically, so -workers only changes wall-clock speed).
 package main
 
 import (
@@ -54,6 +63,7 @@ const usageText = `usage: cresttrace [flags]                 render an event tra
        cresttrace trace [flags]           same, explicitly
        cresttrace why [flags] <txnid>     explain one transaction's abort
        cresttrace graph [flags]           export the contention graph (DOT or JSON)
+       cresttrace windows [flags]         render the window executor timeline (partitioned runs)
 
 Run 'cresttrace <subcommand> -h' for the subcommand's flags.
 `
@@ -73,6 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return runWhy(args[1:], stdout, stderr)
 		case "graph":
 			return runGraph(args[1:], stdout, stderr)
+		case "windows":
+			return runWindows(args[1:], stdout, stderr)
 		default:
 			fmt.Fprintf(stderr, "cresttrace: unknown subcommand %q\n", args[0])
 			usage(stderr)
@@ -95,6 +107,7 @@ type benchFlags struct {
 	seed     *int64
 	shards   *int
 	place    *string
+	workers  *int
 }
 
 func addBenchFlags(fs *flag.FlagSet) *benchFlags {
@@ -109,7 +122,14 @@ func addBenchFlags(fs *flag.FlagSet) *benchFlags {
 		seed:     fs.Int64("seed", 1, "simulation seed"),
 		shards:   fs.Int("shards", 1, "shard groups of independent memory nodes"),
 		place:    fs.String("placement", "hash", "data placement policy: "+strings.Join(crest.PlacementPolicies(), ", ")),
+		workers:  fs.Int("workers", 1, "scheduler threads executing shard-group partitions concurrently (output is byte-identical at any count; 1 = sequential)"),
 	}
+}
+
+// validate checks the shared flags; subcommands call it right after
+// Parse so a bad value fails with usage instead of deep in the harness.
+func (bf *benchFlags) validate() error {
+	return crest.ValidateWorkers(*bf.workers)
 }
 
 func (bf *benchFlags) config() crest.BenchmarkConfig {
@@ -125,6 +145,7 @@ func (bf *benchFlags) config() crest.BenchmarkConfig {
 		Warmup:              *bf.warmup,
 		Seed:                *bf.seed,
 		Quick:               true,
+		Workers:             *bf.workers,
 	}
 }
 
@@ -171,6 +192,11 @@ func runWhy(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if err := bf.validate(); err != nil {
+		fmt.Fprintf(stderr, "cresttrace why: %v\n", err)
+		usage(stderr)
+		return 2
+	}
 	if fs.NArg() != 1 {
 		fmt.Fprintln(stderr, "cresttrace why: exactly one <txnid> argument required")
 		usage(stderr)
@@ -202,6 +228,11 @@ func runGraph(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "dot", "output: dot (Graphviz) or json (crest-why/v1)")
 	out := fs.String("o", "", "output file (default stdout)")
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := bf.validate(); err != nil {
+		fmt.Fprintf(stderr, "cresttrace graph: %v\n", err)
+		usage(stderr)
 		return 2
 	}
 	if fs.NArg() != 0 {
@@ -245,6 +276,85 @@ func runGraph(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// runWindows renders the window executor's window/barrier timeline of
+// a partitioned run: per-window virtual-time spans with event and
+// injection counts, plus per-partition executor counters. The timeline
+// uses only schedule-derived fields, so stdout is byte-identical at any
+// -workers count; the wall-clock summary goes to stderr.
+func runWindows(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cresttrace windows", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bf := addBenchFlags(fs)
+	in := fs.String("in", "", "read a crest-runtime JSON export (crestbench -runtime-stats) instead of running a benchmark")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := bf.validate(); err != nil {
+		fmt.Fprintf(stderr, "cresttrace windows: %v\n", err)
+		usage(stderr)
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "cresttrace windows: unexpected argument %q\n", fs.Arg(0))
+		usage(stderr)
+		return 2
+	}
+
+	var stats *crest.RuntimeStats
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace windows: %v\n", err)
+			return 1
+		}
+		stats, err = crest.ReadRuntimeStats(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace windows: reading %s: %v\n", *in, err)
+			return 1
+		}
+	} else {
+		res, err := crest.RunBenchmark(bf.config())
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace windows: %v\n", err)
+			return 1
+		}
+		if res.Runtime == nil {
+			fmt.Fprintf(stderr, "cresttrace windows: run was not partitioned (needs -shards > 1 with a partition-safe workload)\n")
+			return 1
+		}
+		stats = res.Runtime
+		fmt.Fprintf(stderr, "[%s/%s: %d events, %.1f KOPS]\n",
+			res.System, res.Workload, res.Events, res.ThroughputKOPS)
+	}
+
+	w := stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace windows: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		w = f
+	}
+	bw := bufio.NewWriter(w)
+	err := crest.WriteWindowTimeline(bw, stats)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if err != nil {
+		fmt.Fprintf(stderr, "cresttrace windows: %v\n", err)
+		return 1
+	}
+	if stats.WallMS > 0 {
+		fmt.Fprintf(stderr, "[runtime: %d workers, %.1f ms wall, %.1f ms barrier wait, occupancy %.0f%%]\n",
+			stats.Workers, stats.WallMS, stats.BarrierWaitMS, 100*stats.WorkerOccupancy)
+	}
+	return 0
+}
+
 // runTrace is the original cresttrace behavior: run with tracing on
 // and render the event stream.
 func runTrace(args []string, stdout, stderr io.Writer) int {
@@ -260,6 +370,11 @@ func runTrace(args []string, stdout, stderr io.Writer) int {
 		metWin   = fs.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := bf.validate(); err != nil {
+		fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+		usage(stderr)
 		return 2
 	}
 	if fs.NArg() != 0 {

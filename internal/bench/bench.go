@@ -112,22 +112,12 @@ type Config struct {
 // The decision is a property of the topology alone — never of Workers
 // or of attached observability probes — so a partitioned run is
 // byte-identical at every worker count, and attaching trace, metrics
-// or abort forensics never changes the schedule (it only forces the
-// single-worker path, because those probes are scheduler-owned).
+// or abort forensics never changes the schedule: each partition records
+// into its own shard of the recorder/registry (trace.Recorder.Shard and
+// friends), merged deterministically at snapshot time, so observed runs
+// execute at full worker count.
 func (c Config) Partitioned(gen workload.Generator) bool {
 	return c.Shards > 1 && workload.IsPartitionSafe(gen)
-}
-
-// workers resolves the effective worker count: the configured count,
-// clamped to one when scheduler-owned probes (trace, metrics, abort
-// forensics) are attached — observers record into shared buffers, so
-// they ride the deterministic single-worker execution of the same
-// partitioned schedule.
-func (c Config) workers() int {
-	if c.Trace != nil || c.Metrics != nil || c.Why != nil {
-		return 1
-	}
-	return c.Workers
 }
 
 // WithDefaults fills unset fields with the evaluation defaults: two
@@ -223,6 +213,23 @@ type Result struct {
 	// when the workload is scenario-driven (attempts are attributed to
 	// the phase in which their transaction was first generated).
 	ScenarioPhases []PhaseStat
+	// Runtime is the window executor's introspection, populated only
+	// for partitioned runs. Its wall-clock fields (busy time, barrier
+	// waits) are nondeterministic; everything else is schedule-derived.
+	Runtime *RuntimeInfo
+}
+
+// RuntimeInfo is one partitioned run's executor introspection: the
+// simulator's window/mailbox counters plus the fabric's cross-partition
+// verb traffic, per partition.
+type RuntimeInfo struct {
+	Sim *sim.RuntimeStats
+	// Cross is, per partition, the verbs that partition posted whose
+	// target region lives in another partition.
+	Cross []rdma.Stats
+	// Workers is the worker count the run executed with (invocation
+	// level: it never affects any other field except wall-clock ones).
+	Workers int
 }
 
 // System is the engine-facing surface the three implementations share.
@@ -352,7 +359,7 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Partitioned(gen) {
 		parts = cfg.Shards
 		world = sim.NewWorld(cfg.Seed, parts, cfg.Params.Lookahead())
-		world.SetWorkers(cfg.workers())
+		world.SetWorkers(cfg.Workers)
 		env = world.Env(0)
 	} else {
 		env = sim.NewEnv(cfg.Seed)
@@ -363,20 +370,37 @@ func Run(cfg Config) (Result, error) {
 		return Result{}, err
 	}
 	db := engine.NewDB(pool)
+	// Observers attach per partition: each partition's scheduler,
+	// fabric lane and engine view record into its own shard of the root
+	// recorder/registry, written lock-free by the owning worker and
+	// merged deterministically at snapshot time.
 	if cfg.Trace != nil {
-		env.SetObserver(cfg.Trace)
 		if world != nil {
-			for i := 1; i < world.Parts(); i++ {
-				world.Env(i).SetObserver(cfg.Trace)
+			for i := 0; i < world.Parts(); i++ {
+				world.Env(i).SetObserver(cfg.Trace.Shard(i, world.Parts()))
 			}
+		} else {
+			env.SetObserver(cfg.Trace)
 		}
 		fabric.SetRecorder(cfg.Trace)
 		db.Trace = cfg.Trace
 	}
 	if cfg.Metrics != nil {
-		cfg.Metrics.BindEnv(env)
+		if world != nil {
+			// Each partition shard binds its own scheduler, so the sim
+			// gauges (runnable/live procs, dispatches) cover the whole
+			// world after the merge, not just partition 0.
+			for i := 0; i < world.Parts(); i++ {
+				cfg.Metrics.Shard(i, world.Parts()).BindEnv(world.Env(i))
+			}
+		} else {
+			cfg.Metrics.BindEnv(env)
+		}
 		fabric.SetMetrics(cfg.Metrics)
 		db.SetMetrics(cfg.Metrics)
+		if world != nil {
+			registerWorldProbes(cfg.Metrics, world, fabric)
+		}
 	}
 	if cfg.Why != nil {
 		db.Why = cfg.Why
@@ -593,6 +617,14 @@ func Run(cfg Config) (Result, error) {
 			db.History.Absorb(v.History)
 		}
 	}
+	if world != nil {
+		ri := &RuntimeInfo{Sim: world.RuntimeStats(), Workers: world.Workers()}
+		ri.Cross = make([]rdma.Stats, world.Parts())
+		for i := range ri.Cross {
+			ri.Cross[i] = fabric.CrossLaneStats(i)
+		}
+		res.Runtime = ri
+	}
 	res.Elapsed = cfg.Duration - cfg.Warmup
 	res.Verbs = fabric.Stats().Sub(verbs0)
 	if cfg.CheckHistory {
@@ -600,6 +632,42 @@ func Run(cfg Config) (Result, error) {
 		res.History = db.History
 	}
 	return res, nil
+}
+
+// registerWorldProbes exports the window executor's schedule-derived
+// introspection through the metrics registry of a partitioned metered
+// run: per-partition dispatch/injection counters, mailbox high-water
+// marks and cross-partition verb counts on each partition's shard
+// registry, plus the world-wide window counters on partition 0's. Only
+// schedule-derived values are registered — wall-clock timings (barrier
+// waits, busy time) surface exclusively through Result.Runtime, so the
+// metrics export stays byte-identical at any worker count.
+func registerWorldProbes(reg *metrics.Registry, world *sim.World, fabric *rdma.Fabric) {
+	parts := world.Parts()
+	for i := 0; i < parts; i++ {
+		part := i
+		shard := reg.Shard(part, parts)
+		label := fmt.Sprintf(`partition="%d"`, part)
+		penv := world.Env(part)
+		shard.CounterFunc("crest_sim_part_dispatches_total", label,
+			"Events dispatched, by partition.",
+			func() uint64 { return penv.Dispatched() })
+		shard.CounterFunc("crest_sim_part_injected_total", label,
+			"Cross-partition messages injected at barriers, by target partition.",
+			func() uint64 { return world.PartInjected(part) })
+		shard.GaugeFunc("crest_sim_part_mailbox_hwm", label,
+			"Largest single-barrier incoming message batch, by partition.",
+			func() int64 { return int64(world.PartMailboxHWM(part)) })
+		shard.CounterFunc("crest_rdma_cross_part_verbs_total", label,
+			"Verbs posted whose target region lives in another partition, by issuing partition.",
+			func() uint64 { return fabric.CrossLaneStats(part).Total() })
+	}
+	shard0 := reg.Shard(0, parts)
+	shard0.CounterFunc("crest_sim_windows_total", "",
+		"Conservative time windows executed.", world.Windows)
+	shard0.GaugeFunc("crest_sim_window_width_avg", "",
+		"Mean window width in virtual time units (lookahead efficiency).",
+		func() int64 { return int64(world.WindowWidthAvg()) })
 }
 
 // probeHotKeys derives a hotspot-placement seed when the caller gave

@@ -35,8 +35,9 @@ import (
 // entries are then ignored rather than misread.
 //
 // v2 added RunRecord.Events; v1 entries would decode with a zero
-// count, which is a misread, not a miss.
-const SchemaVersion = "crest-bench/v2"
+// count, which is a misread, not a miss. v3 added the BenchPerf
+// workers/per-partition fields emitted by parallel-capable invocations.
+const SchemaVersion = "crest-bench/v3"
 
 // Workload kinds a WorkloadSpec can name.
 const (
@@ -327,6 +328,9 @@ type Runner struct {
 	// (cache hits excluded); nondeterministic, reported via BenchPerf.
 	simWallMS float64
 	simEvents uint64
+	// partEvents sums, per partition index, the events the executed
+	// partitioned runs dispatched there (schedule-derived).
+	partEvents []uint64
 }
 
 // NewRunner returns an empty runner over a profile.
@@ -446,6 +450,14 @@ func (r *Runner) execute(spec RunSpec) (*RunRecord, error) {
 	r.mu.Lock()
 	r.simWallMS += res.WallMS
 	r.simEvents += res.Events
+	if res.Runtime != nil && res.Runtime.Sim != nil {
+		for _, ps := range res.Runtime.Sim.PartStats {
+			for len(r.partEvents) <= ps.Part {
+				r.partEvents = append(r.partEvents, 0)
+			}
+			r.partEvents[ps.Part] += ps.Events
+		}
+	}
 	r.mu.Unlock()
 	return newRunRecord(spec, res), nil
 }
@@ -486,13 +498,27 @@ func (r *Runner) Perf() *BenchPerf {
 	if r.simulated == 0 {
 		return nil
 	}
+	workers := r.simWorkers
+	if workers < 1 {
+		workers = 1
+	}
 	p := &BenchPerf{
 		SimWallMS: r.simWallMS,
 		Events:    r.simEvents,
 		Simulated: r.simulated,
+		Workers:   workers,
 	}
 	if r.simWallMS > 0 {
 		p.EventsPerSec = float64(r.simEvents) / (r.simWallMS / 1e3)
+	}
+	if len(r.partEvents) > 0 {
+		p.PartEvents = append([]uint64(nil), r.partEvents...)
+		if r.simWallMS > 0 {
+			p.PartEventsPerSec = make([]float64, len(r.partEvents))
+			for i, n := range r.partEvents {
+				p.PartEventsPerSec[i] = float64(n) / (r.simWallMS / 1e3)
+			}
+		}
 	}
 	return p
 }
@@ -567,6 +593,16 @@ type BenchPerf struct {
 	EventsPerSec float64 `json:"events_per_sec"`
 	// Simulated counts the executed runs (cache hits excluded).
 	Simulated int `json:"simulated"`
+	// Workers is the scheduler worker count the invocation ran
+	// partitioned simulations with (invocation-level: results are
+	// byte-identical at any value).
+	Workers int `json:"workers,omitempty"`
+	// PartEvents sums, per partition index, the events the executed
+	// partitioned runs dispatched there; absent when no run was
+	// partitioned. Schedule-derived, unlike the *PerSec fields.
+	PartEvents []uint64 `json:"part_events,omitempty"`
+	// PartEventsPerSec is PartEvents over SimWallMS (nondeterministic).
+	PartEventsPerSec []float64 `json:"part_events_per_sec,omitempty"`
 }
 
 // ResultSet is the schema-versioned JSON document -json emits: every

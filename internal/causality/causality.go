@@ -21,6 +21,7 @@ package causality
 
 import (
 	"fmt"
+	"sort"
 
 	"crest/internal/layout"
 	"crest/internal/sim"
@@ -210,6 +211,15 @@ type Recorder struct {
 	nextID   uint64
 
 	recs map[recKey]*recState
+
+	// Partitioned mode (see Shard). Children are each written by
+	// exactly one partition; txn ids and edge seqs stride by the
+	// partition count so the merged Snapshot stays collision-free
+	// without remapping Cause references.
+	part   int
+	stride int
+	shards []*Recorder
+	root   *Recorder
 }
 
 // Default ring capacities when the caller passes none.
@@ -241,36 +251,81 @@ func NewRecorder(opt Options) *Recorder {
 // Enabled reports whether the recorder collects edges.
 func (r *Recorder) Enabled() bool { return r != nil }
 
-// Dropped reports how many edges were evicted from the edge ring.
+// Shard returns the per-partition child recorder for part out of parts,
+// creating the full child set on first use. Each child must be written
+// by exactly one partition (one sim.Env), which keeps every emission
+// lock-free under the parallel window executor; Snapshot on the root
+// merges all children deterministically. With parts <= 1 (or a nil
+// recorder) Shard returns the receiver, so single-partition wiring is
+// byte-identical to an unsharded recorder. Children stride their txn
+// ids and edge seqs by the partition count, so ids stay globally unique
+// and CauseSeq references survive the merge without remapping.
+func (r *Recorder) Shard(part, parts int) *Recorder {
+	if r == nil || parts <= 1 {
+		return r
+	}
+	if r.stride > 0 {
+		panic("causality: Shard of a partition child")
+	}
+	if r.shards == nil {
+		r.shards = make([]*Recorder, parts)
+		for i := range r.shards {
+			r.shards[i] = &Recorder{cap: r.cap, txnCap: r.txnCap,
+				recs: map[recKey]*recState{}, part: i, stride: parts, root: r}
+		}
+	}
+	if parts != len(r.shards) {
+		panic(fmt.Sprintf("causality: Shard with %d parts after %d", parts, len(r.shards)))
+	}
+	if part < 0 || part >= parts {
+		panic(fmt.Sprintf("causality: Shard part %d out of range [0,%d)", part, parts))
+	}
+	return r.shards[part]
+}
+
+// Dropped reports how many edges were evicted from the edge ring,
+// summed across partition children.
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.dropped
+	d := r.dropped
+	for _, c := range r.shards {
+		d += c.dropped
+	}
+	return d
 }
 
-// Len reports the number of buffered edges.
+// Len reports the number of buffered edges, summed across partition
+// children.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.edges)
+	n := len(r.edges)
+	for _, c := range r.shards {
+		n += len(c.edges)
+	}
+	return n
 }
 
 // emit appends one edge to the ring, evicting the oldest on overflow.
-// It returns the edge's sequence number.
+// It returns the edge's sequence number (strided on partition children).
 func (r *Recorder) emit(e Edge) uint64 {
 	r.seq++
 	e.Seq = r.seq
+	if r.stride > 1 {
+		e.Seq = uint64(r.part) + uint64(r.stride)*(r.seq-1) + 1
+	}
 	if len(r.edges) < r.cap {
 		r.edges = append(r.edges, e)
-		return r.seq
+		return e.Seq
 	}
 	r.edges[r.head] = e
 	r.head = (r.head + 1) % r.cap
 	r.full = true
 	r.dropped++
-	return r.seq
+	return e.Seq
 }
 
 // Of extracts the transaction node from a proc's why context (nil when
@@ -297,7 +352,11 @@ func (r *Recorder) Begin(p *sim.Proc, coord uint64, label string, txnKey any) *T
 		return prev
 	}
 	r.nextID++
-	t := &Txn{ID: r.nextID, Label: label, Coord: coord, Attempt: 1, Start: p.Now(), txnKey: txnKey}
+	id := r.nextID
+	if r.stride > 1 {
+		id = uint64(r.part) + uint64(r.stride)*(r.nextID-1) + 1
+	}
+	t := &Txn{ID: id, Label: label, Coord: coord, Attempt: 1, Start: p.Now(), txnKey: txnKey}
 	p.SetWhyCtx(t)
 	if len(r.txns) < r.txnCap {
 		r.txns = append(r.txns, t)
@@ -534,19 +593,88 @@ type CauseInfo struct {
 // Snapshot is an immutable copy of the recorder's state, the input to
 // every view and exporter.
 type Snapshot struct {
-	Edges       []Edge    // oldest → newest
-	Txns        []TxnInfo // ascending id
+	Edges       []Edge    // emission order; merged: (at, partition, seq)
+	Txns        []TxnInfo // begin order; merged: (start, partition, id)
 	Dropped     uint64    // edges evicted from the ring
 	TxnsDropped uint64    // transaction nodes evicted
 }
 
 // Snapshot copies the rings (oldest to newest). A nil recorder yields
-// an empty snapshot.
+// an empty snapshot. A partitioned recorder (see Shard) merges every
+// child deterministically: edges order by (virtual time, partition,
+// seq) — mirroring the window executor's mailbox merge — and
+// transaction nodes by (start time, partition, id). Strided seqs and
+// ids are kept as emitted so Cause references remain valid.
 func (r *Recorder) Snapshot() *Snapshot {
-	s := &Snapshot{}
 	if r == nil {
-		return s
+		return &Snapshot{}
 	}
+	if r.shards == nil {
+		return r.snapshotLocal()
+	}
+	type tagEdge struct {
+		part int
+		Edge
+	}
+	type tagTxn struct {
+		part int
+		TxnInfo
+	}
+	locals := make([]*Snapshot, 0, 1+len(r.shards))
+	pids := make([]int, 0, 1+len(r.shards))
+	locals = append(locals, r.snapshotLocal())
+	pids = append(pids, -1)
+	for i, c := range r.shards {
+		locals = append(locals, c.snapshotLocal())
+		pids = append(pids, i)
+	}
+	out := &Snapshot{}
+	var edges []tagEdge
+	var txns []tagTxn
+	for k, s := range locals {
+		out.Dropped += s.Dropped
+		out.TxnsDropped += s.TxnsDropped
+		for _, e := range s.Edges {
+			edges = append(edges, tagEdge{pids[k], e})
+		}
+		for _, t := range s.Txns {
+			txns = append(txns, tagTxn{pids[k], t})
+		}
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := &edges[i], &edges[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.part != b.part {
+			return a.part < b.part
+		}
+		return a.Seq < b.Seq
+	})
+	sort.Slice(txns, func(i, j int) bool {
+		a, b := &txns[i], &txns[j]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if a.part != b.part {
+			return a.part < b.part
+		}
+		return a.ID < b.ID
+	})
+	out.Edges = make([]Edge, len(edges))
+	for i := range edges {
+		out.Edges[i] = edges[i].Edge
+	}
+	out.Txns = make([]TxnInfo, len(txns))
+	for i := range txns {
+		out.Txns[i] = txns[i].TxnInfo
+	}
+	return out
+}
+
+// snapshotLocal copies one recorder's own rings, oldest to newest.
+func (r *Recorder) snapshotLocal() *Snapshot {
+	s := &Snapshot{}
 	s.Dropped = r.dropped
 	s.TxnsDropped = r.tdropped
 	s.Edges = make([]Edge, 0, len(r.edges))

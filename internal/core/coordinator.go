@@ -35,6 +35,7 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 		qps: engine.NewQPCache(db.Fabric),
 		log: pool.AllocLog(logSegmentSize),
 	}
+	c.qps.Warm(pool)
 	c.logN = pool.LogNodes(id, pool.Replicas()+1)
 	c.home = pool.ShardOfNode(c.logN[0].ID)
 	cn.sys.logs = append(cn.sys.logs, recoveryLog{seg: c.log, nodes: c.logN})

@@ -129,11 +129,16 @@ func (db *DB) VerbStats() rdma.Stats {
 // mutable state — a hybrid-logical-clock timestamp oracle floored
 // above every load-time draw, a fresh conflict tracker, and a history
 // fork (fold it back with History.Absorb after the run). Observability
-// probes are shared with the root DB: they are scheduler-owned, so a
-// run that attaches any of them executes the partitions on a single
-// worker (the schedule is byte-identical either way).
+// probes are sharded: the view records into the partition's own shard
+// of each root recorder/registry (written lock-free by the partition's
+// worker, merged deterministically at snapshot time), so observed runs
+// execute at full worker count with byte-identical output.
 func (db *DB) PartitionView(env *sim.Env, part int) *DB {
-	return &DB{
+	parts := 1
+	if w := env.World(); w != nil {
+		parts = w.Parts()
+	}
+	v := &DB{
 		Pool:    db.Pool,
 		Fabric:  db.Fabric,
 		Tables:  db.Tables,
@@ -141,12 +146,19 @@ func (db *DB) PartitionView(env *sim.Env, part int) *DB {
 		Tracker: NewConflictTracker(),
 		History: db.History.Fork(),
 		Cost:    db.Cost,
-		Trace:   db.Trace,
-		Metrics: db.Metrics,
+		Trace:   db.Trace.Shard(part, parts),
+		Metrics: db.Metrics.Shard(part, parts),
 		Met:     db.Met,
-		Why:     db.Why,
+		Why:     db.Why.Shard(part, parts),
 		lane:    part,
 	}
+	if v.Metrics != db.Metrics {
+		// Rebuild the engine instrument handles on the partition's shard
+		// registry so counts accrue partition-locally (Pool is shared, so
+		// the per-shard-group labels come out the same).
+		v.SetMetrics(v.Metrics)
+	}
+	return v
 }
 
 // CreateTable allocates the heap and index for a schema. recSize is

@@ -1,6 +1,9 @@
 package engine
 
-import "crest/internal/rdma"
+import (
+	"crest/internal/memnode"
+	"crest/internal/rdma"
+)
 
 // QPCache reuses queue pairs per target region, the way a coordinator
 // keeps one QP per memory node. Region IDs are small dense fabric
@@ -29,4 +32,17 @@ func (c *QPCache) Get(r *rdma.Region) *rdma.QP {
 	qp := c.fabric.Connect(r)
 	c.qps[id] = qp
 	return qp
+}
+
+// Warm connects the cache to every memory node of pool up front, in
+// node order. Coordinators call it at construction, while cluster
+// setup is still sequential: a cache miss during a partitioned run
+// would draw its queue-pair id from the fabric's global counter in
+// worker arrival order, and that order leaks into trace verb events.
+// The ids carry no schedule weight, but an observed run must export
+// the same bytes at every worker count.
+func (c *QPCache) Warm(pool *memnode.Pool) {
+	for _, n := range pool.Nodes() {
+		c.Get(n.Region)
+	}
 }

@@ -86,6 +86,14 @@ type Registry struct {
 
 	times   []sim.Time // start time of each sealed window
 	dropped uint64     // windows sealed past MaxWindows
+
+	// Partition-registry mode (Shard): a root registry hands each
+	// simulation partition its own child, bound to that partition's
+	// clock and mutated only by its worker; the root's Snapshot merges
+	// the family deterministically (series summed by identity, samples
+	// added per window).
+	shards []*Registry
+	child  bool // set on partition children: re-sharding them is misuse
 }
 
 // instrument is the registry-side state shared by the typed handles.
@@ -138,6 +146,34 @@ func (r *Registry) BindEnv(env *sim.Env) {
 	r.CounterFunc("crest_sim_dispatches_total", "",
 		"Scheduler events dispatched (process wakeups and deferred calls).",
 		env.Dispatched)
+}
+
+// Shard returns the child registry owned by partition part of parts.
+// The whole family is created on the first call with the root's window,
+// so every caller that shards with the same partition count gets the
+// same children. Bind each child to its own partition's environment;
+// the root's Snapshot merges the family — per-identity series sums,
+// per-window sample sums — into one deterministic snapshot. A nil
+// registry or parts <= 1 returns the receiver unchanged, so
+// single-partition runs keep the classic registry byte-for-byte.
+func (r *Registry) Shard(part, parts int) *Registry {
+	if r == nil || parts <= 1 {
+		return r
+	}
+	if r.child {
+		panic("metrics: Shard of a partition child")
+	}
+	if r.shards == nil {
+		r.shards = make([]*Registry, parts)
+		for i := range r.shards {
+			r.shards[i] = &Registry{window: r.window, byName: map[string]*instrument{}, child: true}
+		}
+	}
+	if len(r.shards) != parts || part < 0 || part >= parts {
+		panic(fmt.Sprintf("metrics: Shard(%d, %d) of a registry sharded %d ways",
+			part, parts, len(r.shards)))
+	}
+	return r.shards[part]
 }
 
 // Window reports the registry's sampling period (0 = series disabled).
@@ -468,11 +504,33 @@ type Snapshot struct {
 // A nil registry yields an empty snapshot. Sealing in Snapshot is what
 // closes the tail windows of a run: windows otherwise seal lazily, on
 // the first mutation past their boundary.
+//
+// On a sharded registry the snapshot is the deterministic merge of the
+// root and every partition child: window start times come from the
+// longest family member, series with the same identity merge in
+// first-seen order (root first, then children in partition order) with
+// totals, histogram buckets and per-window samples summed, and samples
+// zero-pad to the merged window count. The merge is a pure function of
+// the simulation, never of the worker count.
 func (r *Registry) Snapshot() *Snapshot {
-	s := &Snapshot{}
 	if r == nil {
-		return s
+		return &Snapshot{}
 	}
+	if r.shards == nil {
+		return r.snapshotLocal()
+	}
+	parts := make([]*Snapshot, 0, 1+len(r.shards))
+	parts = append(parts, r.snapshotLocal())
+	for _, c := range r.shards {
+		parts = append(parts, c.snapshotLocal())
+	}
+	return mergeSnapshots(r.window, parts)
+}
+
+// snapshotLocal copies one registry's own instruments, ignoring any
+// partition children.
+func (r *Registry) snapshotLocal() *Snapshot {
+	s := &Snapshot{}
 	if r.window > 0 && r.clock != nil {
 		if now := r.clock(); now >= r.next {
 			r.seal(now)
@@ -520,6 +578,76 @@ func (r *Registry) Snapshot() *Snapshot {
 		s.Series = append(s.Series, se)
 	}
 	return s
+}
+
+// mergeSnapshots folds per-partition snapshots into one. Times come
+// from the longest member (every member seals the same aligned window
+// sequence, so a shorter one is a strict prefix); dropped-window counts
+// take the maximum for the same reason. Series merge by identity in
+// first-seen order with totals, sums, cumulative buckets and samples
+// added; samples zero-pad to the merged window count so every series
+// keeps one value per sealed window.
+func mergeSnapshots(window sim.Duration, parts []*Snapshot) *Snapshot {
+	out := &Snapshot{Window: window}
+	for _, p := range parts {
+		if len(p.Times) > len(out.Times) {
+			out.Times = p.Times
+		}
+		if p.DroppedWindows > out.DroppedWindows {
+			out.DroppedWindows = p.DroppedWindows
+		}
+	}
+	idx := map[string]int{}
+	for _, p := range parts {
+		for i := range p.Series {
+			se := &p.Series[i]
+			j, ok := idx[se.ID()]
+			if !ok {
+				idx[se.ID()] = len(out.Series)
+				out.Series = append(out.Series, *se)
+				continue
+			}
+			dst := &out.Series[j]
+			dst.Total += se.Total
+			dst.Sum += se.Sum
+			dst.Buckets = addBuckets(dst.Buckets, se.Buckets)
+			dst.Samples = addSamples(dst.Samples, se.Samples)
+		}
+	}
+	for i := range out.Series {
+		for len(out.Series[i].Samples) < len(out.Times) {
+			out.Series[i].Samples = append(out.Series[i].Samples, 0)
+		}
+	}
+	return out
+}
+
+// addBuckets sums two cumulative bucket tables elementwise. The tables
+// come from instruments registered with identical bounds; a missing
+// side passes through unchanged.
+func addBuckets(a, b []Bucket) []Bucket {
+	if len(a) == 0 {
+		return b
+	}
+	for i := range a {
+		if i < len(b) {
+			a[i].Count += b[i].Count
+		}
+	}
+	return a
+}
+
+// addSamples sums two per-window sample vectors elementwise, extending
+// to the longer one (windows are aligned from virtual time zero, so a
+// shorter vector is a prefix).
+func addSamples(a, b []float64) []float64 {
+	if len(b) > len(a) {
+		a, b = append(make([]float64, 0, len(b)), b...), a
+	}
+	for i := range b {
+		a[i] += b[i]
+	}
+	return a
 }
 
 // Find returns the series with the given name and labels, or nil.

@@ -144,6 +144,7 @@ func (cn *ComputeNode) NewCoordinator(id int) *Coordinator {
 		qps: engine.NewQPCache(db.Fabric),
 		log: pool.AllocLog(logSegmentSize),
 	}
+	c.qps.Warm(pool)
 	c.logN = pool.LogNodes(id, pool.Replicas()+1)
 	c.home = pool.ShardOfNode(c.logN[0].ID)
 	return c

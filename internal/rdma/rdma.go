@@ -194,28 +194,32 @@ type Fabric struct {
 	regions []*Region
 	lanes   []*lane
 	nextQP  int64 // atomic: queue pairs may be connected from any partition
-	rec     *trace.Recorder
-	met     *fabricMetrics
 }
 
 // lane is one partition's slice of the fabric: its scheduler, verb
-// counters and recycled descriptors. Only code running in the lane's
-// partition touches it.
+// counters, observer handles and recycled descriptors. Only code
+// running in the lane's partition touches it, so attached probes stay
+// lock-free under the parallel window executor.
 type lane struct {
 	env     *sim.Env
 	stats   Stats
+	cross   Stats // verbs this lane posted that applied in other partitions
+	rec     *trace.Recorder
+	met     *fabricMetrics
 	free    []*pending  // recycled in-flight descriptors
 	subFree []*applySub // recycled cross-partition apply descriptors
 }
 
 // SetRecorder attaches a trace recorder; every subsequent verb emits
 // issue/complete events and every batch an RTT event. A nil recorder
-// disables emission. Recorders are scheduler-owned probes: on a
-// partitioned fabric the caller must execute partitions on a single
-// worker (sim.World enforces this for its own observers; the bench
-// clamps Workers when any probe is attached).
+// disables emission. On a partitioned fabric each lane records into its
+// own partition shard of the recorder (trace.Recorder.Shard), so
+// emission stays partition-local and the run may execute on any number
+// of workers; the recorder merges deterministically at snapshot time.
 func (f *Fabric) SetRecorder(rec *trace.Recorder) {
-	f.rec = rec
+	for i, l := range f.lanes {
+		l.rec = rec.Shard(i, len(f.lanes))
+	}
 }
 
 // fabricMetrics is the fabric's instrument bundle: in-flight verbs,
@@ -238,33 +242,45 @@ type fabricMetrics struct {
 // SetMetrics attaches a metrics registry: every subsequent post moves
 // the fabric gauges and counters. Regions registered before or after
 // the call both get per-node instruments. Metrics consume no virtual
-// time; a nil registry disables the bundle.
+// time; a nil registry disables the bundle. On a partitioned fabric
+// each lane counts into its own partition shard of the registry
+// (metrics.Registry.Shard) — lock-free under parallel execution, summed
+// deterministically at snapshot time.
 func (f *Fabric) SetMetrics(m *metrics.Registry) {
 	if m == nil {
-		f.met = nil
+		for _, l := range f.lanes {
+			l.met = nil
+		}
 		return
 	}
-	fm := &fabricMetrics{reg: m}
-	fm.inflight = m.Gauge("crest_rdma_inflight_verbs", "",
+	for i, l := range f.lanes {
+		l.met = newFabricMetrics(m.Shard(i, len(f.lanes)), f.regions)
+	}
+}
+
+// newFabricMetrics registers the fabric instrument bundle on reg.
+func newFabricMetrics(reg *metrics.Registry, regions []*Region) *fabricMetrics {
+	fm := &fabricMetrics{reg: reg}
+	fm.inflight = reg.Gauge("crest_rdma_inflight_verbs", "",
 		"One-sided verbs posted and not yet completed.")
-	fm.rtts = m.Counter("crest_rdma_rtts_total", "",
+	fm.rtts = reg.Counter("crest_rdma_rtts_total", "",
 		"Doorbell-batch round trips issued.")
 	for k := OpRead; k <= OpMaskedCAS; k++ {
-		fm.verbs[k] = m.Counter("crest_rdma_verbs_total",
+		fm.verbs[k] = reg.Counter("crest_rdma_verbs_total",
 			`verb="`+k.String()+`"`, "One-sided verbs posted, by verb.")
 	}
-	fm.bytesRead = m.Counter("crest_rdma_read_bytes_total", "",
+	fm.bytesRead = reg.Counter("crest_rdma_read_bytes_total", "",
 		"Payload bytes requested by READ verbs.")
-	fm.bytesWrite = m.Counter("crest_rdma_write_bytes_total", "",
+	fm.bytesWrite = reg.Counter("crest_rdma_write_bytes_total", "",
 		"Payload bytes carried by WRITE verbs.")
-	fm.batchOps = m.Histogram("crest_rdma_batch_ops", "",
+	fm.batchOps = reg.Histogram("crest_rdma_batch_ops", "",
 		"Verbs per doorbell batch.", metrics.LogLinearBounds(1, 64, 2))
-	fm.batchBytes = m.Histogram("crest_rdma_batch_bytes", "",
+	fm.batchBytes = reg.Histogram("crest_rdma_batch_bytes", "",
 		"Payload bytes per doorbell batch.", metrics.LogLinearBounds(8, 1<<16, 2))
-	for _, r := range f.regions {
+	for _, r := range regions {
 		fm.addNode(r)
 	}
-	f.met = fm
+	return fm
 }
 
 // addNode registers the per-node counters for region r.
@@ -355,6 +371,12 @@ func (f *Fabric) Stats() Stats {
 // execution.
 func (f *Fabric) LaneStats(part int) Stats { return f.lanes[part].stats }
 
+// CrossLaneStats returns the verbs partition part posted that applied
+// in other partitions (already included in LaneStats): the traffic that
+// crossed the fabric's partition seam. Schedule-derived, so it is
+// identical at any worker count.
+func (f *Fabric) CrossLaneStats(part int) Stats { return f.lanes[part].cross }
+
 // Lanes returns the number of partition lanes.
 func (f *Fabric) Lanes() int { return len(f.lanes) }
 
@@ -391,8 +413,10 @@ func (f *Fabric) RegisterAt(name string, size, part int) *Region {
 	}
 	r := &Region{fabric: f, id: len(f.regions), part: part, name: name, buf: make([]byte, size)}
 	f.regions = append(f.regions, r)
-	if f.met != nil {
-		f.met.addNode(r)
+	for _, l := range f.lanes {
+		if l.met != nil {
+			l.met.addNode(r)
+		}
 	}
 	return r
 }
@@ -436,8 +460,9 @@ type QP struct {
 
 // Connect creates a queue pair targeting region r. The connection
 // counter is atomic because engines may connect lazily from any
-// partition; the id feeds only trace output (which partitioned runs
-// disable), never the simulation schedule.
+// partition; the id feeds only trace output, never the simulation
+// schedule. (Engines connect eagerly at load time, before partitions
+// run concurrently, so traced ids are stable in practice.)
 func (f *Fabric) Connect(r *Region) *QP {
 	if r.fabric != f {
 		panic("rdma: Connect across fabrics")
@@ -477,23 +502,24 @@ func opBytes(op *Op) int {
 	return 8
 }
 
-// emitIssue records per-verb issue events for one batch. Callers guard
-// with f.rec != nil so a disabled recorder costs one pointer check.
-func (f *Fabric) emitIssue(p *sim.Proc, qp *QP, ops []Op) {
+// emitIssue records per-verb issue events for one batch on the issuing
+// lane's recorder shard. Callers guard with l.rec != nil so a disabled
+// recorder costs one pointer check.
+func (l *lane) emitIssue(p *sim.Proc, qp *QP, ops []Op) {
 	s := trace.SpanOf(p)
 	for i := range ops {
-		f.rec.VerbIssue(p.Now(), s, ops[i].Kind.String(), qp.id, qp.region.id, opBytes(&ops[i]))
+		l.rec.VerbIssue(p.Now(), s, ops[i].Kind.String(), qp.id, qp.region.id, opBytes(&ops[i]))
 	}
 }
 
 // emitComplete records the batch's round-trip and per-verb completions,
 // each charged the whole batch latency (doorbell batching amortizes the
 // round-trip across the verbs, not the other way around).
-func (f *Fabric) emitComplete(p *sim.Proc, qp *QP, ops []Op, lat sim.Duration) {
+func (l *lane) emitComplete(p *sim.Proc, qp *QP, ops []Op, lat sim.Duration) {
 	s := trace.SpanOf(p)
-	f.rec.RTT(p.Now(), s, qp.id, qp.region.id, len(ops), batchPayload(ops), lat)
+	l.rec.RTT(p.Now(), s, qp.id, qp.region.id, len(ops), batchPayload(ops), lat)
 	for i := range ops {
-		f.rec.VerbComplete(p.Now(), s, ops[i].Kind.String(), qp.id, qp.region.id, opBytes(&ops[i]), lat)
+		l.rec.VerbComplete(p.Now(), s, ops[i].Kind.String(), qp.id, qp.region.id, opBytes(&ops[i]), lat)
 	}
 }
 
@@ -728,11 +754,11 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	}
 	lane := d.lane
 	lat := f.latency(lane.env.Rand(), batchPayload(ops), len(ops))
-	if f.rec != nil {
-		f.emitIssue(p, qp, ops)
+	if lane.rec != nil {
+		lane.emitIssue(p, qp, ops)
 	}
-	if f.met != nil {
-		f.met.post(qp, ops)
+	if lane.met != nil {
+		lane.met.post(qp, ops)
 	}
 	d.proc, d.qp, d.ops = p, qp, ops
 	now := p.Now()
@@ -740,11 +766,11 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	lane.env.CallAt(now.Add(lat/2), d.fire)
 	p.Suspend()
 	res, err := d.res, d.err
-	if f.rec != nil {
-		f.emitComplete(p, qp, ops, lat)
+	if lane.rec != nil {
+		lane.emitComplete(p, qp, ops, lat)
 	}
-	if f.met != nil {
-		f.met.complete(ops)
+	if lane.met != nil {
+		lane.met.complete(ops)
 	}
 	lane.putPending(d)
 	return res, err
@@ -771,10 +797,10 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 // The issuing process parks exactly once, like a local post.
 //
 // Trace and metrics, when attached, are emitted from the issuing
-// partition exactly as on the local path. They are scheduler-owned
-// probes, so a run with either attached executes the partitions on a
-// single worker; without them the hot path stays probe-free behind one
-// pointer check.
+// partition exactly as on the local path, into the issuing lane's
+// partition shard — so emission stays lock-free at any worker count;
+// without probes the hot path stays probe-free behind one pointer
+// check.
 func (d *pending) crossPost(p *sim.Proc) ([]Result, [][]Result, error) {
 	f := d.f
 	lane := d.lane
@@ -824,7 +850,7 @@ func (d *pending) crossPost(p *sim.Proc) ([]Result, [][]Result, error) {
 			d.out[i] = out
 		}
 	}
-	if f.rec != nil || f.met != nil {
+	if lane.rec != nil || lane.met != nil {
 		d.emitPost(p)
 	}
 	d.proc = p
@@ -837,11 +863,12 @@ func (d *pending) crossPost(p *sim.Proc) ([]Result, [][]Result, error) {
 	}
 	lane.env.CallAt(d.resumeAt, d.wake)
 	p.Suspend()
-	if f.rec != nil || f.met != nil {
+	if lane.rec != nil || lane.met != nil {
 		d.emitDone(p, maxLat)
 	}
 	for _, sub := range d.subs {
 		lane.stats = lane.stats.Add(sub.stats)
+		lane.cross = lane.cross.Add(sub.stats)
 	}
 	for i := 0; i < nb; i++ {
 		if d.batchErrs[i] == nil {
@@ -864,22 +891,22 @@ func (d *pending) crossPost(p *sim.Proc) ([]Result, [][]Result, error) {
 // emitPost records issue-side trace events and metrics for every batch
 // of a cross-partition post. Called only when a probe is attached.
 func (d *pending) emitPost(p *sim.Proc) {
-	f := d.f
+	l := d.lane
 	if d.qp != nil {
-		if f.rec != nil {
-			f.emitIssue(p, d.qp, d.ops)
+		if l.rec != nil {
+			l.emitIssue(p, d.qp, d.ops)
 		}
-		if f.met != nil {
-			f.met.post(d.qp, d.ops)
+		if l.met != nil {
+			l.met.post(d.qp, d.ops)
 		}
 		return
 	}
 	for _, b := range d.batches {
-		if f.rec != nil {
-			f.emitIssue(p, b.QP, b.Ops)
+		if l.rec != nil {
+			l.emitIssue(p, b.QP, b.Ops)
 		}
-		if f.met != nil {
-			f.met.post(b.QP, b.Ops)
+		if l.met != nil {
+			l.met.post(b.QP, b.Ops)
 		}
 	}
 }
@@ -887,22 +914,22 @@ func (d *pending) emitPost(p *sim.Proc) {
 // emitDone records completion-side trace events and metrics for every
 // batch of a cross-partition post.
 func (d *pending) emitDone(p *sim.Proc, lat sim.Duration) {
-	f := d.f
+	l := d.lane
 	if d.qp != nil {
-		if f.rec != nil {
-			f.emitComplete(p, d.qp, d.ops, lat)
+		if l.rec != nil {
+			l.emitComplete(p, d.qp, d.ops, lat)
 		}
-		if f.met != nil {
-			f.met.complete(d.ops)
+		if l.met != nil {
+			l.met.complete(d.ops)
 		}
 		return
 	}
 	for _, b := range d.batches {
-		if f.rec != nil {
-			f.emitComplete(p, b.QP, b.Ops, lat)
+		if l.rec != nil {
+			l.emitComplete(p, b.QP, b.Ops, lat)
 		}
-		if f.met != nil {
-			f.met.complete(b.Ops)
+		if l.met != nil {
+			l.met.complete(b.Ops)
 		}
 	}
 }
@@ -1090,14 +1117,14 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 			maxLat = lat
 		}
 	}
-	if f.rec != nil {
+	if lane.rec != nil {
 		for _, b := range batches {
-			f.emitIssue(p, b.QP, b.Ops)
+			lane.emitIssue(p, b.QP, b.Ops)
 		}
 	}
-	if f.met != nil {
+	if lane.met != nil {
 		for _, b := range batches {
-			f.met.post(b.QP, b.Ops)
+			lane.met.post(b.QP, b.Ops)
 		}
 	}
 	d := lane.getPending(f)
@@ -1111,14 +1138,14 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 	lane.env.CallAt(now.Add(maxLat/2), d.fire)
 	p.Suspend()
 	out, err := d.out, d.err
-	if f.rec != nil {
+	if lane.rec != nil {
 		for _, b := range batches {
-			f.emitComplete(p, b.QP, b.Ops, maxLat)
+			lane.emitComplete(p, b.QP, b.Ops, maxLat)
 		}
 	}
-	if f.met != nil {
+	if lane.met != nil {
 		for _, b := range batches {
-			f.met.complete(b.Ops)
+			lane.met.complete(b.Ops)
 		}
 	}
 	lane.putPending(d)

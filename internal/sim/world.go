@@ -27,6 +27,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // maxTime is the sentinel deadline used by Run (drain to completion).
@@ -90,6 +91,10 @@ type World struct {
 	workC chan Time
 	next  int64
 	wg    sync.WaitGroup
+
+	// rt collects executor introspection (see runtime.go): window and
+	// mailbox counters plus wall-clock timings, exposed via RuntimeStats.
+	rt worldRuntime
 }
 
 // NewWorld creates a world of parts partitions. Partition 0's random
@@ -111,6 +116,9 @@ func NewWorld(seed int64, parts int, lookahead Duration) *World {
 		workers:   1,
 		in:        make([]inbatch, parts),
 	}
+	w.rt.injected = make([]uint64, parts)
+	w.rt.mailboxHWM = make([]int, parts)
+	w.rt.busyNS = make([]int64, parts)
 	for i := range w.envs {
 		e := NewEnv(partSeed(seed, i))
 		e.world = w
@@ -194,12 +202,12 @@ func (w *World) RunUntil(deadline Time) error {
 	for _, e := range w.envs {
 		e.stopped = false
 	}
-	if k := w.windowWorkers(); k > 1 {
+	if k := w.workers; k > 1 {
 		w.startPool(k)
 		defer w.stopPool()
 	}
 	for {
-		w.inject()
+		injected := w.inject()
 		emin := maxTime
 		for _, e := range w.envs {
 			if len(e.events) > 0 && e.events[0].at < emin {
@@ -214,7 +222,11 @@ func (w *World) RunUntil(deadline Time) error {
 			bound = deadline
 		}
 		w.bound = bound
+		d0 := w.Dispatched()
+		t0 := time.Now()
 		w.runWindow(bound)
+		w.rt.windowNS += int64(time.Since(t0))
+		w.rt.noteWindow(emin, bound, w.Dispatched()-d0, injected)
 		if err := w.failure(); err != nil {
 			return err
 		}
@@ -271,8 +283,10 @@ func (w *World) failure() error {
 // order, sorts them by (delivery time, source partition, pair
 // sequence), and pushes them with fresh local sequence numbers — the
 // deterministic merge the byte-identity contract rests on. It runs
-// single-threaded, between windows.
-func (w *World) inject() {
+// single-threaded, between windows, and returns the total number of
+// messages injected.
+func (w *World) inject() uint64 {
+	var total uint64
 	for t := range w.envs {
 		b := &w.in[t]
 		b.msgs = b.msgs[:0]
@@ -293,6 +307,8 @@ func (w *World) inject() {
 			continue
 		}
 		sort.Sort(b)
+		w.rt.noteInject(t, len(b.msgs))
+		total += uint64(len(b.msgs))
 		e := w.envs[t]
 		for i := range b.msgs {
 			e.seq++
@@ -300,26 +316,7 @@ func (w *World) inject() {
 			b.msgs[i].fn = nil
 		}
 	}
-}
-
-// windowWorkers resolves the effective per-window thread count:
-// workers clamped to the partition count, forced to one while any
-// partition has an observer attached (observers are scheduler-owned
-// probes recording into shared buffers; the schedule is identical
-// either way).
-func (w *World) windowWorkers() int {
-	k := w.workers
-	if k > len(w.envs) {
-		k = len(w.envs)
-	}
-	if k > 1 {
-		for _, e := range w.envs {
-			if e.obs != nil {
-				return 1
-			}
-		}
-	}
-	return k
+	return total
 }
 
 // startPool spawns k−1 helper goroutines that park on workC between
@@ -345,6 +342,9 @@ func (w *World) stopPool() {
 }
 
 // drain executes partitions' windows until none are left unclaimed.
+// Each claimed partition's busy time accrues to its own slot: exactly
+// one worker owns a partition per window, and the barrier orders the
+// write before any cross-thread read.
 func (w *World) drain(bound Time) {
 	n := len(w.envs)
 	for {
@@ -352,30 +352,38 @@ func (w *World) drain(bound Time) {
 		if j >= n {
 			return
 		}
+		t0 := time.Now()
 		w.envs[j].runWindow(bound)
+		w.rt.busyNS[j] += int64(time.Since(t0))
 	}
 }
 
 // runWindow executes one window on up to workers threads. Partitions
 // share nothing during a window (the lookahead contract routes every
-// interaction through the next barrier), and the WaitGroup gives the
-// barrier its happens-before edge, so cross-partition reads of state
-// applied in earlier windows are race-free.
+// interaction through the next barrier — observers included: each
+// partition records into its own shard, merged at snapshot time), and
+// the WaitGroup gives the barrier its happens-before edge, so
+// cross-partition reads of state applied in earlier windows are
+// race-free.
 func (w *World) runWindow(bound Time) {
-	k := w.windowWorkers()
-	if k <= 1 || w.workC == nil {
+	if w.workers <= 1 || w.workC == nil {
 		for _, e := range w.envs {
+			t0 := time.Now()
 			e.runWindow(bound)
+			w.rt.busyNS[e.part] += int64(time.Since(t0))
 		}
 		return
 	}
+	k := w.workers
 	atomic.StoreInt64(&w.next, 0)
 	w.wg.Add(k - 1)
 	for i := 0; i < k-1; i++ {
 		w.workC <- bound
 	}
 	w.drain(bound)
+	t0 := time.Now()
 	w.wg.Wait()
+	w.rt.barrierNS += int64(time.Since(t0))
 }
 
 // runWindow dispatches this partition's events with time ≤ bound and

@@ -1,0 +1,165 @@
+package trace
+
+import (
+	"bytes"
+	"testing"
+
+	"crest/internal/sim"
+)
+
+func mustPanic(t *testing.T, what string, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("%s did not panic", what)
+		}
+	}()
+	fn()
+}
+
+// Shard is a no-op below two partitions and yields one stable child per
+// partition above; misuse panics.
+func TestShardIdentityAndMisuse(t *testing.T) {
+	var nilR *Recorder
+	if nilR.Shard(0, 4) != nil {
+		t.Fatal("nil recorder shard is not nil")
+	}
+	r := NewRecorder(16)
+	if r.Shard(0, 1) != r {
+		t.Fatal("parts=1 must return the receiver")
+	}
+	s1 := r.Shard(1, 3)
+	if s1 == r || r.Shard(1, 3) != s1 {
+		t.Fatal("children missing or not stable")
+	}
+	mustPanic(t, "Shard of a child", func() { s1.Shard(0, 3) })
+	mustPanic(t, "inconsistent parts", func() { r.Shard(0, 2) })
+}
+
+// The merged snapshot interleaves the partition streams by virtual
+// time with partition order breaking ties — the same order the window
+// executor's mailbox merge imposes on cross-partition messages — and
+// span IDs stay globally unique (strided per partition) so no
+// renumbering happens at merge time.
+func TestShardMergeOrdersByTimeThenPartition(t *testing.T) {
+	r := NewRecorder(64)
+	s0, s1 := r.Shard(0, 2), r.Shard(1, 2)
+	inProc(t, func(p *sim.Proc) {
+		// Partition 1 emits first at every timestamp; the merge must
+		// still put partition 0's events first within each tick.
+		for i := 0; i < 3; i++ {
+			sp1 := s1.StartSpan(p, 200, "b", new(int))
+			sp0 := s0.StartSpan(p, 100, "a", new(int))
+			s1.Commit(p.Now(), sp1)
+			s0.Commit(p.Now(), sp0)
+			p.Sleep(sim.Microsecond)
+		}
+	})
+	if r.Len() != 12 {
+		t.Fatalf("merged length = %d, want 12", r.Len())
+	}
+	snap := r.Snapshot()
+	if len(snap.Events) != 12 {
+		t.Fatalf("merged snapshot has %d events, want 12", len(snap.Events))
+	}
+	ids := map[uint64]bool{}
+	for i := range snap.Events {
+		e := &snap.Events[i]
+		if i > 0 && e.At < snap.Events[i-1].At {
+			t.Fatalf("merged events not time-ordered at %d: %v after %v", i, e.At, snap.Events[i-1].At)
+		}
+		if e.Kind == KindTxnBegin {
+			if ids[e.Span] {
+				t.Fatalf("span id %d not globally unique after the merge", e.Span)
+			}
+			ids[e.Span] = true
+		}
+	}
+	// Within one timestamp all of partition 0 precedes partition 1:
+	// strided span ids are odd on partition 0 (1, 3, 5, ...) and even
+	// on partition 1.
+	for i := 0; i < 12; i += 4 {
+		tick := snap.Events[i : i+4]
+		for j, want := range []uint64{1, 1, 0, 0} {
+			if got := tick[j].Span % 2; got != want {
+				t.Fatalf("tick %d position %d: span %d from wrong partition", i/4, j, tick[j].Span)
+			}
+		}
+	}
+}
+
+// Hot-cell profiles fold across partitions: the same cell bumped on two
+// shards reports summed conflict counts.
+func TestShardHotProfileFolds(t *testing.T) {
+	r := NewRecorder(64)
+	s0, s1 := r.Shard(0, 2), r.Shard(1, 2)
+	inProc(t, func(p *sim.Proc) {
+		sp0 := s0.StartSpan(p, 1, "a", nil)
+		sp1 := s1.StartSpan(p, 2, "b", nil)
+		s0.Conflict(p.Now(), sp0, 1, 7, 0b1)
+		s0.Conflict(p.Now(), sp0, 1, 7, 0b1)
+		s1.Conflict(p.Now(), sp1, 1, 7, 0b1)
+	})
+	snap := r.Snapshot()
+	var found bool
+	for _, h := range snap.Hot {
+		if h.Table == 1 && h.Key == 7 {
+			found = true
+			if h.Conflicts != 3 {
+				t.Fatalf("folded conflicts = %d, want 3", h.Conflicts)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("hot cell missing from the merged profile")
+	}
+}
+
+// Two identical sharded runs export byte-identical Chrome traces.
+func TestShardMergeDeterministic(t *testing.T) {
+	build := func() *Snapshot {
+		r := NewRecorder(128)
+		s0, s1 := r.Shard(0, 2), r.Shard(1, 2)
+		inProc(t, func(p *sim.Proc) {
+			for i := 0; i < 5; i++ {
+				sp0 := s0.StartSpan(p, 1, "a", nil)
+				sp1 := s1.StartSpan(p, 2, "b", nil)
+				s0.LockAcquire(p.Now(), sp0, 1, 2, 0b1)
+				s1.Abort(p.Now(), sp1, "lock-conflict", false)
+				s0.Commit(p.Now(), sp0)
+				p.Sleep(sim.Microsecond)
+			}
+		})
+		return r.Snapshot()
+	}
+	var a, b bytes.Buffer
+	if err := WriteChromeTrace(&a, build()); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteChromeTrace(&b, build()); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("identical sharded runs exported different traces")
+	}
+}
+
+// The shard child's emit path is the recorder hot path of a partitioned
+// run; once its ring is warm it must not allocate.
+func TestShardHotPathZeroAlloc(t *testing.T) {
+	r := NewRecorder(32)
+	s := r.Shard(0, 2)
+	inProc(t, func(p *sim.Proc) {
+		sp := s.StartSpan(p, 1, "warm", new(int))
+		for i := 0; i < 64; i++ {
+			s.LockAcquire(p.Now(), sp, 1, 7, 0b1)
+		}
+		if avg := testing.AllocsPerRun(200, func() {
+			s.LockAcquire(p.Now(), sp, 1, 7, 0b1)
+			s.LockRelease(p.Now(), sp, 1, 7, 0b1)
+			s.Conflict(p.Now(), sp, 1, 7, 0b1)
+		}); avg != 0 {
+			t.Errorf("sharded emit path allocates %v/op, want 0", avg)
+		}
+	})
+}

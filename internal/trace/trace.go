@@ -238,6 +238,19 @@ type Recorder struct {
 	nextSpan uint64
 	hot      map[hotKey]*HotCell
 
+	// Partition-recorder mode (Shard): a root recorder hands each
+	// simulation partition its own child, written lock-free by the
+	// owning worker, and merges the children deterministically at
+	// snapshot time. part/stride make every child's span ids a strided
+	// sequence (part+1, part+1+stride, …) so ids stay unique across the
+	// family without coordination; root points a child back at its
+	// parent for the ProcEvents flag. stride is 0 on a classic
+	// (unsharded) recorder.
+	part   int
+	stride int
+	shards []*Recorder
+	root   *Recorder
+
 	// ProcEvents enables simulator scheduling events (spawn / block /
 	// wake / finish). They are voluminous under contention, so they are
 	// opt-in.
@@ -259,6 +272,44 @@ func NewRecorder(capacity int) *Recorder {
 // Enabled reports whether the recorder collects events.
 func (r *Recorder) Enabled() bool { return r != nil }
 
+// Shard returns the child recorder owned by partition part of parts.
+// The whole family is created on the first call, so every caller that
+// shards with the same partition count gets the same children. Each
+// child is written only by its partition's worker — no locking — and
+// the root's Snapshot merges the children into one deterministic
+// stream (see Snapshot). A nil recorder or parts <= 1 returns the
+// receiver unchanged, so single-partition runs keep the classic
+// recorder byte-for-byte.
+func (r *Recorder) Shard(part, parts int) *Recorder {
+	if r == nil || parts <= 1 {
+		return r
+	}
+	if r.stride > 0 {
+		panic("trace: Shard of a partition child")
+	}
+	if r.shards == nil {
+		r.shards = make([]*Recorder, parts)
+		for i := range r.shards {
+			r.shards[i] = &Recorder{cap: r.cap, hot: map[hotKey]*HotCell{},
+				part: i, stride: parts, root: r}
+		}
+	}
+	if len(r.shards) != parts || part < 0 || part >= parts {
+		panic(fmt.Sprintf("trace: Shard(%d, %d) of a recorder sharded %d ways",
+			part, parts, len(r.shards)))
+	}
+	return r.shards[part]
+}
+
+// procEvents resolves the ProcEvents flag: children defer to the root
+// so the flag can be toggled after sharding.
+func (r *Recorder) procEvents() bool {
+	if r.root != nil {
+		return r.root.ProcEvents
+	}
+	return r.ProcEvents
+}
+
 // emit appends one event to the ring, evicting the oldest on overflow.
 func (r *Recorder) emit(e Event) {
 	r.seq++
@@ -273,20 +324,30 @@ func (r *Recorder) emit(e Event) {
 	r.dropped++
 }
 
-// Dropped reports how many events were evicted from the ring.
+// Dropped reports how many events were evicted from the ring (summed
+// over the partition children on a sharded recorder).
 func (r *Recorder) Dropped() uint64 {
 	if r == nil {
 		return 0
 	}
-	return r.dropped
+	n := r.dropped
+	for _, c := range r.shards {
+		n += c.dropped
+	}
+	return n
 }
 
-// Len reports the number of buffered events.
+// Len reports the number of buffered events (summed over the partition
+// children on a sharded recorder).
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.buf)
+	n := len(r.buf)
+	for _, c := range r.shards {
+		n += len(c.buf)
+	}
+	return n
 }
 
 // StartSpan begins (or resumes, for a retry of the same transaction)
@@ -304,7 +365,13 @@ func (r *Recorder) StartSpan(p *sim.Proc, coord uint64, label string, txnKey any
 		return prev
 	}
 	r.nextSpan++
-	s := &Span{Coord: coord, ID: r.nextSpan, Label: label, Attempt: 1, txnKey: txnKey}
+	id := r.nextSpan
+	if r.stride > 1 {
+		// Partition child: stride the id sequence so span ids stay
+		// unique across the whole recorder family.
+		id = uint64(r.part) + uint64(r.stride)*(r.nextSpan-1) + 1
+	}
+	s := &Span{Coord: coord, ID: id, Label: label, Attempt: 1, txnKey: txnKey}
 	p.SetTraceCtx(s)
 	r.emit(Event{At: p.Now(), Kind: KindTxnBegin, Coord: coord, Span: s.ID,
 		Attempt: 1, Label: label})
@@ -481,7 +548,7 @@ func (r *Recorder) ENOverflow(at sim.Time, s *Span, table layout.TableID, key la
 
 // ProcSpawn implements sim.Observer.
 func (r *Recorder) ProcSpawn(name string, at sim.Time) {
-	if r == nil || !r.ProcEvents {
+	if r == nil || !r.procEvents() {
 		return
 	}
 	r.emit(Event{At: at, Kind: KindProcSpawn, Label: name})
@@ -489,7 +556,7 @@ func (r *Recorder) ProcSpawn(name string, at sim.Time) {
 
 // ProcBlock implements sim.Observer: a process parked on a wait queue.
 func (r *Recorder) ProcBlock(name, queue string, at sim.Time) {
-	if r == nil || !r.ProcEvents {
+	if r == nil || !r.procEvents() {
 		return
 	}
 	r.emit(Event{At: at, Kind: KindProcBlock, Label: name, Reason: queue})
@@ -497,7 +564,7 @@ func (r *Recorder) ProcBlock(name, queue string, at sim.Time) {
 
 // ProcWake implements sim.Observer.
 func (r *Recorder) ProcWake(name string, at sim.Time) {
-	if r == nil || !r.ProcEvents {
+	if r == nil || !r.procEvents() {
 		return
 	}
 	r.emit(Event{At: at, Kind: KindProcWake, Label: name})
@@ -505,7 +572,7 @@ func (r *Recorder) ProcWake(name string, at sim.Time) {
 
 // ProcFinish implements sim.Observer.
 func (r *Recorder) ProcFinish(name string, at sim.Time) {
-	if r == nil || !r.ProcEvents {
+	if r == nil || !r.procEvents() {
 		return
 	}
 	r.emit(Event{At: at, Kind: KindProcFinish, Label: name})
@@ -519,27 +586,106 @@ type Snapshot struct {
 	Hot     []HotCell // sorted: most conflicted first
 }
 
+// unroll appends the ring's events, oldest to newest, to dst.
+func (r *Recorder) unroll(dst []Event) []Event {
+	if r.full {
+		dst = append(dst, r.buf[r.head:]...)
+		dst = append(dst, r.buf[:r.head]...)
+	} else {
+		dst = append(dst, r.buf...)
+	}
+	return dst
+}
+
 // Snapshot copies the ring (oldest to newest) and the hot-key profile.
 // A nil recorder yields an empty snapshot.
+//
+// On a sharded recorder the snapshot is the deterministic merge of the
+// root and every partition child: events sort by (virtual time,
+// partition, per-partition emission order) — the same key the
+// partitioned scheduler merges cross-partition mailboxes by — then
+// Seq renumbers in merged order, hot-cell profiles sum per cell, and
+// Dropped sums the family's evictions. The merged order is a pure
+// function of the simulation, never of the worker count.
 func (r *Recorder) Snapshot() *Snapshot {
 	s := &Snapshot{}
 	if r == nil {
 		return s
 	}
+	if r.shards == nil {
+		s.Dropped = r.dropped
+		s.Events = r.unroll(make([]Event, 0, len(r.buf)))
+		s.Hot = sortedHot(r.hot)
+		return s
+	}
+
+	type tagged struct {
+		part int // -1 for the root's own events
+		ev   Event
+	}
+	total := len(r.buf)
 	s.Dropped = r.dropped
-	s.Events = make([]Event, 0, len(r.buf))
-	if r.full {
-		s.Events = append(s.Events, r.buf[r.head:]...)
-		s.Events = append(s.Events, r.buf[:r.head]...)
-	} else {
-		s.Events = append(s.Events, r.buf...)
+	for _, c := range r.shards {
+		total += len(c.buf)
+		s.Dropped += c.dropped
 	}
-	s.Hot = make([]HotCell, 0, len(r.hot))
-	for _, hc := range r.hot {
-		s.Hot = append(s.Hot, *hc)
+	all := make([]tagged, 0, total)
+	for _, ev := range r.unroll(nil) {
+		all = append(all, tagged{part: -1, ev: ev})
 	}
-	sort.Slice(s.Hot, func(i, j int) bool {
-		a, b := &s.Hot[i], &s.Hot[j]
+	for _, c := range r.shards {
+		for _, ev := range c.unroll(nil) {
+			all = append(all, tagged{part: c.part, ev: ev})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		a, b := &all[i], &all[j]
+		if a.ev.At != b.ev.At {
+			return a.ev.At < b.ev.At
+		}
+		if a.part != b.part {
+			return a.part < b.part
+		}
+		return a.ev.Seq < b.ev.Seq
+	})
+	s.Events = make([]Event, len(all))
+	for i := range all {
+		s.Events[i] = all[i].ev
+		s.Events[i].Seq = s.Dropped + uint64(i) + 1
+	}
+
+	merged := make(map[hotKey]*HotCell, len(r.hot))
+	foldHot(merged, r.hot)
+	for _, c := range r.shards {
+		foldHot(merged, c.hot)
+	}
+	s.Hot = sortedHot(merged)
+	return s
+}
+
+// foldHot sums src's per-cell counters into dst.
+func foldHot(dst, src map[hotKey]*HotCell) {
+	for hk, hc := range src {
+		d := dst[hk]
+		if d == nil {
+			cp := *hc
+			dst[hk] = &cp
+			continue
+		}
+		d.Conflicts += hc.Conflicts
+		d.Aborts += hc.Aborts
+	}
+}
+
+// sortedHot flattens a hot-cell map into the canonical profile order:
+// most contended first, ties by (table, key, cell).
+func sortedHot(hot map[hotKey]*HotCell) []HotCell {
+	out := make([]HotCell, 0, len(hot))
+	for _, hc := range hot {
+		out = append(out, *hc)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
 		if a.Conflicts+a.Aborts != b.Conflicts+b.Aborts {
 			return a.Conflicts+a.Aborts > b.Conflicts+b.Aborts
 		}
@@ -551,7 +697,7 @@ func (r *Recorder) Snapshot() *Snapshot {
 		}
 		return a.Cell < b.Cell
 	})
-	return s
+	return out
 }
 
 // HotKeys returns the top-k entries of the contention profile.
