@@ -7,6 +7,7 @@ import (
 
 	"crest/internal/bench"
 	"crest/internal/causality"
+	"crest/internal/flight"
 	"crest/internal/metrics"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -96,6 +97,13 @@ type BenchmarkConfig struct {
 	// WhyCapacity bounds the causality edge ring buffer (0 = default).
 	WhyCapacity int
 
+	// Flight records every transaction's additive latency budget and
+	// the tail outliers' full per-attempt timelines; the snapshot comes
+	// back in BenchmarkResult.Flight.
+	Flight bool
+	// FlightCapacity bounds the flight summary ring buffer (0 = default).
+	FlightCapacity int
+
 	// Workers is how many OS threads execute the simulation's
 	// shard-group partitions concurrently (sharded topologies with a
 	// partition-safe workload; other runs ignore it). It is an
@@ -155,6 +163,11 @@ type BenchmarkResult struct {
 	// nil otherwise.
 	Why *WhySnapshot
 
+	// Flight is the run's latency-budget snapshot when
+	// BenchmarkConfig.Flight was set (render with WriteFlightTail /
+	// WriteFlightCritPath / WriteFlightJSON), nil otherwise.
+	Flight *FlightSnapshot
+
 	// ScenarioPhases is the per-phase breakdown (attempts, commits,
 	// aborts) when the run was scenario-driven, nil otherwise.
 	ScenarioPhases []ScenarioPhaseStat
@@ -168,9 +181,9 @@ type BenchmarkResult struct {
 
 // String summarizes the result in one line.
 func (r BenchmarkResult) String() string {
-	return fmt.Sprintf("%s/%s @%d coordinators: %.1f KOPS, abort %.1f%%, avg %.1fµs p99 %.1fµs",
+	return fmt.Sprintf("%s/%s @%d coordinators: %.1f KOPS, abort %.1f%%, avg %.1fµs p99 %.1fµs p999 %.1fµs",
 		r.System, r.Workload, r.Coordinators, r.ThroughputKOPS, 100*r.AbortRate,
-		r.AvgLatencyUs, r.P99LatencyUs)
+		r.AvgLatencyUs, r.P99LatencyUs, r.P999LatencyUs)
 }
 
 // RunBenchmark executes one measured run and returns its metrics.
@@ -215,6 +228,11 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 		why = causality.NewRecorder(causality.Options{Capacity: cfg.WhyCapacity})
 		bc.Why = why
 	}
+	var fl *flight.Recorder
+	if cfg.Flight {
+		fl = flight.NewRecorder(flight.Options{TxnCapacity: cfg.FlightCapacity})
+		bc.Flight = fl
+	}
 	res, err := bench.Run(bc)
 	if err != nil {
 		return BenchmarkResult{}, err
@@ -231,10 +249,15 @@ func RunBenchmark(cfg BenchmarkConfig) (BenchmarkResult, error) {
 	if why != nil {
 		wsnap = why.Snapshot()
 	}
+	var fsnap *FlightSnapshot
+	if fl != nil {
+		fsnap = fl.Snapshot()
+	}
 	return BenchmarkResult{
 		Trace:          snap,
 		Metrics:        msnap,
 		Why:            wsnap,
+		Flight:         fsnap,
 		System:         System(res.System),
 		Workload:       name,
 		Coordinators:   res.Coordinators,

@@ -93,6 +93,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		traceOut = fs.String("trace", "", "with -run: write a Chrome trace_event JSON of the run to this file")
 		metOut   = fs.String("metrics", "", "with -run: write the run's windowed metrics to this file (.csv, .json or .prom by extension)")
 		whyOut   = fs.String("why", "", "with -run: write the run's contention graph for abort forensics to this file (.dot or crest-why .json by extension)")
+		flOut    = fs.String("flight", "", "with -run: write the run's per-txn latency budgets and tail exemplars to this file (crest-flight .json, or the rendered tail report for any other extension)")
 		rtStats  = fs.String("runtime-stats", "", "with -run: write the window executor's runtime introspection (crest-runtime JSON) to this file (partitioned runs only)")
 		metWin   = fs.Duration("metrics-window", 100*time.Microsecond, "with -metrics: time-series window in virtual time")
 		cpuProf  = fs.String("cpuprofile", "", "write a pprof CPU profile of the whole invocation to this file")
@@ -310,6 +311,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Metrics:       *metOut != "",
 			MetricsWindow: *metWin,
 			Why:           *whyOut != "",
+			Flight:        *flOut != "",
 		}
 		if *big {
 			// The preset's coordinator count wants more compute nodes
@@ -367,6 +369,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 			}
 			fmt.Fprintf(stderr, "[why: %d txns, %d edges -> %s]\n",
 				len(res.Why.Txns), len(res.Why.Edges), *whyOut)
+		}
+		if *flOut != "" {
+			// Flight output goes to its file and stderr only: the run's
+			// stdout stays byte-identical with and without -flight.
+			if err := writeFlight(*flOut, res.Flight); err != nil {
+				return fatalf("%v", err)
+			}
+			fmt.Fprintf(stderr, "[flight: %d txns, %d exemplars -> %s]\n",
+				len(res.Flight.Txns), len(res.Flight.Exemplars), *flOut)
 		}
 		if *rtStats != "" {
 			// Runtime introspection goes to its file and stderr only, like
@@ -435,6 +446,26 @@ func writeMetrics(path string, s *crest.MetricsSnapshot) error {
 		err = crest.WriteMetricsJSON(f, s)
 	default:
 		err = crest.WriteMetricsPrometheus(f, s)
+	}
+	if err != nil {
+		f.Close()
+		return fmt.Errorf("writing %s: %w", path, err)
+	}
+	return f.Close()
+}
+
+// writeFlight writes the flight snapshot to path: .json selects the
+// schema-versioned crest-flight document, anything else the rendered
+// aggregate tail report.
+func writeFlight(path string, s *crest.FlightSnapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(path, ".json") {
+		err = crest.WriteFlightJSON(f, s)
+	} else {
+		err = crest.WriteFlightTail(f, s, 5)
 	}
 	if err != nil {
 		f.Close()

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -23,35 +24,57 @@ import (
 )
 
 func main() {
-	cells := flag.String("cells", "", "comma-separated cell sizes of an ad-hoc schema, e.g. 8,30,100")
-	wl := flag.String("workload", "", "inspect every table of a workload: tpcc, smallbank or ycsb")
-	written := flag.String("written", "", "comma-separated indices of written cells: shows §4.4 access-pattern grouping (with -cells)")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point: it parses args, writes the report
+// to stdout and diagnostics to stderr, and returns the process exit
+// code (0 ok, 1 bad input, 2 usage).
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("crestinspect", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cells := fs.String("cells", "", "comma-separated cell sizes of an ad-hoc schema, e.g. 8,30,100")
+	wl := fs.String("workload", "", "inspect every table of a workload: tpcc, smallbank or ycsb")
+	written := fs.String("written", "", "comma-separated indices of written cells: shows §4.4 access-pattern grouping (with -cells)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "crestinspect: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
 
 	switch {
 	case *cells != "":
 		sizes, err := parseCells(*cells)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "crestinspect: %v\n", err)
+			return 1
 		}
 		s := layout.Schema{ID: 1, Name: "adhoc", CellSizes: sizes}
-		inspect(s)
+		inspect(stdout, s)
 		if *written != "" {
-			showGrouping(s, *written)
+			if err := showGrouping(stdout, s, *written); err != nil {
+				fmt.Fprintf(stderr, "crestinspect: %v\n", err)
+				return 1
+			}
 		}
 	case *wl != "":
 		defs, err := workloadTables(*wl)
 		if err != nil {
-			fatalf("%v", err)
+			fmt.Fprintf(stderr, "crestinspect: %v\n", err)
+			return 1
 		}
 		for _, def := range defs {
-			inspect(def.Schema)
-			fmt.Println()
+			inspect(stdout, def.Schema)
+			fmt.Fprintln(stdout)
 		}
 	default:
-		flag.Usage()
-		os.Exit(2)
+		fs.Usage()
+		return 2
 	}
+	return 0
 }
 
 func parseCells(s string) ([]int, error) {
@@ -78,64 +101,60 @@ func workloadTables(name string) ([]workload.TableDef, error) {
 	return nil, fmt.Errorf("unknown workload %q", name)
 }
 
-func inspect(s layout.Schema) {
+func inspect(w io.Writer, s layout.Schema) {
 	s = s.Normalize()
-	fmt.Printf("table %q: %d cells, %d data bytes\n", s.Name, s.NumCells(), s.DataBytes())
+	fmt.Fprintf(w, "table %q: %d cells, %d data bytes\n", s.Name, s.NumCells(), s.DataBytes())
 
 	rec := layout.NewRecord(s)
-	fmt.Printf("  CREST record: %d bytes\n", rec.Size())
-	fmt.Printf("    header      @0    (%d bytes: key, table id, lock bitmap, %d-entry EN array)\n",
+	fmt.Fprintf(w, "  CREST record: %d bytes\n", rec.Size())
+	fmt.Fprintf(w, "    header      @0    (%d bytes: key, table id, lock bitmap, %d-entry EN array)\n",
 		layout.HeaderSize, layout.MaxENCells)
 	for c := 0; c < rec.NumCells(); c++ {
-		fmt.Printf("    cell %-2d     @%-4d (8-byte version + %d-byte value, slot %d)\n",
+		fmt.Fprintf(w, "    cell %-2d     @%-4d (8-byte version + %d-byte value, slot %d)\n",
 			c, rec.CellOff(c), rec.CellSize(c), rec.CellSlotSize(c))
 	}
 
 	ford := layout.NewFORDRecord(s)
-	fmt.Printf("  FORD record: %d bytes (%d padded) — header %d, values back to back\n",
+	fmt.Fprintf(w, "  FORD record: %d bytes (%d padded) — header %d, values back to back\n",
 		ford.Size(), ford.PaddedSize(), layout.BaselineHeaderSize)
 
 	motor := layout.NewMotorRecord(s)
-	fmt.Printf("  Motor record: %d bytes (%d padded) — header %d, %d version slots × (%d meta + %d data)\n",
+	fmt.Fprintf(w, "  Motor record: %d bytes (%d padded) — header %d, %d version slots × (%d meta + %d data)\n",
 		motor.Size(), motor.PaddedSize(), layout.BaselineHeaderSize,
 		layout.MotorSlots, layout.MotorSlotMetaSize, s.DataBytes())
 
-	fmt.Printf("  space overhead (meta/data):")
+	fmt.Fprintf(w, "  space overhead (meta/data):")
 	for _, sys := range []layout.System{layout.SysFORD, layout.SysMotor, layout.SysCREST} {
 		raw := layout.Space(sys, s, false)
 		pad := layout.Space(sys, s, true)
-		fmt.Printf("  %s %.1f%% (%.1f%% padded)", sys, raw.OverheadPct(), pad.OverheadPct())
+		fmt.Fprintf(w, "  %s %.1f%% (%.1f%% padded)", sys, raw.OverheadPct(), pad.OverheadPct())
 	}
-	fmt.Println()
+	fmt.Fprintln(w)
 }
 
 // showGrouping prints the §4.4 access-pattern consolidation: written
 // cells stay individual, read-only cells merge, and the space model
 // reports the saving.
-func showGrouping(s layout.Schema, writtenSpec string) {
+func showGrouping(w io.Writer, s layout.Schema, writtenSpec string) error {
 	var written []int
 	for _, part := range strings.Split(writtenSpec, ",") {
 		n, err := strconv.Atoi(strings.TrimSpace(part))
 		if err != nil {
-			fatalf("bad written cell %q", part)
+			return fmt.Errorf("bad written cell %q", part)
 		}
 		written = append(written, n)
 	}
 	g, err := layout.GroupByAccess(s, written)
 	if err != nil {
-		fatalf("%v", err)
+		return err
 	}
-	fmt.Printf("\ngrouped by access pattern (written cells %v stay individual):\n", written)
+	fmt.Fprintf(w, "\ngrouped by access pattern (written cells %v stay individual):\n", written)
 	for gi := 0; gi < g.Grouped().NumCells(); gi++ {
-		fmt.Printf("  grouped cell %d ← original cells %v (%d bytes)\n",
+		fmt.Fprintf(w, "  grouped cell %d ← original cells %v (%d bytes)\n",
 			gi, g.Members(gi), g.Grouped().CellSizes[gi])
 	}
 	before := layout.Space(layout.SysCREST, s, true)
 	after := layout.Space(layout.SysCREST, g.Grouped(), true)
-	fmt.Printf("  CREST padded overhead: %.1f%% → %.1f%%\n", before.OverheadPct(), after.OverheadPct())
-}
-
-func fatalf(format string, args ...any) {
-	fmt.Fprintf(os.Stderr, "crestinspect: "+format+"\n", args...)
-	os.Exit(1)
+	fmt.Fprintf(w, "  CREST padded overhead: %.1f%% → %.1f%%\n", before.OverheadPct(), after.OverheadPct())
+	return nil
 }

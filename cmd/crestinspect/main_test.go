@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// dispatch runs the CLI entry point against in-memory streams.
+func dispatch(args ...string) (code int, stdout, stderr string) {
+	var out, errBuf bytes.Buffer
+	code = run(args, &out, &errBuf)
+	return code, out.String(), errBuf.String()
+}
+
+func TestNoModePrintsUsage(t *testing.T) {
+	code, stdout, stderr := dispatch()
+	if code != 2 {
+		t.Fatalf("no mode exited %d, want 2", code)
+	}
+	if stdout != "" {
+		t.Fatalf("usage went to stdout: %q", stdout)
+	}
+	if !strings.Contains(stderr, "-cells") || !strings.Contains(stderr, "-workload") {
+		t.Fatalf("stderr missing flag usage:\n%s", stderr)
+	}
+}
+
+func TestBadFlagsAndArgsRejected(t *testing.T) {
+	code, _, stderr := dispatch("-nosuchflag")
+	if code != 2 {
+		t.Fatalf("bad flag exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "nosuchflag") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+
+	code, _, stderr = dispatch("-cells", "8,30", "stray")
+	if code != 2 {
+		t.Fatalf("stray positional arg exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unexpected argument") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestCellsLayoutReport(t *testing.T) {
+	code, stdout, stderr := dispatch("-cells", "8,30,100")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		`table "adhoc": 3 cells, 138 data bytes`,
+		"CREST record:", "FORD record:", "Motor record:",
+		"cell 0", "cell 2", "space overhead",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("report missing %q:\n%s", want, stdout)
+		}
+	}
+
+	code, _, stderr = dispatch("-cells", "8,zero")
+	if code != 1 {
+		t.Fatalf("bad cell size exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad cell size") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestWrittenGroupingReport(t *testing.T) {
+	code, stdout, stderr := dispatch("-cells", "8,30,100,8", "-written", "0")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "grouped by access pattern") {
+		t.Fatalf("report missing grouping section:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "CREST padded overhead:") {
+		t.Fatalf("report missing overhead delta:\n%s", stdout)
+	}
+
+	code, _, stderr = dispatch("-cells", "8,30", "-written", "x")
+	if code != 1 {
+		t.Fatalf("bad written cell exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "bad written cell") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestWorkloadInspectsEveryTable(t *testing.T) {
+	code, stdout, stderr := dispatch("-workload", "smallbank")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	if n := strings.Count(stdout, "table \""); n < 2 {
+		t.Fatalf("expected at least 2 tables, saw %d:\n%s", n, stdout)
+	}
+
+	code, _, stderr = dispatch("-workload", "nosuch")
+	if code != 1 {
+		t.Fatalf("unknown workload exited %d, want 1", code)
+	}
+	if !strings.Contains(stderr, "unknown workload") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}

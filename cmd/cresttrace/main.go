@@ -36,6 +36,15 @@
 //	cresttrace windows -workload smallbank -shards 4 -workers 4
 //	cresttrace windows -in runtime.json
 //
+// Decompose tail latency into an additive per-component budget (wire,
+// lock-wait, backoff, queueing, per-phase compute) and walk one
+// outlier's critical path across its retries, from a fresh run or
+// from a saved crestbench -flight JSON export:
+//
+//	cresttrace tail -workload smallbank -theta 0.99
+//	cresttrace tail -in flight.json -top 10
+//	cresttrace critpath -in flight.json 412
+//
 // Output is deterministic: the same seed and configuration produce
 // byte-identical traces, blame chains, graphs and timelines — at any
 // -workers count (observers record into per-partition shards and merge
@@ -64,6 +73,8 @@ const usageText = `usage: cresttrace [flags]                 render an event tra
        cresttrace why [flags] <txnid>     explain one transaction's abort
        cresttrace graph [flags]           export the contention graph (DOT or JSON)
        cresttrace windows [flags]         render the window executor timeline (partitioned runs)
+       cresttrace tail [flags]            decompose tail latency into per-component budgets
+       cresttrace critpath [flags] <txnid>  walk one transaction's critical path across retries
 
 Run 'cresttrace <subcommand> -h' for the subcommand's flags.
 `
@@ -85,6 +96,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return runGraph(args[1:], stdout, stderr)
 		case "windows":
 			return runWindows(args[1:], stdout, stderr)
+		case "tail":
+			return runTail(args[1:], stdout, stderr)
+		case "critpath":
+			return runCritPath(args[1:], stdout, stderr)
 		default:
 			fmt.Fprintf(stderr, "cresttrace: unknown subcommand %q\n", args[0])
 			usage(stderr)
@@ -180,6 +195,111 @@ func whySnapshotFrom(in string, bf *benchFlags, capacity int, stderr io.Writer) 
 	fmt.Fprintf(stderr, "[%s/%s: %d txns, %d edges recorded, %.1f KOPS]\n",
 		res.System, res.Workload, len(res.Why.Txns), len(res.Why.Edges), res.ThroughputKOPS)
 	return res.Why, 0
+}
+
+// flightSnapshotFrom loads the flight snapshot: from a crest-flight
+// JSON file when in is set, otherwise by running the configured
+// benchmark with the flight recorder on.
+func flightSnapshotFrom(in string, bf *benchFlags, capacity int, stderr io.Writer) (*crest.FlightSnapshot, int) {
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+			usage(stderr)
+			return nil, 1
+		}
+		defer f.Close()
+		snap, err := crest.ReadFlightJSON(f)
+		if err != nil {
+			fmt.Fprintf(stderr, "cresttrace: reading %s: %v\n", in, err)
+			usage(stderr)
+			return nil, 1
+		}
+		return snap, 0
+	}
+	cfg := bf.config()
+	cfg.Flight = true
+	cfg.FlightCapacity = capacity
+	res, err := crest.RunBenchmark(cfg)
+	if err != nil {
+		fmt.Fprintf(stderr, "cresttrace: %v\n", err)
+		return nil, 1
+	}
+	fmt.Fprintf(stderr, "[%s/%s: %d txns, %d exemplars recorded, %.1f KOPS]\n",
+		res.System, res.Workload, len(res.Flight.Txns), len(res.Flight.Exemplars), res.ThroughputKOPS)
+	return res.Flight, 0
+}
+
+// runTail prints the aggregate latency budget report: the p50/p99/
+// p99.9 component decomposition, the tail-vs-median attribution, and
+// the slowest exemplars' critical paths.
+func runTail(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cresttrace tail", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bf := addBenchFlags(fs)
+	in := fs.String("in", "", "read a crest-flight JSON export (crestbench -flight) instead of running a benchmark")
+	capacity := fs.Int("txns", 0, "flight summary ring capacity (0 = default)")
+	top := fs.Int("top", 5, "exemplar critical paths in the report")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := bf.validate(); err != nil {
+		fmt.Fprintf(stderr, "cresttrace tail: %v\n", err)
+		usage(stderr)
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintf(stderr, "cresttrace tail: unexpected argument %q\n", fs.Arg(0))
+		usage(stderr)
+		return 2
+	}
+	snap, code := flightSnapshotFrom(*in, bf, *capacity, stderr)
+	if code != 0 {
+		return code
+	}
+	if err := crest.WriteFlightTail(stdout, snap, *top); err != nil {
+		fmt.Fprintf(stderr, "cresttrace tail: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// runCritPath prints one transaction's budget decomposition, attempt
+// timeline and critical path.
+func runCritPath(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cresttrace critpath", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	bf := addBenchFlags(fs)
+	in := fs.String("in", "", "read a crest-flight JSON export (crestbench -flight) instead of running a benchmark")
+	capacity := fs.Int("txns", 0, "flight summary ring capacity (0 = default)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if err := bf.validate(); err != nil {
+		fmt.Fprintf(stderr, "cresttrace critpath: %v\n", err)
+		usage(stderr)
+		return 2
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "cresttrace critpath: exactly one <txnid> argument required")
+		usage(stderr)
+		return 2
+	}
+	id, err := strconv.ParseUint(fs.Arg(0), 10, 64)
+	if err != nil {
+		fmt.Fprintf(stderr, "cresttrace critpath: bad transaction id %q\n", fs.Arg(0))
+		usage(stderr)
+		return 2
+	}
+	snap, code := flightSnapshotFrom(*in, bf, *capacity, stderr)
+	if code != 0 {
+		return code
+	}
+	if err := crest.WriteFlightCritPath(stdout, snap, id); err != nil {
+		fmt.Fprintf(stderr, "cresttrace critpath: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // runWhy prints the blame chain for one transaction.

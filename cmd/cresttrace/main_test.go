@@ -8,7 +8,9 @@ import (
 	"testing"
 
 	"crest/internal/causality"
+	"crest/internal/flight"
 	"crest/internal/sim"
+	"crest/internal/trace"
 )
 
 // dispatch runs the CLI entry point against in-memory streams.
@@ -145,6 +147,122 @@ func TestWhyPrintsMultiHopBlameChain(t *testing.T) {
 		t.Fatal("unknown txn exited 0")
 	}
 	if !strings.Contains(stderr, "unknown txn") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+// flightFixture writes a crest-flight JSON export with two committed
+// transactions; the slower one (T9, dominated by backoff) carries
+// per-attempt exemplar detail.
+func flightFixture(t *testing.T) string {
+	t.Helper()
+	us := func(n int64) sim.Duration { return sim.Duration(n) * sim.Microsecond }
+	fast := flight.TxnBudget{
+		ID: 4, Label: "Balance", Coord: 1, Shard: 0,
+		Begin: sim.Time(us(10)), End: sim.Time(us(14)), Attempts: 1, Committed: true,
+	}
+	fast.Budget[flight.CompExec] = us(1)
+	fast.Budget[flight.CompWireRead] = us(3)
+	slow := flight.TxnBudget{
+		ID: 9, Label: "Pay", Coord: 2, Shard: 0,
+		Begin: sim.Time(us(20)), End: sim.Time(us(60)), Attempts: 2, Committed: true,
+		Reason: "lock-conflict", WaitHolder: 4, WaitMax: us(5),
+	}
+	slow.Budget[flight.CompExec] = us(2)
+	slow.Budget[flight.CompWireRead] = us(6)
+	slow.Budget[flight.CompWait] = us(5)
+	slow.Budget[flight.CompBackoff] = us(25)
+	slow.Budget[flight.CompLock] = us(2)
+	ex := flight.Exemplar{TxnBudget: slow, Bucket: flight.CompBackoff}
+	a1 := flight.AttemptInfo{Start: sim.Time(us(20)), End: sim.Time(us(30)), Outcome: "lock-conflict",
+		Wait: us(5), WaitMax: us(5), WaitHolder: 4}
+	a1.Phases[trace.PhaseExec] = us(1)
+	a1.Phases[trace.PhaseLock] = us(9)
+	a1.WaitPhase[trace.PhaseLock] = us(5)
+	a1.WirePhase[trace.PhaseLock] = us(3)
+	a1.Wire[flight.ClassRead] = us(3)
+	a2 := flight.AttemptInfo{Start: sim.Time(us(55)), End: sim.Time(us(60)), Outcome: "commit",
+		Gap: us(25)}
+	a2.Phases[trace.PhaseExec] = us(1)
+	a2.Phases[trace.PhaseLock] = us(4)
+	a2.WirePhase[trace.PhaseLock] = us(3)
+	a2.Wire[flight.ClassRead] = us(3)
+	ex.Detail = []flight.AttemptInfo{a1, a2}
+	snap := &flight.Snapshot{Txns: []flight.TxnBudget{fast, slow}, Exemplars: []flight.Exemplar{ex}}
+	path := filepath.Join(t.TempDir(), "flight.json")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := flight.WriteJSON(f, snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTailRendersBudgetReportFromExport(t *testing.T) {
+	code, stdout, stderr := dispatch("tail", "-in", flightFixture(t))
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{"component", "tail vs median", "T9 [Pay]", "backoff"} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("tail output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	code, _, stderr = dispatch("tail", "-in", flightFixture(t), "stray")
+	if code != 2 {
+		t.Fatalf("stray positional arg exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "unexpected argument") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+}
+
+func TestCritPathWalksAttemptsFromExport(t *testing.T) {
+	code, stdout, stderr := dispatch("critpath", "-in", flightFixture(t), "9")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr:\n%s", code, stderr)
+	}
+	for _, want := range []string{
+		"T9 [Pay] coord 2, shard 0: committed in 40.0µs over 2 attempt(s)",
+		"attempt 1: 10.0µs → lock-conflict",
+		"gap: backoff 25.0µs",
+		"attempt 2: 5.0µs → commit",
+		"critical path:",
+	} {
+		if !strings.Contains(stdout, want) {
+			t.Fatalf("critpath output missing %q:\n%s", want, stdout)
+		}
+	}
+
+	// A txn in the ring but not captured as an exemplar degrades to the
+	// summary decomposition with a note.
+	code, stdout, _ = dispatch("critpath", "-in", flightFixture(t), "4")
+	if code != 0 {
+		t.Fatalf("summary-only txn exited %d", code)
+	}
+	if !strings.Contains(stdout, "no exemplar detail") {
+		t.Fatalf("missing summary-only note:\n%s", stdout)
+	}
+
+	// Unknown ids and non-numeric ids are errors, not silence.
+	code, _, stderr = dispatch("critpath", "-in", flightFixture(t), "999")
+	if code == 0 {
+		t.Fatal("unknown txn exited 0")
+	}
+	if !strings.Contains(stderr, "unknown txn") {
+		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
+	}
+	code, _, stderr = dispatch("critpath", "notanumber")
+	if code != 2 {
+		t.Fatalf("non-numeric txnid exited %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "bad transaction id") {
 		t.Fatalf("stderr missing diagnosis:\n%s", stderr)
 	}
 }

@@ -42,6 +42,7 @@ import (
 	"crest/internal/causality"
 	"crest/internal/core"
 	"crest/internal/engine"
+	"crest/internal/flight"
 	"crest/internal/ford"
 	"crest/internal/layout"
 	"crest/internal/memnode"
@@ -128,6 +129,17 @@ type Config struct {
 	Why bool
 	// WhyCapacity bounds the causality edge ring buffer (0 = default).
 	WhyCapacity int
+	// Flight enables the per-transaction flight recorder: every
+	// transaction's virtual-time latency is decomposed into an additive
+	// budget (queueing, per-verb wire time, lock waiting, backoff, and
+	// per-phase compute) and the slowest outliers keep their full
+	// per-attempt timeline; read it back with FlightSnapshot. Like the
+	// other observers, recording consumes no virtual time and no
+	// randomness, so a recording cluster runs the exact same schedule
+	// as a plain one.
+	Flight bool
+	// FlightCapacity bounds the flight summary ring buffer (0 = default).
+	FlightCapacity int
 }
 
 func (c Config) withDefaults() Config {
@@ -206,6 +218,7 @@ type Cluster struct {
 	trace     *trace.Recorder     // nil unless Config.Trace
 	metrics   *metrics.Registry   // nil unless Config.Metrics
 	why       *causality.Recorder // nil unless Config.Why
+	flight    *flight.Recorder    // nil unless Config.Flight
 }
 
 // NewCluster builds a cluster. Tables must be created and loaded
@@ -237,6 +250,10 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	if cfg.Why {
 		c.why = causality.NewRecorder(causality.Options{Capacity: cfg.WhyCapacity})
+	}
+	if cfg.Flight {
+		c.flight = flight.NewRecorder(flight.Options{TxnCapacity: cfg.FlightCapacity})
+		c.fabric.SetFlight(c.flight)
 	}
 	return c, nil
 }
@@ -295,6 +312,7 @@ func (c *Cluster) ensureSystem() error {
 	c.db = engine.NewDB(c.pool)
 	c.db.Trace = c.trace
 	c.db.Why = c.why
+	c.db.Flight = c.flight
 	if c.metrics != nil {
 		c.db.SetMetrics(c.metrics)
 	}
@@ -583,6 +601,36 @@ func WriteWhyJSON(w io.Writer, s *WhySnapshot) error { return causality.WriteJSO
 
 // ReadWhyJSON parses a document written by WriteWhyJSON.
 func ReadWhyJSON(r io.Reader) (*WhySnapshot, error) { return causality.ReadJSON(r) }
+
+// FlightSnapshot is an immutable copy of a cluster's per-transaction
+// latency budgets and captured tail-outlier exemplars.
+type FlightSnapshot = flight.Snapshot
+
+// FlightSnapshot copies the flight record so far (empty unless the
+// cluster was built with Config.Flight). Render the aggregate tail
+// decomposition with WriteFlightTail, one transaction's critical path
+// with WriteFlightCritPath, or export it with WriteFlightJSON.
+func (c *Cluster) FlightSnapshot() *FlightSnapshot { return c.flight.Snapshot() }
+
+// WriteFlightTail renders the aggregate latency budget report: p50,
+// p99 and p99.9 cohort decompositions per component, the tail-vs-
+// median delta attribution, and the slowest exemplars' critical paths.
+func WriteFlightTail(w io.Writer, s *FlightSnapshot, topN int) error {
+	return flight.WriteTail(w, s, topN)
+}
+
+// WriteFlightCritPath renders one transaction's full flight record:
+// its budget decomposition, per-attempt timeline, and critical path.
+func WriteFlightCritPath(w io.Writer, s *FlightSnapshot, txn uint64) error {
+	return flight.WriteCritPath(w, s, txn)
+}
+
+// WriteFlightJSON renders the snapshot as a schema-versioned JSON
+// document ("crest-flight/v1"); ReadFlightJSON parses it back.
+func WriteFlightJSON(w io.Writer, s *FlightSnapshot) error { return flight.WriteJSON(w, s) }
+
+// ReadFlightJSON parses a document written by WriteFlightJSON.
+func ReadFlightJSON(r io.Reader) (*FlightSnapshot, error) { return flight.ReadJSON(r) }
 
 // MaxShards bounds Config.Shards (shard-group membership travels as a
 // 64-bit set through the commit path).

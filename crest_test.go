@@ -254,10 +254,10 @@ func TestRunBenchmarkUnknownWorkload(t *testing.T) {
 
 func TestExperimentRegistry(t *testing.T) {
 	ids := ExperimentIDs()
-	if len(ids) != 15 {
-		t.Fatalf("%d experiments, want 15 (fig2-4, table1-2, exp1-8, scenario, crossover): %v", len(ids), ids)
+	if len(ids) != 16 {
+		t.Fatalf("%d experiments, want 16 (fig2-4, table1-2, exp1-8, scenario, crossover, tailprof): %v", len(ids), ids)
 	}
-	if ids[0] != "fig2" || ids[len(ids)-1] != "crossover" {
+	if ids[0] != "fig2" || ids[len(ids)-1] != "tailprof" {
 		t.Fatalf("order: %v", ids)
 	}
 	if _, err := RunExperiment("nope", true); err == nil {

@@ -16,6 +16,7 @@ import (
 	"crest/internal/causality"
 	"crest/internal/core"
 	"crest/internal/engine"
+	"crest/internal/flight"
 	"crest/internal/ford"
 	"crest/internal/layout"
 	"crest/internal/memnode"
@@ -98,6 +99,12 @@ type Config struct {
 	// forensics (see internal/causality). Like tracing and metrics,
 	// recording consumes no virtual time and no randomness.
 	Why *causality.Recorder
+	// Flight, when non-nil, records per-transaction latency budgets,
+	// critical paths and tail exemplars (see internal/flight). Like the
+	// other probes, recording consumes no virtual time and no
+	// randomness. The recorder's warmup cutoff is set from Warmup so
+	// capture matches the measurement window.
+	Flight *flight.Recorder
 	// Workers is how many OS threads execute shard-group partitions
 	// concurrently when the run is partitioned (see Partitioned). It is
 	// an invocation-level performance knob: every worker count produces
@@ -405,6 +412,11 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Why != nil {
 		db.Why = cfg.Why
 	}
+	if cfg.Flight != nil {
+		cfg.Flight.SetWarmup(sim.Time(cfg.Warmup))
+		fabric.SetFlight(cfg.Flight)
+		db.Flight = cfg.Flight
+	}
 	if cfg.CheckHistory {
 		db.History = engine.NewHistory()
 	}
@@ -684,6 +696,7 @@ func probeHotKeys(cfg Config) ([]placement.HotKey, error) {
 	probe.Why = causality.NewRecorder(causality.Options{})
 	probe.Trace = nil
 	probe.Metrics = nil
+	probe.Flight = nil
 	probe.CheckHistory = false
 	probe.Duration = 4 * sim.Millisecond
 	probe.Warmup = sim.Millisecond

@@ -6,17 +6,28 @@ import (
 	"strings"
 )
 
-// KOPSDelta is one run's throughput change against a baseline.
+// P99TolerancePercent is the tail-latency regression threshold the
+// comparison summary flags: a shared run whose p99 latency grew by
+// more than this percentage over the baseline is called out in the
+// worst-regression line (throughput deltas stay informational).
+const P99TolerancePercent = 25.0
+
+// KOPSDelta is one run's throughput and tail-latency change against a
+// baseline.
 type KOPSDelta struct {
 	Key     string  // canonical RunSpec key
 	Base    float64 // baseline KOPS
 	Cur     float64 // current KOPS
 	Percent float64 // 100*(Cur-Base)/Base (0 when Base is 0)
+
+	BaseP99    float64 // baseline p99 latency (µs)
+	CurP99     float64 // current p99 latency (µs)
+	P99Percent float64 // 100*(CurP99-BaseP99)/BaseP99 (0 when BaseP99 is 0)
 }
 
 // Comparison summarizes a result set against a baseline result set:
-// per-run KOPS deltas for the keys both contain, plus the keys only
-// one side has (a matrix change, not a regression).
+// per-run KOPS and p99 latency deltas for the keys both contain, plus
+// the keys only one side has (a matrix change, not a regression).
 type Comparison struct {
 	Deltas  []KOPSDelta // sorted by key
 	Missing []string    // keys in the baseline absent from the current set
@@ -38,9 +49,13 @@ func CompareResultSets(base, cur *ResultSet) *Comparison {
 			c.Added = append(c.Added, r.Key)
 			continue
 		}
-		d := KOPSDelta{Key: r.Key, Base: b.KOPS, Cur: r.KOPS}
+		d := KOPSDelta{Key: r.Key, Base: b.KOPS, Cur: r.KOPS,
+			BaseP99: b.Latency.P99, CurP99: r.Latency.P99}
 		if b.KOPS != 0 {
 			d.Percent = 100 * (r.KOPS - b.KOPS) / b.KOPS
+		}
+		if d.BaseP99 != 0 {
+			d.P99Percent = 100 * (d.CurP99 - d.BaseP99) / d.BaseP99
 		}
 		c.Deltas = append(c.Deltas, d)
 	}
@@ -56,8 +71,10 @@ func CompareResultSets(base, cur *ResultSet) *Comparison {
 }
 
 // Format renders the comparison as a text table: one row per shared
-// run with baseline, current and percent KOPS delta, then the
-// worst-regression summary line the CI log greps for.
+// run with baseline, current and percent deltas for KOPS and p99
+// latency, then the worst-regression summary lines the CI log greps
+// for. A p99 regression beyond P99TolerancePercent is flagged on its
+// summary line.
 func (c *Comparison) Format() string {
 	var sb strings.Builder
 	w := 4
@@ -66,13 +83,21 @@ func (c *Comparison) Format() string {
 			w = len(d.Key)
 		}
 	}
-	fmt.Fprintf(&sb, "%-*s  %10s  %10s  %8s\n", w, "run", "base KOPS", "cur KOPS", "delta")
+	fmt.Fprintf(&sb, "%-*s  %10s  %10s  %8s  %9s  %9s  %8s\n", w, "run",
+		"base KOPS", "cur KOPS", "delta", "base p99", "cur p99", "p99 Δ")
 	worst := 0.0
 	worstKey := ""
+	worstP99 := 0.0
+	worstP99Key := ""
 	for _, d := range c.Deltas {
-		fmt.Fprintf(&sb, "%-*s  %10.1f  %10.1f  %+7.1f%%\n", w, d.Key, d.Base, d.Cur, d.Percent)
+		fmt.Fprintf(&sb, "%-*s  %10.1f  %10.1f  %+7.1f%%  %9.1f  %9.1f  %+7.1f%%\n",
+			w, d.Key, d.Base, d.Cur, d.Percent, d.BaseP99, d.CurP99, d.P99Percent)
 		if d.Percent < worst {
 			worst, worstKey = d.Percent, d.Key
+		}
+		// Latency regresses upward: the worst run grew its p99 the most.
+		if d.P99Percent > worstP99 {
+			worstP99, worstP99Key = d.P99Percent, d.Key
 		}
 	}
 	for _, key := range c.Missing {
@@ -86,6 +111,16 @@ func (c *Comparison) Format() string {
 			worst, worstKey, len(c.Deltas))
 	} else {
 		fmt.Fprintf(&sb, "no KOPS regression across %d shared runs\n", len(c.Deltas))
+	}
+	if worstP99Key != "" {
+		flag := ""
+		if worstP99 > P99TolerancePercent {
+			flag = fmt.Sprintf(" [exceeds +%.0f%% threshold]", P99TolerancePercent)
+		}
+		fmt.Fprintf(&sb, "worst p99 latency regression: %+.1f%% (%s) across %d shared runs%s\n",
+			worstP99, worstP99Key, len(c.Deltas), flag)
+	} else {
+		fmt.Fprintf(&sb, "no p99 latency regression across %d shared runs\n", len(c.Deltas))
 	}
 	return sb.String()
 }

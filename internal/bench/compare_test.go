@@ -5,17 +5,22 @@ import (
 	"testing"
 )
 
-func rs(pairs ...any) *ResultSet {
+// rs builds a result set from (key, KOPS, p99µs) triples.
+func rs(triples ...any) *ResultSet {
 	s := &ResultSet{Schema: SchemaVersion}
-	for i := 0; i < len(pairs); i += 2 {
-		s.Runs = append(s.Runs, &RunRecord{Key: pairs[i].(string), KOPS: pairs[i+1].(float64)})
+	for i := 0; i < len(triples); i += 3 {
+		s.Runs = append(s.Runs, &RunRecord{
+			Key:     triples[i].(string),
+			KOPS:    triples[i+1].(float64),
+			Latency: LatencySummaryUs{P99: triples[i+2].(float64)},
+		})
 	}
 	return s
 }
 
 func TestCompareResultSets(t *testing.T) {
-	base := rs("a", 100.0, "b", 200.0, "gone", 50.0)
-	cur := rs("b", 190.0, "a", 110.0, "new", 75.0)
+	base := rs("a", 100.0, 40.0, "b", 200.0, 80.0, "gone", 50.0, 10.0)
+	cur := rs("b", 190.0, 120.0, "a", 110.0, 38.0, "new", 75.0, 20.0)
 
 	cmp := CompareResultSets(base, cur)
 	if len(cmp.Deltas) != 2 {
@@ -26,8 +31,14 @@ func TestCompareResultSets(t *testing.T) {
 	if a.Key != "a" || a.Percent != 10.0 {
 		t.Fatalf("delta a = %+v, want +10%%", a)
 	}
+	if a.BaseP99 != 40.0 || a.CurP99 != 38.0 || a.P99Percent != -5.0 {
+		t.Fatalf("delta a = %+v, want p99 -5%%", a)
+	}
 	if b.Key != "b" || b.Percent != -5.0 {
 		t.Fatalf("delta b = %+v, want -5%%", b)
+	}
+	if b.P99Percent != 50.0 {
+		t.Fatalf("delta b = %+v, want p99 +50%%", b)
 	}
 	if len(cmp.Missing) != 1 || cmp.Missing[0] != "gone" {
 		t.Fatalf("Missing = %v", cmp.Missing)
@@ -38,10 +49,13 @@ func TestCompareResultSets(t *testing.T) {
 
 	out := cmp.Format()
 	for _, want := range []string{
+		"base p99", "cur p99",
 		"a", "+10.0%", "-5.0%",
 		"gone", "(baseline only)",
 		"new", "(new run)",
 		"worst KOPS regression: -5.0% (b) across 2 shared runs",
+		// b's p99 grew 80µs -> 120µs: +50%, past the 25% threshold.
+		"worst p99 latency regression: +50.0% (b) across 2 shared runs [exceeds +25% threshold]",
 	} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("Format() missing %q:\n%s", want, out)
@@ -50,10 +64,25 @@ func TestCompareResultSets(t *testing.T) {
 }
 
 func TestCompareNoRegression(t *testing.T) {
-	base := rs("a", 100.0)
-	cur := rs("a", 105.0)
+	base := rs("a", 100.0, 50.0)
+	cur := rs("a", 105.0, 45.0)
 	out := CompareResultSets(base, cur).Format()
 	if !strings.Contains(out, "no KOPS regression across 1 shared runs") {
 		t.Fatalf("Format() missing all-clear line:\n%s", out)
+	}
+	if !strings.Contains(out, "no p99 latency regression across 1 shared runs") {
+		t.Fatalf("Format() missing p99 all-clear line:\n%s", out)
+	}
+}
+
+func TestCompareP99WithinThresholdUnflagged(t *testing.T) {
+	base := rs("a", 100.0, 50.0)
+	cur := rs("a", 100.0, 55.0) // +10% p99: reported but not flagged
+	out := CompareResultSets(base, cur).Format()
+	if !strings.Contains(out, "worst p99 latency regression: +10.0% (a) across 1 shared runs") {
+		t.Fatalf("Format() missing p99 summary:\n%s", out)
+	}
+	if strings.Contains(out, "threshold") {
+		t.Fatalf("within-threshold regression flagged:\n%s", out)
 	}
 }

@@ -654,6 +654,55 @@ func ExpCrossover(p Profile, get Getter) ([]Table, error) {
 	return out, nil
 }
 
+// ExpTailProf is the tail-latency profile (not in the paper; it feeds
+// the flight recorder's aggregate story): the exp6 skew sweep re-read
+// for its latency quantiles instead of throughput. For each workload
+// and engine it reports p50/p99/p99.9 across θ plus the tail
+// amplification p99.9/p50 — how far the slowest 0.1% detaches from
+// the typical transaction as contention concentrates. The specs are
+// exactly exp6's, so a shared matrix run renders this experiment
+// without a single new simulation.
+func ExpTailProf(p Profile, get Getter) ([]Table, error) {
+	var out []Table
+	for _, wl := range []struct {
+		name string
+		spec func(theta float64) WorkloadSpec
+	}{
+		{"smallbank", SmallBankSpec},
+		{"ycsb", func(theta float64) WorkloadSpec { return YCSBSpec(theta, 0.5, 4) }},
+	} {
+		tab := Table{ID: "tailprof-" + wl.name,
+			Title:  "Latency quantiles (µs) vs Zipf theta — " + wl.name,
+			Header: []string{"theta", "CREST p50", "CREST p99", "CREST p999", "FORD p50", "FORD p99", "FORD p999", "Motor p50", "Motor p99", "Motor p999"}}
+		amp := Table{ID: "tailprof-" + wl.name + "-amp",
+			Title:  "Tail amplification (p99.9 / p50) vs Zipf theta — " + wl.name,
+			Header: []string{"theta", "CREST", "FORD", "Motor"}}
+		for _, theta := range []float64{0.1, 0.5, 0.9, 0.99, 1.11} {
+			row := []string{f2(theta)}
+			arow := []string{f2(theta)}
+			for _, system := range mainSystems {
+				rec, err := get(p.Spec(system, wl.spec(theta), p.MaxCoords))
+				if err != nil {
+					return nil, err
+				}
+				l := rec.Latency
+				row = append(row, f1(l.P50), f1(l.P99), f1(l.P999))
+				ratio := 0.0
+				if l.P50 > 0 {
+					ratio = l.P999 / l.P50
+				}
+				arow = append(arow, f1(ratio))
+			}
+			tab.Rows = append(tab.Rows, row)
+			amp.Rows = append(amp.Rows, arow)
+		}
+		amp.Notes = append(amp.Notes,
+			"same runs as exp6; drill into one point with crestbench -run -flight and cresttrace tail")
+		out = append(out, tab, amp)
+	}
+	return out, nil
+}
+
 // Experiments is the registry mapping experiment ids to their
 // implementations, in the paper's order.
 var Experiments = map[string]Experiment{
@@ -672,6 +721,7 @@ var Experiments = map[string]Experiment{
 	"exp8":      {ID: "exp8", Render: Exp8},
 	"scenario":  {ID: "scenario", Render: ExpScenario},
 	"crossover": {ID: "crossover", Render: ExpCrossover},
+	"tailprof":  {ID: "tailprof", Render: ExpTailProf},
 }
 
 // ExperimentIDs lists the registry in canonical order.
@@ -690,7 +740,7 @@ func expOrder(id string) string {
 		"table1": "04", "table2": "05",
 		"exp1": "06", "exp2": "07", "exp3": "08", "exp4": "09",
 		"exp5": "10", "exp6": "11", "exp7": "12", "exp8": "13",
-		"scenario": "14", "crossover": "15",
+		"scenario": "14", "crossover": "15", "tailprof": "16",
 	}
 	return order[id]
 }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"crest/internal/causality"
+	"crest/internal/flight"
 	"crest/internal/metrics"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -22,6 +23,8 @@ type observedArtifacts struct {
 	metProm []byte
 	whyDOT  []byte
 	whyJSON []byte
+	flJSON  []byte
+	flTail  []byte
 }
 
 // runObserved executes the canonical partitioned configuration with all
@@ -34,9 +37,11 @@ func runObserved(t *testing.T, system SystemKind, workers int) observedArtifacts
 	rec := trace.NewRecorder(0)
 	reg := metrics.NewRegistry(metrics.Options{Window: 100 * sim.Microsecond})
 	why := causality.NewRecorder(causality.Options{})
+	fl := flight.NewRecorder(flight.Options{})
 	cfg.Trace = rec
 	cfg.Metrics = reg
 	cfg.Why = why
+	cfg.Flight = fl
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -59,6 +64,9 @@ func runObserved(t *testing.T, system SystemKind, workers int) observedArtifacts
 	wsnap := why.Snapshot()
 	a.whyDOT = render("why dot", func() error { return causality.WriteDOT(&buf, wsnap) })
 	a.whyJSON = render("why json", func() error { return causality.WriteJSON(&buf, wsnap) })
+	fsnap := fl.Snapshot()
+	a.flJSON = render("flight json", func() error { return flight.WriteJSON(&buf, fsnap) })
+	a.flTail = render("flight tail", func() error { return flight.WriteTail(&buf, fsnap, 3) })
 	return a
 }
 
@@ -90,6 +98,8 @@ func TestObservedPartitionedByteIdenticalAcrossWorkers(t *testing.T) {
 					{"metrics prom", base.metProm, got.metProm},
 					{"why dot", base.whyDOT, got.whyDOT},
 					{"why json", base.whyJSON, got.whyJSON},
+					{"flight json", base.flJSON, got.flJSON},
+					{"flight tail", base.flTail, got.flTail},
 				} {
 					if !bytes.Equal(d.want, d.have) {
 						t.Errorf("workers=%d: %s export differs from workers=1 (%d vs %d bytes)",

@@ -85,7 +85,7 @@ func TestProfilesProduceWorkloads(t *testing.T) {
 func TestExperimentIDsOrdered(t *testing.T) {
 	ids := ExperimentIDs()
 	want := []string{"fig2", "fig3", "fig4", "table1", "table2",
-		"exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "scenario", "crossover"}
+		"exp1", "exp2", "exp3", "exp4", "exp5", "exp6", "exp7", "exp8", "scenario", "crossover", "tailprof"}
 	if len(ids) != len(want) {
 		t.Fatalf("ids = %v", ids)
 	}

@@ -182,6 +182,7 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 				acc.obj.mu.Lock(p)
 				db.Met.LockWaiters.Dec()
 				db.Why.LocalWait(p, acc.rk.table, acc.key, holder, p.Now().Sub(t0))
+				db.Flight.Wait(p, holder, p.Now().Sub(t0))
 			} else {
 				acc.obj.mu.Lock(p)
 			}
@@ -220,6 +221,7 @@ func (c *Coordinator) executeLocalized(p *sim.Proc, t *engine.Txn) engine.Attemp
 		dep.await(p)
 		if waited {
 			db.Why.DependencyWait(p, dep.whyID, p.Now().Sub(t0))
+			db.Flight.Wait(p, dep.whyID, p.Now().Sub(t0))
 		}
 		if dep.status == txnAborted {
 			return abortTxn(engine.AbortDependency, false)
@@ -400,6 +402,7 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 			t0 := p.Now()
 			waitObj.stateQ.Wait(p)
 			db.Why.LocalWait(p, waitObj.table, waitObj.key, holder, p.Now().Sub(t0))
+			db.Flight.Wait(p, holder, p.Now().Sub(t0))
 			continue
 		}
 		if len(sc.fetches) == 0 && len(sc.locks) == 0 {
@@ -556,7 +559,9 @@ func (c *Coordinator) admit(p *sim.Proc, sc *execScratch, blockAccs []*access) (
 			}
 			return engine.AbortLockFail, engine.IsFalseConflict(myMask, conflictMask)
 		}
-		p.Sleep(opts.LockBackoff + sim.Duration(p.Rand().Int63n(int64(opts.LockBackoff))))
+		back := opts.LockBackoff + sim.Duration(p.Rand().Int63n(int64(opts.LockBackoff)))
+		p.Sleep(back)
+		db.Flight.Backoff(p, back)
 	}
 }
 
@@ -937,6 +942,7 @@ func (c *Coordinator) applyRelease(p *sim.Proc, sc *execScratch, accs []*access)
 				t0 := p.Now()
 				obj.stateQ.Wait(p)
 				db.Why.LocalWait(p, obj.table, obj.key, holder, p.Now().Sub(t0))
+				db.Flight.Wait(p, holder, p.Now().Sub(t0))
 				break
 			}
 		}

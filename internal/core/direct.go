@@ -223,7 +223,9 @@ func (c *Coordinator) dFetch(p *sim.Proc, sc *execScratch, ws []*dwork) (engine.
 		// collection reuses this round's todo backing.
 		sc.dTodo, sc.dRetry = retry, todo[:0]
 		todo = retry
-		p.Sleep(opts.LockBackoff + sim.Duration(p.Rand().Int63n(int64(opts.LockBackoff))))
+		back := opts.LockBackoff + sim.Duration(p.Rand().Int63n(int64(opts.LockBackoff)))
+		p.Sleep(back)
+		db.Flight.Backoff(p, back)
 	}
 }
 

@@ -51,6 +51,7 @@ func BeginAttempt(db *DB, p *sim.Proc, coord uint64, home int, t *Txn) AttemptTi
 		db.Trace.EnterPhase(at.mark, at.span, trace.PhaseExec)
 	}
 	at.why = db.Why.Begin(p, coord, t.Label, t)
+	db.Flight.Begin(p, coord, home, t.Label, t)
 	db.Met.beginAttempt(home)
 	return at
 }
@@ -88,6 +89,7 @@ func (at *AttemptTimer) Phase(ph trace.Phase) {
 	at.mark = now
 	at.cur = ph
 	at.db.Trace.EnterPhase(now, at.span, ph)
+	at.db.Flight.Phase(at.p, ph)
 }
 
 // Fail marks the attempt aborted: the failing phase's duration is
@@ -107,6 +109,7 @@ func (at *AttemptTimer) Fail(reason AbortReason, falseConflict bool) {
 		at.db.Trace.EnterPhase(now, at.span, trace.PhaseRelease)
 	}
 	at.db.Why.Abort(now, at.why, reason.String())
+	at.db.Flight.Fail(at.p, reason.String(), reason == AbortWait)
 	at.db.Met.fail(reason, falseConflict, at.cross)
 }
 
@@ -120,6 +123,10 @@ func (at *AttemptTimer) Done() Attempt {
 		at.db.Trace.Commit(now, at.span)
 		at.db.Why.Commit(now, at.why)
 	}
+	// Flight keeps charging past a Fail (release time stays in the
+	// budget, which must sum to elapsed virtual time), so it closes on
+	// every path.
+	at.db.Flight.Done(at.p, !at.failed)
 	at.db.Met.done(!at.failed, now.Sub(at.start), at.shard)
 	return Attempt{
 		Committed:     !at.failed,

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"crest/internal/causality"
+	"crest/internal/flight"
 	"crest/internal/hashindex"
 	"crest/internal/layout"
 	"crest/internal/memnode"
@@ -96,6 +97,11 @@ type DB struct {
 	// nil-safe and host-side only: enabling it never changes virtual
 	// time, events or randomness.
 	Why *causality.Recorder
+	// Flight, when non-nil, records per-transaction latency budgets and
+	// critical paths (tail forensics). Nil-safe and host-side only, like
+	// Why; callers who set it should also call Fabric.SetFlight so wire
+	// time is attributed.
+	Flight *flight.Recorder
 
 	// lane is the fabric lane (simulation partition) this DB's verbs
 	// are counted in: 0 except on partition views.
@@ -150,6 +156,7 @@ func (db *DB) PartitionView(env *sim.Env, part int) *DB {
 		Metrics: db.Metrics.Shard(part, parts),
 		Met:     db.Met,
 		Why:     db.Why.Shard(part, parts),
+		Flight:  db.Flight.Shard(part, parts),
 		lane:    part,
 	}
 	if v.Metrics != db.Metrics {

@@ -398,6 +398,7 @@ func (c *Coordinator) fetchBlock(p *sim.Proc, sc *execScratch, ws []*work, snaps
 		sc.todo, sc.retry = again, todo[:0]
 		todo = again
 		p.Sleep(2 * sim.Microsecond)
+		db.Flight.Backoff(p, 2*sim.Microsecond)
 	}
 }
 

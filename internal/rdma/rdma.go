@@ -34,6 +34,7 @@ import (
 	"strconv"
 	"sync/atomic"
 
+	"crest/internal/flight"
 	"crest/internal/metrics"
 	"crest/internal/sim"
 	"crest/internal/trace"
@@ -205,6 +206,7 @@ type lane struct {
 	stats   Stats
 	cross   Stats // verbs this lane posted that applied in other partitions
 	rec     *trace.Recorder
+	fl      *flight.Recorder
 	met     *fabricMetrics
 	free    []*pending  // recycled in-flight descriptors
 	subFree []*applySub // recycled cross-partition apply descriptors
@@ -220,6 +222,57 @@ func (f *Fabric) SetRecorder(rec *trace.Recorder) {
 	for i, l := range f.lanes {
 		l.rec = rec.Shard(i, len(f.lanes))
 	}
+}
+
+// SetFlight attaches a flight recorder; every subsequent post charges
+// its park time (one round-trip per post, classified by verb) to the
+// transaction running on the posting process. Like SetRecorder, each
+// lane records into its own partition shard so the run may execute on
+// any number of workers.
+func (f *Fabric) SetFlight(fl *flight.Recorder) {
+	for i, l := range f.lanes {
+		l.fl = fl.Shard(i, len(f.lanes))
+	}
+}
+
+// classOfKind maps a verb to its flight wire class.
+func classOfKind(k OpKind) flight.VerbClass {
+	switch k {
+	case OpRead:
+		return flight.ClassRead
+	case OpWrite:
+		return flight.ClassWrite
+	case OpCAS:
+		return flight.ClassCAS
+	case OpMaskedCAS:
+		return flight.ClassMaskedCAS
+	}
+	return flight.ClassMixed
+}
+
+// classOfOps classifies a batch: the verbs' common class, or Mixed.
+func classOfOps(ops []Op) flight.VerbClass {
+	c := classOfKind(ops[0].Kind)
+	for i := 1; i < len(ops); i++ {
+		if classOfKind(ops[i].Kind) != c {
+			return flight.ClassMixed
+		}
+	}
+	return c
+}
+
+// wireClass classifies a whole post (single batch or multi-batch).
+func (d *pending) wireClass() flight.VerbClass {
+	if d.qp != nil {
+		return classOfOps(d.ops)
+	}
+	c := classOfOps(d.batches[0].Ops)
+	for _, b := range d.batches[1:] {
+		if classOfOps(b.Ops) != c {
+			return flight.ClassMixed
+		}
+	}
+	return c
 }
 
 // fabricMetrics is the fabric's instrument bundle: in-flight verbs,
@@ -769,6 +822,9 @@ func (qp *QP) postWith(p *sim.Proc, d *pending, ops []Op) ([]Result, error) {
 	if lane.rec != nil {
 		lane.emitComplete(p, qp, ops, lat)
 	}
+	if lane.fl != nil {
+		lane.fl.Wire(p, classOfOps(ops), lat)
+	}
 	if lane.met != nil {
 		lane.met.complete(ops)
 	}
@@ -865,6 +921,11 @@ func (d *pending) crossPost(p *sim.Proc) ([]Result, [][]Result, error) {
 	p.Suspend()
 	if lane.rec != nil || lane.met != nil {
 		d.emitDone(p, maxLat)
+	}
+	if lane.fl != nil {
+		// One park, one charge: a multi-batch post costs its slowest
+		// batch, so flight charges maxLat once (not per batch).
+		lane.fl.Wire(p, d.wireClass(), maxLat)
 	}
 	for _, sub := range d.subs {
 		lane.stats = lane.stats.Add(sub.stats)
@@ -1142,6 +1203,10 @@ func PostMulti(p *sim.Proc, batches []Batch) ([][]Result, error) {
 		for _, b := range batches {
 			lane.emitComplete(p, b.QP, b.Ops, maxLat)
 		}
+	}
+	if lane.fl != nil {
+		// One park for the whole multi-post: charge its cost once.
+		lane.fl.Wire(p, d.wireClass(), maxLat)
 	}
 	if lane.met != nil {
 		for _, b := range batches {

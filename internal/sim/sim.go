@@ -255,6 +255,11 @@ type Proc struct {
 	// transaction's wait-for node), kept separate from traceCtx so the
 	// two observability layers enable independently.
 	whyCtx any
+
+	// flightCtx carries the per-process flight-recorder context (the
+	// current transaction's latency-budget record), independent of the
+	// other observability contexts for the same reason.
+	flightCtx any
 }
 
 // TraceCtx returns the process's tracing context, or nil.
@@ -268,6 +273,12 @@ func (p *Proc) WhyCtx() any { return p.whyCtx }
 
 // SetWhyCtx attaches a causality context to the process.
 func (p *Proc) SetWhyCtx(ctx any) { p.whyCtx = ctx }
+
+// FlightCtx returns the process's flight-recorder context, or nil.
+func (p *Proc) FlightCtx() any { return p.flightCtx }
+
+// SetFlightCtx attaches a flight-recorder context to the process.
+func (p *Proc) SetFlightCtx(ctx any) { p.flightCtx = ctx }
 
 // Env returns the environment the process runs in.
 func (p *Proc) Env() *Env { return p.env }
@@ -296,6 +307,7 @@ func (e *Env) newProc(name string, fn func(*Proc)) *Proc {
 		p.waitQ = ""
 		p.traceCtx = nil
 		p.whyCtx = nil
+		p.flightCtx = nil
 		p.gen++
 		return p
 	}

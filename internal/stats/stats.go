@@ -222,7 +222,7 @@ func (r *Run) Merge(other *Run) {
 
 // String summarizes the run.
 func (r *Run) String() string {
-	return fmt.Sprintf("%.1f KOPS, %d committed, abort %.1f%% (false %.1f%%), avg %.1fµs p50 %.1fµs p99 %.1fµs",
+	return fmt.Sprintf("%.1f KOPS, %d committed, abort %.1f%% (false %.1f%%), avg %.1fµs p50 %.1fµs p99 %.1fµs p999 %.1fµs",
 		r.ThroughputKOPS(), r.Committed, 100*r.AbortRate(), 100*r.FalseAbortRate(),
-		r.Lat.Avg(), r.Lat.P50(), r.Lat.P99())
+		r.Lat.Avg(), r.Lat.P50(), r.Lat.P99(), r.Lat.P999())
 }
